@@ -1,0 +1,281 @@
+// xmpsim — command-line front end to the library.
+//
+//   xmpsim run    --pattern=random --scheme=xmp --subflows=2 [--k=8]
+//                 [--duration=0.5] [--queue=100] [--mark-k=10] [--beta=4]
+//                 [--seed=1] [--coexist=dctcp] [--csv=flows.csv]
+//                 [--json=summary.json]
+//       Run one Fat-Tree evaluation and print the paper's summary metrics.
+//
+//   xmpsim fluid  --capacity-gbps=1 --flows=3 [--beta=4] [--rtt-us=300]
+//       Closed-form BOS equilibrium on a single bottleneck (paper §2.1).
+//
+//   xmpsim sweep  --param={mark-k|beta|subflows} --values=a,b,c ...
+//       Re-run `run` for each value and tabulate average goodput.
+//
+//   xmpsim topo   [--k=8]
+//       Print Fat-Tree dimensions and delay budget for a given k.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/export.hpp"
+#include "core/xmp.hpp"
+#include "model/fluid.hpp"
+
+namespace {
+
+using namespace xmp;
+
+class Args {
+ public:
+  Args(int argc, char** argv) {
+    for (int i = 2; i < argc; ++i) args_.emplace_back(argv[i]);
+  }
+
+  [[nodiscard]] std::string get(const std::string& key, const std::string& fallback) const {
+    const std::string prefix = "--" + key + "=";
+    for (const auto& a : args_) {
+      if (a.rfind(prefix, 0) == 0) return a.substr(prefix.size());
+    }
+    return fallback;
+  }
+
+  [[nodiscard]] double get_d(const std::string& key, double fallback) const {
+    const auto v = get(key, "");
+    return v.empty() ? fallback : std::atof(v.c_str());
+  }
+
+  [[nodiscard]] std::int64_t get_i(const std::string& key, std::int64_t fallback) const {
+    const auto v = get(key, "");
+    return v.empty() ? fallback : std::atoll(v.c_str());
+  }
+
+  [[nodiscard]] std::vector<double> get_list(const std::string& key) const {
+    std::vector<double> out;
+    std::string v = get(key, "");
+    while (!v.empty()) {
+      const auto comma = v.find(',');
+      out.push_back(std::atof(v.substr(0, comma).c_str()));
+      if (comma == std::string::npos) break;
+      v = v.substr(comma + 1);
+    }
+    return out;
+  }
+
+ private:
+  std::vector<std::string> args_;
+};
+
+bool parse_scheme(const std::string& name, int subflows, int beta, workload::SchemeSpec& out) {
+  if (name == "tcp") {
+    out.kind = workload::SchemeSpec::Kind::Tcp;
+  } else if (name == "dctcp") {
+    out.kind = workload::SchemeSpec::Kind::Dctcp;
+  } else if (name == "xmp") {
+    out.kind = workload::SchemeSpec::Kind::Xmp;
+  } else if (name == "lia") {
+    out.kind = workload::SchemeSpec::Kind::Lia;
+  } else if (name == "olia") {
+    out.kind = workload::SchemeSpec::Kind::Olia;
+  } else {
+    return false;
+  }
+  out.subflows = subflows;
+  out.beta = beta;
+  return true;
+}
+
+core::ExperimentConfig config_from(const Args& args, bool& ok) {
+  core::ExperimentConfig cfg;
+  ok = true;
+
+  const std::string pattern = args.get("pattern", "random");
+  if (pattern == "permutation") {
+    cfg.pattern = core::Pattern::Permutation;
+  } else if (pattern == "random") {
+    cfg.pattern = core::Pattern::Random;
+  } else if (pattern == "incast") {
+    cfg.pattern = core::Pattern::Incast;
+  } else {
+    std::fprintf(stderr, "unknown --pattern=%s\n", pattern.c_str());
+    ok = false;
+  }
+
+  const int subflows = static_cast<int>(args.get_i("subflows", 2));
+  const int beta = static_cast<int>(args.get_i("beta", 4));
+  if (!parse_scheme(args.get("scheme", "xmp"), subflows, beta, cfg.scheme)) {
+    std::fprintf(stderr, "unknown --scheme\n");
+    ok = false;
+  }
+  const std::string coexist = args.get("coexist", "");
+  if (!coexist.empty()) {
+    workload::SchemeSpec b;
+    if (!parse_scheme(coexist, subflows, beta, b)) {
+      std::fprintf(stderr, "unknown --coexist\n");
+      ok = false;
+    }
+    cfg.scheme_b = b;
+  }
+
+  cfg.fat_tree_k = static_cast<int>(args.get_i("k", 8));
+  cfg.duration = sim::Time::seconds(args.get_d("duration", 0.5));
+  cfg.queue_capacity = static_cast<std::size_t>(args.get_i("queue", 100));
+  cfg.mark_threshold = static_cast<std::size_t>(args.get_i("mark-k", 10));
+  cfg.permutation_rounds = static_cast<int>(args.get_i("rounds", 2));
+  cfg.seed = static_cast<std::uint64_t>(args.get_i("seed", 1));
+  const auto scale = args.get_i("scale", 1);
+  cfg.perm_min_bytes *= scale;
+  cfg.perm_max_bytes *= scale;
+  cfg.rand_min_bytes *= scale;
+  cfg.rand_max_bytes *= scale;
+  return cfg;
+}
+
+void print_summary(const core::ExperimentConfig& cfg, const core::ExperimentResults& res) {
+  std::printf("pattern=%s scheme=%s%s%s k=%d sim=%.3fs events=%llu\n",
+              core::pattern_name(cfg.pattern), cfg.scheme.name().c_str(),
+              cfg.scheme_b ? " vs " : "", cfg.scheme_b ? cfg.scheme_b->name().c_str() : "",
+              cfg.fat_tree_k, res.sim_duration.sec(),
+              static_cast<unsigned long long>(res.events_dispatched));
+  std::printf("large-flow goodput: mean %.1f Mbps over %zu flows\n", res.avg_goodput_mbps(),
+              res.goodput.count());
+  if (cfg.scheme_b) {
+    std::printf("coexisting %s:     mean %.1f Mbps over %zu flows\n",
+                cfg.scheme_b->name().c_str(), res.avg_goodput_b_mbps(), res.goodput_b.count());
+  }
+  for (int c = 2; c >= 0; --c) {
+    const auto& d = res.goodput_by_category[c];
+    if (d.empty()) continue;
+    std::printf("  %-11s p50 %.1f Mbps (n=%zu)\n",
+                topo::FatTree::category_name(static_cast<topo::FatTree::Category>(c)),
+                d.percentile(50), d.count());
+  }
+  if (!res.jobs.empty()) {
+    std::printf("incast jobs: %zu, avg completion %.1f ms, >300ms %.2f%%\n", res.jobs.size(),
+                res.avg_job_completion_ms(), res.job_completion_over_ms(300) * 100);
+  }
+  for (int l = 0; l < 3; ++l) {
+    const auto& d = res.utilization_by_layer[l];
+    std::printf("util %-12s mean %.3f  p90 %.3f\n",
+                topo::FatTree::layer_name(static_cast<topo::FatTree::Layer>(l)), d.mean(),
+                d.percentile(90));
+  }
+}
+
+int cmd_run(const Args& args) {
+  bool ok = true;
+  const auto cfg = config_from(args, ok);
+  if (!ok) return 2;
+  const auto res = core::run_experiment(cfg);
+  print_summary(cfg, res);
+  const std::string csv = args.get("csv", "");
+  if (!csv.empty()) {
+    core::export_flows_csv(res, csv);
+    std::printf("wrote %s\n", csv.c_str());
+  }
+  const std::string json = args.get("json", "");
+  if (!json.empty()) {
+    core::export_summary_json(cfg, res, json);
+    std::printf("wrote %s\n", json.c_str());
+  }
+  return 0;
+}
+
+int cmd_fluid(const Args& args) {
+  const double cap_gbps = args.get_d("capacity-gbps", 1.0);
+  const int n = static_cast<int>(args.get_i("flows", 3));
+  const double beta = args.get_d("beta", 4.0);
+  const double rtt_us = args.get_d("rtt-us", 300.0);
+  const double cap_sps = cap_gbps * 1e9 / (net::kDataPacketBytes * 8.0);
+
+  std::vector<model::FluidFlow> flows(static_cast<std::size_t>(n),
+                                      model::FluidFlow{1.0, beta, rtt_us * 1e-6});
+  const auto res = model::solve_single_bottleneck(flows, cap_sps);
+  std::printf("BOS equilibrium on %.2f Gbps, %d flows, beta=%.0f, RTT=%.0fus:\n", cap_gbps, n,
+              beta, rtt_us);
+  std::printf("  marking probability per round p = %.4f\n", res.p);
+  std::printf("  per-flow window  w = %.1f segments\n", res.windows.empty() ? 0.0 : res.windows[0]);
+  std::printf("  per-flow rate    x = %.1f Mbps\n",
+              res.rates.empty() ? 0.0 : res.rates[0] * net::kDataPacketBytes * 8 / 1e6);
+  std::printf("  Eq.1 marking threshold K >= BDP/(beta-1) = %.1f packets\n",
+              model::min_marking_threshold(cap_sps * rtt_us * 1e-6, beta));
+  return 0;
+}
+
+int cmd_sweep(const Args& args) {
+  const std::string param = args.get("param", "mark-k");
+  const auto values = args.get_list("values");
+  if (values.empty()) {
+    std::fprintf(stderr, "need --values=a,b,c\n");
+    return 2;
+  }
+  std::printf("%-12s %16s %16s\n", param.c_str(), "goodput (Mbps)", "events");
+  for (double v : values) {
+    bool ok = true;
+    auto cfg = config_from(args, ok);
+    if (!ok) return 2;
+    if (param == "mark-k") {
+      cfg.mark_threshold = static_cast<std::size_t>(v);
+    } else if (param == "beta") {
+      cfg.scheme.beta = static_cast<int>(v);
+    } else if (param == "subflows") {
+      cfg.scheme.subflows = static_cast<int>(v);
+    } else if (param == "queue") {
+      cfg.queue_capacity = static_cast<std::size_t>(v);
+    } else {
+      std::fprintf(stderr, "unknown --param=%s\n", param.c_str());
+      return 2;
+    }
+    const auto res = core::run_experiment(cfg);
+    std::printf("%-12g %16.1f %16llu\n", v, res.avg_goodput_mbps(),
+                static_cast<unsigned long long>(res.events_dispatched));
+  }
+  return 0;
+}
+
+int cmd_topo(const Args& args) {
+  const int k = static_cast<int>(args.get_i("k", 8));
+  sim::Scheduler sched;
+  net::Network netw{sched};
+  topo::FatTree::Config tc;
+  tc.k = k;
+  topo::FatTree tree{netw, tc};
+  std::printf("Fat-Tree k=%d: %d hosts, %zu switches, %d equal-cost inter-pod paths\n", k,
+              tree.n_hosts(), netw.switches().size(), tree.inter_pod_paths());
+  std::printf("links per layer: rack %zu, aggregation %zu, core %zu (unidirectional)\n",
+              tree.links(topo::FatTree::Layer::Rack).size(),
+              tree.links(topo::FatTree::Layer::Aggregation).size(),
+              tree.links(topo::FatTree::Layer::Core).size());
+  const double inner = 4 * tc.rack_delay.us();
+  const double pod = 2 * (2 * tc.rack_delay.us() + 2 * tc.agg_delay.us());
+  const double inter = 2 * (2 * tc.rack_delay.us() + 2 * tc.agg_delay.us() + 2 * tc.core_delay.us());
+  std::printf("base RTTs (no queueing): inner-rack %.0fus, inter-rack %.0fus, inter-pod %.0fus\n",
+              inner, pod, inter);
+  return 0;
+}
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: xmpsim <run|fluid|sweep|topo> [--key=value ...]\n"
+               "see the header of apps/xmpsim.cpp for the full flag list\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    usage();
+    return 2;
+  }
+  const std::string cmd = argv[1];
+  Args args{argc, argv};
+  if (cmd == "run") return cmd_run(args);
+  if (cmd == "fluid") return cmd_fluid(args);
+  if (cmd == "sweep") return cmd_sweep(args);
+  if (cmd == "topo") return cmd_topo(args);
+  usage();
+  return 2;
+}

@@ -1,0 +1,101 @@
+// Ablation (paper §2.1, Eq. 1): sweep the marking threshold K and the
+// reduction factor beta for BOS flows on a 1 Gbps bottleneck and measure
+// utilization, queue occupancy and RTT.
+//
+// Eq. 1 predicts full utilization iff K >= BDP/(beta-1); below the bound,
+// utilization degrades (partially compensated by the smaller RTT, §2.1);
+// above it, latency grows with no throughput benefit. This regenerates the
+// reasoning behind the paper's choice beta = 4, K = 10 for 1 Gbps DCNs.
+//
+// Usage: bench_ablation_bos_params [--flows=2] [--sim=1.5]
+
+#include "common.hpp"
+
+using namespace xmp;
+
+namespace {
+
+struct Outcome {
+  double utilization;
+  double queue_mean;
+  double queue_p95;
+  double srtt_ms;
+};
+
+Outcome run_case(int beta, int mark_k, int n_flows, double sim_s) {
+  sim::Scheduler sched;
+  net::Network network{sched};
+  topo::PinnedPaths::Config tc;
+  tc.bottlenecks = {{1'000'000'000, sim::Time::microseconds(150)}};  // BDP ~ 28 pkts
+  tc.bottleneck_queue.kind = net::QueueConfig::Kind::EcnThreshold;
+  tc.bottleneck_queue.capacity_packets = 250;
+  tc.bottleneck_queue.mark_threshold = static_cast<std::size_t>(mark_k);
+  tc.access_delay = sim::Time::microseconds(10);
+  tc.inner_delay = sim::Time::microseconds(10);
+  topo::PinnedPaths testbed{network, tc};
+
+  std::vector<std::unique_ptr<transport::Flow>> flows;
+  for (int i = 0; i < n_flows; ++i) {
+    auto pair = testbed.add_pair({0});
+    transport::Flow::Config fc;
+    fc.id = static_cast<net::FlowId>(i + 1);
+    fc.size_bytes = 1'000'000'000'000LL;
+    fc.cc.kind = transport::CcConfig::Kind::Bos;
+    fc.cc.bos.beta = beta;
+    fc.path_tag = 0;
+    fc.path_tag_explicit = true;
+    flows.push_back(std::make_unique<transport::Flow>(sched, *pair.src, *pair.dst, fc));
+    flows.back()->start();
+  }
+
+  stats::GaugeProbe queue{sched, sim::Time::microseconds(100), [&] {
+    return static_cast<double>(testbed.bottleneck(0).queue().len_packets());
+  }};
+  stats::UtilizationWindow util{sched};
+  // Skip the slow-start transient.
+  sched.schedule_at(sim::Time::seconds(sim_s * 0.2), [&] {
+    queue.start();
+    util.open({&testbed.bottleneck(0)});
+  });
+  sched.run_until(sim::Time::seconds(sim_s));
+
+  Outcome out{};
+  out.utilization = util.close().at(0);
+  stats::Distribution qd;
+  for (double v : queue.samples()) qd.add(v);
+  out.queue_mean = qd.mean();
+  out.queue_p95 = qd.percentile(95);
+  double srtt = 0.0;
+  for (const auto& f : flows) srtt += f->sender().srtt().ms();
+  out.srtt_ms = srtt / n_flows;
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::Args args{argc, argv};
+  const int n_flows = static_cast<int>(args.get_i("flows", 2));
+  const double sim_s = args.get("sim", 1.5);
+
+  bench::print_banner("bench_ablation_bos_params",
+                      "Design ablation for Eq. 1: K >= BDP/(beta-1) (paper §2.1)");
+  std::printf("1 Gbps bottleneck, base RTT ~340 us -> BDP ~28 packets; %d BOS flows\n\n",
+              n_flows);
+  std::printf("%5s %5s %7s %12s %11s %10s %9s\n", "beta", "K", "K_min", "utilization",
+              "queue_mean", "queue_p95", "srtt(ms)");
+  for (int beta : {2, 3, 4, 5, 6}) {
+    const int k_min = (28 + beta - 2) / (beta - 1);  // ceil(BDP/(beta-1))
+    for (double mult : {0.5, 1.0, 2.0, 4.0}) {
+      const int mark_k = std::max(1, static_cast<int>(k_min * mult));
+      const Outcome o = run_case(beta, mark_k, n_flows, sim_s);
+      std::printf("%5d %5d %7d %12.3f %11.1f %10.0f %9.3f%s\n", beta, mark_k, k_min,
+                  o.utilization, o.queue_mean, o.queue_p95, o.srtt_ms,
+                  mult == 1.0 ? "   <- Eq.1 bound" : "");
+    }
+  }
+  std::printf("\npaper shape: utilization saturates once K passes BDP/(beta-1); pushing\n"
+              "K further only buys queueing delay. beta=4, K~10 is the sweet spot at\n"
+              "1 Gbps / RTT <= 400 us.\n");
+  return 0;
+}

@@ -1,0 +1,138 @@
+// Micro-benchmarks of the simulator substrate (google-benchmark): event
+// scheduling, queue disciplines, link forwarding, end-to-end transport and
+// Fat-Tree construction. These are regression guards for the hot paths
+// that determine how large an evaluation fits in a given wall-clock budget.
+
+#include <benchmark/benchmark.h>
+
+#include "core/xmp.hpp"
+
+using namespace xmp;
+
+namespace {
+
+void BM_SchedulerScheduleDispatch(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Scheduler sched;
+    const int n = static_cast<int>(state.range(0));
+    for (int i = 0; i < n; ++i) {
+      sched.schedule_at(sim::Time::nanoseconds(i), [] {});
+    }
+    sched.run();
+    benchmark::DoNotOptimize(sched.dispatched());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SchedulerScheduleDispatch)->Arg(1000)->Arg(100000);
+
+void BM_SchedulerTimerChurn(benchmark::State& state) {
+  // Schedule + cancel pattern (the RTO-timer workload).
+  for (auto _ : state) {
+    sim::Scheduler sched;
+    sim::EventId pending = sim::kInvalidEventId;
+    for (int i = 0; i < 10000; ++i) {
+      sched.cancel(pending);
+      pending = sched.schedule_at(sim::Time::nanoseconds(1000000 + i), [] {});
+    }
+    sched.run();
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_SchedulerTimerChurn);
+
+void BM_EcnQueueEnqueueDequeue(benchmark::State& state) {
+  net::EcnThresholdQueue q{100, 10};
+  net::Packet p;
+  p.ecn = net::Ecn::Ect;
+  for (auto _ : state) {
+    net::Packet in = p;
+    benchmark::DoNotOptimize(q.enqueue(std::move(in), sim::Time::zero()));
+    net::Packet out;
+    benchmark::DoNotOptimize(q.dequeue(out, sim::Time::zero()));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EcnQueueEnqueueDequeue);
+
+void BM_RedQueueEnqueueDequeue(benchmark::State& state) {
+  net::RedQueue q{100, {}};
+  net::Packet p;
+  p.ecn = net::Ecn::Ect;
+  for (auto _ : state) {
+    net::Packet in = p;
+    benchmark::DoNotOptimize(q.enqueue(std::move(in), sim::Time::zero()));
+    net::Packet out;
+    benchmark::DoNotOptimize(q.dequeue(out, sim::Time::zero()));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RedQueueEnqueueDequeue);
+
+void BM_EndToEndTransfer(benchmark::State& state) {
+  // Full transport stack: one 10 MB BOS flow over a 10 Gbps pipe.
+  for (auto _ : state) {
+    sim::Scheduler sched;
+    net::Network network{sched};
+    net::QueueConfig q;
+    q.kind = net::QueueConfig::Kind::EcnThreshold;
+    q.capacity_packets = 100;
+    q.mark_threshold = 60;
+    net::Host& a = network.add_host();
+    net::Host& b = network.add_host();
+    net::Link& ab = network.add_link(b, 10'000'000'000, sim::Time::microseconds(10), q);
+    net::Link& ba = network.add_link(a, 10'000'000'000, sim::Time::microseconds(10), q);
+    a.attach_uplink(ab);
+    b.attach_uplink(ba);
+    transport::Flow::Config fc;
+    fc.id = 1;
+    fc.size_bytes = 10'000'000;
+    fc.cc.kind = transport::CcConfig::Kind::Bos;
+    transport::Flow f{sched, a, b, fc};
+    f.start();
+    sched.run_until(sim::Time::seconds(1.0));
+    benchmark::DoNotOptimize(f.complete());
+    state.counters["events/s"] = benchmark::Counter(
+        static_cast<double>(sched.dispatched()), benchmark::Counter::kIsIterationInvariantRate);
+  }
+  state.SetBytesProcessed(state.iterations() * 10'000'000);
+}
+BENCHMARK(BM_EndToEndTransfer)->Unit(benchmark::kMillisecond);
+
+void BM_FatTreeConstruction(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Scheduler sched;
+    net::Network network{sched};
+    topo::FatTree::Config tc;
+    tc.k = k;
+    topo::FatTree tree{network, tc};
+    benchmark::DoNotOptimize(tree.n_hosts());
+  }
+}
+BENCHMARK(BM_FatTreeConstruction)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
+
+void BM_FatTreePermutationRound(benchmark::State& state) {
+  // One permutation round of small XMP-2 flows on a k=4 tree: the
+  // composite "whole system" cost.
+  for (auto _ : state) {
+    core::ExperimentConfig cfg;
+    cfg.fat_tree_k = 4;
+    cfg.scheme.kind = workload::SchemeSpec::Kind::Xmp;
+    cfg.scheme.subflows = 2;
+    cfg.pattern = core::Pattern::Permutation;
+    cfg.permutation_rounds = 1;
+    cfg.perm_min_bytes = 250'000;
+    cfg.perm_max_bytes = 500'000;
+    cfg.duration = sim::Time::seconds(2.0);
+    const auto res = core::run_experiment(cfg);
+    benchmark::DoNotOptimize(res.goodput.count());
+    state.counters["events/s"] = benchmark::Counter(
+        static_cast<double>(res.events_dispatched),
+        benchmark::Counter::kIsIterationInvariantRate);
+  }
+}
+BENCHMARK(BM_FatTreePermutationRound)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

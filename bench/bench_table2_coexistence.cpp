@@ -1,0 +1,77 @@
+// Table 2: XMP-2 coexisting with LIA-2 / TCP / DCTCP in the Random pattern
+// (half of the hosts run XMP, the other half the second scheme), for queue
+// sizes 50 and 100 packets.
+//
+// Expected shape (paper §5.2.2): XMP shares ~fairly with DCTCP; it beats
+// TCP decisively (TCP is loss-driven and pays RTOmin); a larger queue lets
+// loss-driven schemes (LIA/TCP) claw back bandwidth while XMP relinquishes
+// some (more standing queue -> more ECN marks for XMP).
+//
+// Usage: bench_table2_coexistence [--k=8] [--duration=0.5] [--seed=1] [--quick]
+
+#include <map>
+
+#include "common.hpp"
+
+using namespace xmp;
+
+int main(int argc, char** argv) {
+  bench::Args args{argc, argv};
+  const int k = static_cast<int>(args.get_i("k", 8));
+  const bool quick = args.has("quick");
+  const double duration = args.get("duration", quick ? 0.25 : 0.5);
+  const auto seed = static_cast<std::uint64_t>(args.get_i("seed", 1));
+
+  bench::print_banner("bench_table2_coexistence",
+                      "Table 2 (XMP-2 vs LIA-2 / TCP / DCTCP, Random pattern, queue 50/100)");
+
+  struct Pairing {
+    const char* name;
+    workload::SchemeSpec::Kind kind;
+    int subflows;
+    std::array<double, 2> paper_xmp;    // queue 50, 100
+    std::array<double, 2> paper_other;
+  };
+  const Pairing pairings[] = {
+      {"LIA", workload::SchemeSpec::Kind::Lia, 2, {463.4, 423.2}, {314.3, 388.3}},
+      {"TCP", workload::SchemeSpec::Kind::Tcp, 1, {522.9, 501.8}, {175.3, 243.4}},
+      {"DCTCP", workload::SchemeSpec::Kind::Dctcp, 1, {485.4, 481.4}, {485.3, 493.5}},
+  };
+
+  std::printf("\nAverage goodput (Mbps), measured (paper):\n");
+  std::printf("%-14s %26s %26s\n", "", "queue = 50 pkts", "queue = 100 pkts");
+  for (const auto& p : pairings) {
+    std::printf("XMP : %-8s", p.name);
+    for (int qi = 0; qi < 2; ++qi) {
+      const std::size_t qsize = qi == 0 ? 50 : 100;
+      core::ExperimentConfig cfg;
+      cfg.scheme.kind = workload::SchemeSpec::Kind::Xmp;
+      cfg.scheme.subflows = 2;
+      workload::SchemeSpec other;
+      other.kind = p.kind;
+      other.subflows = p.subflows;
+      cfg.scheme_b = other;
+      cfg.pattern = core::Pattern::Random;
+      cfg.fat_tree_k = k;
+      cfg.queue_capacity = qsize;
+      cfg.duration = sim::Time::seconds(duration);
+      cfg.seed = seed;
+      if (quick) {
+        cfg.rand_min_bytes /= 4;
+        cfg.rand_max_bytes /= 4;
+      }
+      const auto res = core::run_experiment(cfg);
+      char buf[80];
+      std::snprintf(buf, sizeof buf, "%5.1f:%5.1f (%5.1f:%5.1f)", res.avg_goodput_mbps(),
+                    res.avg_goodput_b_mbps(), p.paper_xmp[static_cast<std::size_t>(qi)],
+                    p.paper_other[static_cast<std::size_t>(qi)]);
+      std::printf(" %26s", buf);
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\npaper shape: XMP ~ DCTCP (both ECN-driven); XMP >> TCP; larger queue\n"
+              "helps LIA/TCP (loss-driven) and costs XMP a little.\n");
+  return 0;
+}

@@ -1,0 +1,134 @@
+// Extending the library with your own congestion controller.
+//
+// The transport layer accepts any CongestionControl implementation. Here we
+// write "BOS-AD", a toy variant of the paper's BOS that adapts the
+// reduction factor beta to the observed marking intensity (many CEs per
+// ack -> cut harder), and race it against stock BOS(beta=4) on a shared
+// 1 Gbps ECN bottleneck.
+//
+//   $ ./custom_scheme
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <memory>
+
+#include "core/xmp.hpp"
+
+namespace {
+
+using namespace xmp;
+
+/// BOS with an adaptive reduction factor: beta floats in [3, 8] following
+/// an EWMA of the echoed CE count (the XMP codec reports 0..3 per ack).
+class AdaptiveBos final : public transport::CongestionControl {
+ public:
+  void on_round_end(transport::TcpSender& s) override {
+    if (!reduced_ && !s.in_slow_start()) {
+      adder_ += 1.0;
+      const double whole = std::floor(adder_);
+      s.set_cwnd(s.cwnd() + whole);
+      adder_ -= whole;
+    }
+  }
+
+  void on_ack(transport::TcpSender& s, const transport::AckEvent& ev) override {
+    if (ev.dupack) return;
+    ce_ewma_ = 0.9 * ce_ewma_ + 0.1 * ev.ce_count;
+    if (!reduced_ && s.in_slow_start()) s.set_cwnd(s.cwnd() + 1.0);
+    if (reduced_ && s.snd_una() >= cwr_seq_) reduced_ = false;
+  }
+
+  void on_congestion_signal(transport::TcpSender& s, const transport::AckEvent&) override {
+    if (reduced_) return;
+    reduced_ = true;
+    cwr_seq_ = s.snd_nxt();
+    // Busier marking -> closer to halving; sparse marking -> gentle cut.
+    const double beta = std::clamp(8.0 - 2.5 * ce_ewma_, 3.0, 8.0);
+    if (s.cwnd() > s.ssthresh()) {
+      const double cut = std::max(std::floor(s.cwnd() / beta), 1.0);
+      s.set_cwnd(std::max(s.cwnd() - cut, 2.0));
+    }
+    s.set_ssthresh(s.cwnd() - 1.0);
+  }
+
+  void on_loss(transport::TcpSender& s, bool timeout) override {
+    s.set_ssthresh(std::max(s.cwnd() / 2.0, 2.0));
+    s.set_cwnd(timeout ? s.config().min_cwnd : s.ssthresh());
+    reduced_ = false;
+  }
+
+  const char* name() const override { return "bos-adaptive"; }
+
+ private:
+  double ce_ewma_ = 0.0;
+  double adder_ = 0.0;
+  bool reduced_ = false;
+  std::int64_t cwr_seq_ = 0;
+};
+
+}  // namespace
+
+int main() {
+  using namespace xmp;
+
+  sim::Scheduler sched;
+  net::Network network{sched};
+  topo::PinnedPaths::Config tc;
+  tc.bottlenecks = {{1'000'000'000, sim::Time::microseconds(100)}};
+  tc.bottleneck_queue.kind = net::QueueConfig::Kind::EcnThreshold;
+  tc.bottleneck_queue.capacity_packets = 100;
+  tc.bottleneck_queue.mark_threshold = 10;
+  topo::PinnedPaths testbed{network, tc};
+
+  // Stock BOS flow (via the Flow facade).
+  auto p1 = testbed.add_pair({0});
+  transport::Flow::Config fc;
+  fc.id = 1;
+  fc.size_bytes = 500'000'000;
+  fc.cc.kind = transport::CcConfig::Kind::Bos;
+  fc.path_tag = 0;
+  fc.path_tag_explicit = true;
+  transport::Flow stock{sched, *p1.src, *p1.dst, fc};
+
+  // Custom controller, assembled from the raw transport pieces.
+  auto p2 = testbed.add_pair({0});
+  transport::FixedSource source{net::segments_for_bytes(500'000'000)};
+  transport::SenderConfig sc;
+  sc.ecn_capable = true;
+  sc.min_cwnd = 2.0;
+  transport::ReceiverConfig rc;
+  rc.codec = transport::EcnCodec::XmpCounter;
+  transport::TcpReceiver receiver{sched, *p2.dst, p2.src->id(), 2, 0, 0, rc};
+  transport::TcpSender sender{sched, *p2.src,  p2.dst->id(), 2, 0, 0,
+                              source, std::make_unique<AdaptiveBos>(), sc};
+
+  stock.start();
+  sender.start();
+
+  stats::GaugeProbe queue{sched, sim::Time::milliseconds(1), [&] {
+    return static_cast<double>(testbed.bottleneck(0).queue().len_packets());
+  }};
+  queue.start();
+
+  sched.run_until(sim::Time::seconds(2.0));
+
+  const double t = sched.now().sec();
+  const double stock_mbps =
+      static_cast<double>(stock.delivered_bytes()) * 8 / t / 1e6;
+  const double custom_mbps =
+      static_cast<double>(sender.delivered_segments()) * net::kMssBytes * 8 / t / 1e6;
+  stats::Distribution q;
+  for (double v : queue.samples()) q.add(v);
+
+  std::printf("shared 1 Gbps bottleneck, ECN K=10, 2.0 s:\n");
+  std::printf("  stock BOS(beta=4): %7.1f Mbps\n", stock_mbps);
+  std::printf("  custom AdaptiveBos: %6.1f Mbps (cc name: %s)\n", custom_mbps,
+              sender.cc().name());
+  std::printf("  queue occupancy: mean %.1f pkts, p95 %.0f pkts\n", q.mean(), q.percentile(95));
+  std::printf("  fairness (Jain): %.3f\n", stats::jain_index({stock_mbps, custom_mbps}));
+  std::printf("\nnote: the adaptive variant cuts gently while marking is sparse, so it\n"
+              "out-competes stock BOS — a live demonstration of why heterogeneous\n"
+              "reduction factors break fairness (paper §2.1's argument for one beta).\n");
+  return 0;
+}

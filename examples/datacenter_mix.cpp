@@ -1,0 +1,61 @@
+// The paper's motivating scenario (§1): throughput-sensitive large flows
+// and latency-sensitive small flows sharing a k=8 Fat-Tree. Runs the
+// Incast pattern (8 concurrent jobs + one background large flow per host)
+// under DCTCP, LIA-2 and XMP-2 and prints the throughput/latency tradeoff
+// each scheme strikes.
+//
+//   $ ./datacenter_mix [--duration=0.3]
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "core/xmp.hpp"
+
+int main(int argc, char** argv) {
+  using namespace xmp;
+
+  double duration = 0.3;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--duration=", 11) == 0) duration = std::atof(argv[i] + 11);
+  }
+
+  struct SchemeRow {
+    const char* label;
+    workload::SchemeSpec::Kind kind;
+    int subflows;
+  };
+  const SchemeRow schemes[] = {
+      {"DCTCP", workload::SchemeSpec::Kind::Dctcp, 1},
+      {"LIA-2", workload::SchemeSpec::Kind::Lia, 2},
+      {"XMP-2", workload::SchemeSpec::Kind::Xmp, 2},
+  };
+
+  std::printf("Incast pattern on a k=8 Fat-Tree (128 hosts, 1 Gbps, K=10)\n");
+  std::printf("large flows use the scheme under test; small flows always use TCP\n\n");
+  std::printf("%-8s %16s %16s %14s %12s\n", "scheme", "goodput (Mbps)", "job avg (ms)",
+              "jobs >300ms", "p90 RTT(ms)");
+
+  for (const auto& s : schemes) {
+    core::ExperimentConfig cfg;
+    cfg.scheme.kind = s.kind;
+    cfg.scheme.subflows = s.subflows;
+    cfg.pattern = core::Pattern::Incast;
+    cfg.duration = sim::Time::seconds(duration);
+    const auto res = core::run_experiment(cfg);
+
+    // Worst-case large-flow RTT across categories ~ buffer occupancy.
+    double p90_rtt = 0.0;
+    for (const auto& d : res.rtt_by_category) {
+      if (!d.empty()) p90_rtt = std::max(p90_rtt, d.percentile(90));
+    }
+    std::printf("%-8s %16.1f %16.1f %13.1f%% %12.2f\n", s.label, res.avg_goodput_mbps(),
+                res.avg_job_completion_ms(), res.job_completion_over_ms(300.0) * 100, p90_rtt);
+  }
+
+  std::printf("\nreading: DCTCP minimizes job latency but leaves throughput on the\n"
+              "table; LIA maximizes neither (drop-tail queues + 200 ms RTOmin hurt\n"
+              "both sides); XMP takes most of the multipath throughput while keeping\n"
+              "jobs fast — the tradeoff the paper targets.\n");
+  return 0;
+}

@@ -1,0 +1,205 @@
+#include "core/experiment.hpp"
+
+#include <memory>
+
+#include "net/network.hpp"
+#include "sim/random.hpp"
+#include "sim/scheduler.hpp"
+#include "stats/probes.hpp"
+#include "workload/permutation.hpp"
+#include "workload/random_traffic.hpp"
+
+namespace xmp::core {
+
+const char* pattern_name(Pattern p) {
+  switch (p) {
+    case Pattern::Permutation:
+      return "Permutation";
+    case Pattern::Random:
+      return "Random";
+    case Pattern::Incast:
+      return "Incast";
+  }
+  return "?";
+}
+
+double ExperimentResults::avg_job_completion_ms() const {
+  stats::Distribution d;
+  for (const auto& j : jobs) {
+    if (j.completed) d.add(j.completion_time().ms());
+  }
+  return d.mean();
+}
+
+double ExperimentResults::job_completion_over_ms(double threshold_ms) const {
+  std::size_t total = 0;
+  std::size_t over = 0;
+  for (const auto& j : jobs) {
+    if (!j.completed) continue;
+    ++total;
+    if (j.completion_time().ms() > threshold_ms) ++over;
+  }
+  if (total == 0) return 0.0;
+  return static_cast<double>(over) / static_cast<double>(total);
+}
+
+ExperimentResults run_experiment(const ExperimentConfig& cfg) {
+  sim::Scheduler sched;
+  net::Network netw{sched};
+
+  topo::FatTree::Config tc;
+  tc.k = cfg.fat_tree_k;
+  tc.queue.kind = net::QueueConfig::Kind::EcnThreshold;
+  tc.queue.capacity_packets = cfg.queue_capacity;
+  tc.queue.mark_threshold = cfg.mark_threshold;
+  topo::FatTree tree{netw, tc};
+
+  sim::Rng rng{cfg.seed};
+
+  workload::FlowManager flows_a{sched, cfg.scheme};
+  std::unique_ptr<workload::FlowManager> flows_b;
+  if (cfg.scheme_b) {
+    // Disjoint id space: flow ids are endpoint demux keys at the hosts.
+    flows_b = std::make_unique<workload::FlowManager>(sched, *cfg.scheme_b,
+                                                      net::FlowId{1} << 24);
+  }
+
+  // --- workload ---
+  std::unique_ptr<workload::PermutationTraffic> perm;
+  std::unique_ptr<workload::RandomTraffic> rand_a;
+  std::unique_ptr<workload::RandomTraffic> rand_b;
+  std::unique_ptr<workload::IncastTraffic> incast;
+  std::unique_ptr<workload::RandomTraffic> incast_bg;
+
+  switch (cfg.pattern) {
+    case Pattern::Permutation: {
+      workload::PermutationTraffic::Config pc;
+      pc.min_bytes = cfg.perm_min_bytes;
+      pc.max_bytes = cfg.perm_max_bytes;
+      pc.rounds = cfg.permutation_rounds;
+      perm = std::make_unique<workload::PermutationTraffic>(sched, tree, flows_a, rng.split(), pc);
+      perm->set_on_done([&sched] { sched.stop(); });
+      perm->start();
+      break;
+    }
+    case Pattern::Random: {
+      workload::RandomTraffic::Config rc;
+      rc.min_bytes = cfg.rand_min_bytes;
+      rc.max_bytes = cfg.rand_max_bytes;
+      if (flows_b) {
+        // Coexistence: even hosts use scheme A, odd hosts scheme B.
+        workload::RandomTraffic::Config rc_b = rc;
+        for (int h = 0; h < tree.n_hosts(); ++h) {
+          (h % 2 == 0 ? rc.senders : rc_b.senders).push_back(h);
+        }
+        rand_b = std::make_unique<workload::RandomTraffic>(sched, tree, *flows_b, rng.split(), rc_b);
+      }
+      rand_a = std::make_unique<workload::RandomTraffic>(sched, tree, flows_a, rng.split(), rc);
+      rand_a->start();
+      if (rand_b) rand_b->start();
+      break;
+    }
+    case Pattern::Incast: {
+      incast = std::make_unique<workload::IncastTraffic>(sched, tree, flows_a, rng.split(),
+                                                         cfg.incast);
+      workload::RandomTraffic::Config rc;
+      rc.min_bytes = cfg.rand_min_bytes;
+      rc.max_bytes = cfg.rand_max_bytes;
+      rc.exclude_same_rack = true;  // paper footnote 8
+      incast_bg = std::make_unique<workload::RandomTraffic>(sched, tree, flows_a, rng.split(), rc);
+      incast->start();
+      incast_bg->start();
+      break;
+    }
+  }
+
+  // --- probes ---
+  ExperimentResults res;
+
+  // The gauge hook samples into the category distributions directly; the
+  // probe machinery just provides the periodic tick.
+  stats::GaugeProbe rtt_tick{sched, cfg.rtt_sample_interval, [&] {
+    auto sample = [&](const workload::FlowManager& fm) {
+      fm.for_each_active_large_sender(
+          [&](const workload::FlowRecord& rec, const transport::TcpSender& s) {
+            if (!s.has_rtt_sample()) return;
+            const auto cat = tree.category(rec.src_host, rec.dst_host);
+            res.rtt_by_category[static_cast<int>(cat)].add(s.srtt().ms());
+          });
+    };
+    sample(flows_a);
+    if (flows_b) sample(*flows_b);
+    return 0.0;
+  }};
+  rtt_tick.start();
+
+  stats::UtilizationWindow util{sched};
+  std::vector<net::Link*> all_links;
+  std::array<std::pair<std::size_t, std::size_t>, 3> layer_ranges;
+  {
+    std::size_t off = 0;
+    for (int l = 0; l < 3; ++l) {
+      const auto& ls = tree.links(static_cast<topo::FatTree::Layer>(l));
+      all_links.insert(all_links.end(), ls.begin(), ls.end());
+      layer_ranges[l] = {off, off + ls.size()};
+      off += ls.size();
+    }
+  }
+  util.open(all_links);
+
+  // --- run ---
+  sched.run_until(cfg.duration);
+
+  // --- collect ---
+  const auto utils = util.close();
+  for (int l = 0; l < 3; ++l) {
+    for (std::size_t i = layer_ranges[l].first; i < layer_ranges[l].second; ++i) {
+      res.utilization_by_layer[l].add(utils[i]);
+      res.queue_occupancy_by_layer[l].add(all_links[i]->queue().mean_occupancy(sched.now()));
+    }
+  }
+
+  auto collect_flows = [&](const workload::FlowManager& fm, int scheme_index) {
+    for (const auto& rec : fm.records()) {
+      res.flows.push_back(rec);
+      res.flow_category.push_back(tree.category(rec.src_host, rec.dst_host));
+      res.flow_scheme.push_back(scheme_index);
+      if (rec.large && rec.completed) {
+        const double mbps = rec.goodput_bps() / 1e6;
+        (scheme_index == 0 ? res.goodput : res.goodput_b).add(mbps);
+        if (scheme_index == 0) {
+          res.goodput_by_category[static_cast<int>(tree.category(rec.src_host, rec.dst_host))]
+              .add(mbps);
+        }
+      }
+    }
+  };
+  collect_flows(flows_a, 0);
+  if (flows_b) collect_flows(*flows_b, 1);
+
+  // Fixed-horizon runs cut slow flows off mid-transfer; dropping them would
+  // bias mean goodput toward fast schemes (survivorship). Count a partial
+  // flow at its average rate so far, provided it ran long enough for the
+  // estimate to be meaningful.
+  auto collect_partials = [&](const workload::FlowManager& fm, int scheme_index) {
+    fm.for_each_partial_large([&](const workload::FlowRecord& rec, std::int64_t bytes) {
+      const sim::Time ran = sched.now() - rec.start;
+      if (ran < sim::Time::milliseconds(20) || bytes < 128 * net::kMssBytes) return;
+      const double mbps = static_cast<double>(bytes) * 8.0 / ran.sec() / 1e6;
+      (scheme_index == 0 ? res.goodput : res.goodput_b).add(mbps);
+      if (scheme_index == 0) {
+        res.goodput_by_category[static_cast<int>(tree.category(rec.src_host, rec.dst_host))]
+            .add(mbps);
+      }
+    });
+  };
+  collect_partials(flows_a, 0);
+  if (flows_b) collect_partials(*flows_b, 1);
+
+  if (incast) res.jobs = incast->jobs();
+  res.sim_duration = sched.now();
+  res.events_dispatched = sched.dispatched();
+  return res;
+}
+
+}  // namespace xmp::core

@@ -1,0 +1,98 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "sim/time.hpp"
+#include "stats/distribution.hpp"
+#include "topo/fattree.hpp"
+#include "workload/flow_manager.hpp"
+#include "workload/incast.hpp"
+#include "workload/scheme.hpp"
+
+namespace xmp::core {
+
+/// Which of the paper's §5.2.1 traffic patterns to run.
+enum class Pattern { Permutation, Random, Incast };
+
+[[nodiscard]] const char* pattern_name(Pattern p);
+
+/// Declarative configuration of one Fat-Tree evaluation run (the setting of
+/// the paper's Tables 1–3 and Figures 8–11).
+struct ExperimentConfig {
+  workload::SchemeSpec scheme;
+  /// When set, the sending hosts are split evenly between `scheme` and
+  /// `scheme_b` (the Table 2 coexistence scenarios).
+  std::optional<workload::SchemeSpec> scheme_b;
+
+  Pattern pattern = Pattern::Permutation;
+
+  int fat_tree_k = 8;
+  std::size_t queue_capacity = 100;  ///< packets
+  std::size_t mark_threshold = 10;   ///< K
+
+  /// Large-flow sizes. Paper: 64–512 MB uniform (Permutation) and
+  /// Pareto(1.5, mean 192 MB, cap 768 MB) (Random/Incast); defaults are
+  /// scaled 32x down — see DESIGN.md §3.
+  std::int64_t perm_min_bytes = 2'000'000;
+  std::int64_t perm_max_bytes = 16'000'000;
+  std::int64_t rand_min_bytes = 2'000'000;
+  std::int64_t rand_max_bytes = 24'000'000;
+
+  int permutation_rounds = 2;
+  /// Wall-clock (simulated) horizon for Random/Incast, and a safety cap
+  /// for Permutation.
+  sim::Time duration = sim::Time::seconds(0.6);
+
+  workload::IncastTraffic::Config incast;
+
+  std::uint64_t seed = 1;
+  sim::Time rtt_sample_interval = sim::Time::milliseconds(5);
+};
+
+/// Everything the paper reports from one run.
+struct ExperimentResults {
+  /// All transfer records (completed and not; small flows included).
+  std::vector<workload::FlowRecord> flows;
+  /// Locality category per entry of `flows`.
+  std::vector<topo::FatTree::Category> flow_category;
+  /// Which scheme issued each entry of `flows` (0 = scheme, 1 = scheme_b).
+  std::vector<int> flow_scheme;
+
+  std::vector<workload::JobRecord> jobs;
+
+  /// Goodput of completed large flows, Mbps.
+  stats::Distribution goodput;
+  std::array<stats::Distribution, 3> goodput_by_category;  ///< index = Category
+  stats::Distribution goodput_b;  ///< scheme_b flows (coexistence runs)
+
+  /// Sampled smoothed RTTs of active large flows, milliseconds.
+  std::array<stats::Distribution, 3> rtt_by_category;
+
+  /// Per-link utilization in [0,1] over the run, per layer.
+  std::array<stats::Distribution, 3> utilization_by_layer;  ///< index = Layer
+
+  /// Time-weighted mean queue occupancy (packets) per link, per layer —
+  /// the buffer-occupancy claim behind the paper's Fig. 10.
+  std::array<stats::Distribution, 3> queue_occupancy_by_layer;
+
+  sim::Time sim_duration = sim::Time::zero();
+  std::uint64_t events_dispatched = 0;
+
+  [[nodiscard]] double avg_goodput_mbps() const { return goodput.mean(); }
+  [[nodiscard]] double avg_goodput_b_mbps() const { return goodput_b.mean(); }
+
+  /// Average job completion time (ms) and the fraction exceeding 300 ms
+  /// (paper Table 3).
+  [[nodiscard]] double avg_job_completion_ms() const;
+  [[nodiscard]] double job_completion_over_ms(double threshold_ms) const;
+};
+
+/// One self-contained Fat-Tree evaluation run. Builds the topology, the
+/// workload and the scheme from the config, runs to completion, and
+/// collects the paper's metrics.
+[[nodiscard]] ExperimentResults run_experiment(const ExperimentConfig& cfg);
+
+}  // namespace xmp::core

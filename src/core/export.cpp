@@ -1,0 +1,106 @@
+#include "core/export.hpp"
+
+#include "trace/writers.hpp"
+
+namespace xmp::core {
+namespace {
+
+void write_distribution(trace::JsonWriter& json, const char* name,
+                        const stats::Distribution& d) {
+  json.key(name);
+  json.begin_object();
+  json.kv("count", static_cast<std::uint64_t>(d.count()));
+  if (!d.empty()) {
+    json.kv("mean", d.mean());
+    json.kv("min", d.min());
+    json.kv("p10", d.percentile(10));
+    json.kv("p50", d.percentile(50));
+    json.kv("p90", d.percentile(90));
+    json.kv("max", d.max());
+  }
+  json.end_object();
+}
+
+}  // namespace
+
+void export_flows_csv(const ExperimentResults& results, const std::string& path) {
+  trace::CsvWriter csv{path};
+  csv.header({"id", "src", "dst", "bytes", "large", "category", "scheme", "start_s",
+              "finish_s", "completed", "goodput_mbps"});
+  for (std::size_t i = 0; i < results.flows.size(); ++i) {
+    const auto& rec = results.flows[i];
+    csv.field(static_cast<std::uint64_t>(rec.id))
+        .field(rec.src_host)
+        .field(rec.dst_host)
+        .field(rec.bytes)
+        .field(rec.large ? 1 : 0)
+        .field(topo::FatTree::category_name(results.flow_category[i]))
+        .field(results.flow_scheme[i])
+        .field(rec.start.sec())
+        .field(rec.completed ? rec.finish.sec() : -1.0)
+        .field(rec.completed ? 1 : 0)
+        .field(rec.goodput_bps() / 1e6);
+    csv.end_row();
+  }
+}
+
+void export_summary_json(const ExperimentConfig& cfg, const ExperimentResults& results,
+                         const std::string& path) {
+  trace::JsonWriter json{path};
+  json.begin_object();
+
+  json.key("config");
+  json.begin_object();
+  json.kv("scheme", cfg.scheme.name());
+  if (cfg.scheme_b) json.kv("scheme_b", cfg.scheme_b->name());
+  json.kv("pattern", pattern_name(cfg.pattern));
+  json.kv("fat_tree_k", static_cast<std::int64_t>(cfg.fat_tree_k));
+  json.kv("queue_capacity", static_cast<std::uint64_t>(cfg.queue_capacity));
+  json.kv("mark_threshold", static_cast<std::uint64_t>(cfg.mark_threshold));
+  json.kv("duration_s", cfg.duration.sec());
+  json.kv("seed", cfg.seed);
+  json.end_object();
+
+  json.key("summary");
+  json.begin_object();
+  json.kv("sim_duration_s", results.sim_duration.sec());
+  json.kv("events", results.events_dispatched);
+  json.kv("flows", static_cast<std::uint64_t>(results.flows.size()));
+  json.kv("jobs", static_cast<std::uint64_t>(results.jobs.size()));
+  json.kv("avg_goodput_mbps", results.avg_goodput_mbps());
+  if (cfg.scheme_b) json.kv("avg_goodput_b_mbps", results.avg_goodput_b_mbps());
+  if (!results.jobs.empty()) {
+    json.kv("avg_job_completion_ms", results.avg_job_completion_ms());
+    json.kv("jobs_over_300ms", results.job_completion_over_ms(300.0));
+  }
+  json.end_object();
+
+  json.key("goodput_mbps");
+  json.begin_object();
+  write_distribution(json, "all", results.goodput);
+  for (int c = 0; c < 3; ++c) {
+    write_distribution(json, topo::FatTree::category_name(static_cast<topo::FatTree::Category>(c)),
+                       results.goodput_by_category[c]);
+  }
+  json.end_object();
+
+  json.key("rtt_ms");
+  json.begin_object();
+  for (int c = 0; c < 3; ++c) {
+    write_distribution(json, topo::FatTree::category_name(static_cast<topo::FatTree::Category>(c)),
+                       results.rtt_by_category[c]);
+  }
+  json.end_object();
+
+  json.key("utilization");
+  json.begin_object();
+  for (int l = 0; l < 3; ++l) {
+    write_distribution(json, topo::FatTree::layer_name(static_cast<topo::FatTree::Layer>(l)),
+                       results.utilization_by_layer[l]);
+  }
+  json.end_object();
+
+  json.end_object();
+}
+
+}  // namespace xmp::core

@@ -1,0 +1,18 @@
+#pragma once
+
+#include <string>
+
+#include "core/experiment.hpp"
+
+namespace xmp::core {
+
+/// Write one row per transfer (large and small) to a CSV file:
+/// id,src,dst,bytes,large,category,scheme,start_s,finish_s,completed,goodput_mbps
+void export_flows_csv(const ExperimentResults& results, const std::string& path);
+
+/// Write the experiment configuration and summary metrics (goodput,
+/// job-completion, RTT and utilization distributions) as a JSON document.
+void export_summary_json(const ExperimentConfig& cfg, const ExperimentResults& results,
+                         const std::string& path);
+
+}  // namespace xmp::core

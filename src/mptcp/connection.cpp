@@ -1,0 +1,230 @@
+#include "mptcp/connection.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "mptcp/lia_cc.hpp"
+#include "mptcp/olia_cc.hpp"
+#include "mptcp/xmp_cc.hpp"
+#include "net/types.hpp"
+#include "transport/cc/reno.hpp"
+#include "transport/flow.hpp"
+
+namespace xmp::mptcp {
+
+/// Aggregates over the connection's *started* subflows with RTT samples.
+class MptcpConnection::Context final : public CouplingContext {
+ public:
+  explicit Context(const MptcpConnection& conn) : conn_{conn} {}
+
+  double total_rate() const override {
+    double sum = 0.0;
+    for_each_measured([&](const transport::TcpSender& s) { sum += s.instant_rate(); });
+    return sum;
+  }
+
+  sim::Time min_srtt() const override {
+    sim::Time best = sim::Time::infinity();
+    for_each_measured([&](const transport::TcpSender& s) {
+      if (s.srtt() < best) best = s.srtt();
+    });
+    return best == sim::Time::infinity() ? sim::Time::zero() : best;
+  }
+
+  double total_cwnd() const override {
+    double sum = 0.0;
+    for (const auto& sf : conn_.subflows_) {
+      if (sf.started) sum += sf.sender->cwnd();
+    }
+    return sum;
+  }
+
+  double lia_alpha() const override {
+    // RFC 6356: alpha = cwnd_total * max_r(cwnd_r/rtt_r^2) / (Σ_r cwnd_r/rtt_r)^2
+    double max_term = 0.0;
+    double denom = 0.0;
+    int measured = 0;
+    for_each_measured([&](const transport::TcpSender& s) {
+      const double rtt = s.srtt().sec();
+      max_term = std::max(max_term, s.cwnd() / (rtt * rtt));
+      denom += s.cwnd() / rtt;
+      ++measured;
+    });
+    if (measured == 0 || denom <= 0.0) return 1.0;
+    return total_cwnd() * max_term / (denom * denom);
+  }
+
+  int subflow_count() const override {
+    int n = 0;
+    for (const auto& sf : conn_.subflows_) {
+      if (sf.started) ++n;
+    }
+    return n;
+  }
+
+  double olia_alpha(const transport::TcpSender& self) const override {
+    // Partition paths into B (best quality ℓ²/rtt) and M (largest cwnd);
+    // "collected" = B \ M. (Khalili et al. §3.)
+    constexpr double kEps = 1e-9;
+    double best_quality = -1.0;
+    double max_cwnd = -1.0;
+    for_each_measured([&](const transport::TcpSender& s) {
+      const auto* olia = dynamic_cast<const OliaCc*>(&s.cc());
+      if (olia == nullptr) return;
+      best_quality = std::max(best_quality, olia->quality() / s.srtt().sec());
+      max_cwnd = std::max(max_cwnd, s.cwnd());
+    });
+    if (best_quality < 0.0) return 0.0;
+
+    int n_collected = 0;
+    int n_max = 0;
+    bool self_collected = false;
+    bool self_max = false;
+    for_each_measured([&](const transport::TcpSender& s) {
+      const auto* olia = dynamic_cast<const OliaCc*>(&s.cc());
+      if (olia == nullptr) return;
+      const bool in_best = olia->quality() / s.srtt().sec() >= best_quality - kEps;
+      const bool in_max = s.cwnd() >= max_cwnd - kEps;
+      const bool collected = in_best && !in_max;
+      if (collected) ++n_collected;
+      if (in_max) ++n_max;
+      if (&s == &self) {
+        self_collected = collected;
+        self_max = in_max;
+      }
+    });
+    const int n = std::max(subflow_count(), 1);
+    if (self_collected && n_collected > 0) return 1.0 / (n * n_collected);
+    if (self_max && n_collected > 0 && n_max > 0) return -1.0 / (n * n_max);
+    return 0.0;
+  }
+
+ private:
+  template <typename Fn>
+  void for_each_measured(Fn&& fn) const {
+    for (const auto& sf : conn_.subflows_) {
+      if (sf.started && sf.sender->has_rtt_sample()) fn(*sf.sender);
+    }
+  }
+
+  const MptcpConnection& conn_;
+};
+
+MptcpConnection::MptcpConnection(sim::Scheduler& sched, net::Host& src, net::Host& dst,
+                                 const Config& cfg)
+    : sched_{sched}, src_{src}, dst_{dst}, cfg_{cfg} {
+  assert(cfg_.n_subflows >= 1);
+  ctx_ = std::make_unique<Context>(*this);
+  source_ = std::make_unique<transport::FixedSource>(net::segments_for_bytes(cfg_.size_bytes),
+                                                     [this] { on_source_done(); });
+
+  for (int i = 0; i < cfg_.n_subflows; ++i) {
+    const std::uint16_t tag =
+        cfg_.path_tag_fn
+            ? cfg_.path_tag_fn(i)
+            : static_cast<std::uint16_t>(
+                  net::mix64((static_cast<std::uint64_t>(cfg_.id) << 16) ^ static_cast<std::uint64_t>(i)));
+
+    const bool ecn_scheme =
+        cfg_.coupling == Coupling::Xmp || cfg_.coupling == Coupling::UncoupledBos;
+
+    transport::SenderConfig sc;
+    sc.ecn_capable = ecn_scheme;
+    sc.min_cwnd = ecn_scheme ? 2.0 : 1.0;
+    if (cfg_.tune_sender) cfg_.tune_sender(sc);
+
+    transport::ReceiverConfig rc;
+    rc.codec = ecn_scheme ? transport::EcnCodec::XmpCounter : transport::EcnCodec::None;
+
+    Subflow sf;
+    sf.receiver = std::make_unique<transport::TcpReceiver>(
+        sched_, dst_, src_.id(), cfg_.id, static_cast<std::uint16_t>(i), tag, rc);
+    sf.sender = std::make_unique<transport::TcpSender>(
+        sched_, src_, dst_.id(), cfg_.id, static_cast<std::uint16_t>(i), tag, *source_,
+        make_subflow_cc(), sc);
+    if (cfg_.n_subflows > 1) sf.sender->set_observer(this);  // reinjection hook
+    subflows_.push_back(std::move(sf));
+  }
+}
+
+MptcpConnection::~MptcpConnection() = default;
+
+const CouplingContext& MptcpConnection::context() const { return *ctx_; }
+
+std::unique_ptr<transport::CongestionControl> MptcpConnection::make_subflow_cc() {
+  switch (cfg_.coupling) {
+    case Coupling::Xmp:
+      return std::make_unique<XmpCc>(*ctx_, cfg_.bos);
+    case Coupling::Lia:
+      return std::make_unique<LiaCc>(*ctx_);
+    case Coupling::Olia:
+      return std::make_unique<OliaCc>(*ctx_);
+    case Coupling::UncoupledBos:
+      return std::make_unique<transport::BosCc>(cfg_.bos);
+    case Coupling::UncoupledReno:
+      return std::make_unique<transport::RenoCc>();
+  }
+  return nullptr;  // unreachable
+}
+
+void MptcpConnection::start() {
+  if (started_) return;
+  started_ = true;
+  start_time_ = sched_.now();
+  for (int i = 0; i < static_cast<int>(subflows_.size()); ++i) {
+    sim::Time offset = sim::Time::zero();
+    if (i < static_cast<int>(cfg_.subflow_start_offsets.size())) {
+      offset = cfg_.subflow_start_offsets[i];
+    }
+    if (offset == sim::Time::zero()) {
+      start_subflow(i);
+    } else {
+      sched_.schedule_in(offset, [this, i] { start_subflow(i); });
+    }
+  }
+}
+
+void MptcpConnection::start_subflow(int idx) {
+  if (finished_) return;  // transfer already completed before this subflow came up
+  Subflow& sf = subflows_.at(idx);
+  if (sf.started) return;
+  sf.started = true;
+  sf.sender->start();
+}
+
+void MptcpConnection::on_sender_delivered(const transport::TcpSender& /*s*/,
+                                          std::int64_t /*segments*/) {}
+
+void MptcpConnection::on_sender_timeout(const transport::TcpSender& s) {
+  // Opportunistic reinjection: on the *first* timeout of a stall, put the
+  // stalled subflow's outstanding segments back into the pool and wake the
+  // siblings. Further backoffs of the same stall must not refund again.
+  if (finished_) return;
+  if (s.rto_backoff() != 1) return;
+  const std::int64_t stuck = s.inflight();
+  if (stuck <= 0) return;
+  source_->refund(stuck);
+  for (auto& sf : subflows_) {
+    if (sf.started && sf.sender.get() != &s) sf.sender->pump();
+  }
+}
+
+void MptcpConnection::on_source_done() {
+  finished_ = true;
+  finish_time_ = sched_.now();
+  if (on_complete_) on_complete_();
+}
+
+std::int64_t MptcpConnection::delivered_bytes() const {
+  if (finished_) return cfg_.size_bytes;
+  const std::int64_t bytes = source_->delivered() * net::kMssBytes;
+  return bytes < cfg_.size_bytes ? bytes : cfg_.size_bytes;
+}
+
+double MptcpConnection::goodput_bps() const {
+  if (!finished_ || finish_time_ <= start_time_) return 0.0;
+  return static_cast<double>(cfg_.size_bytes) * 8.0 / (finish_time_ - start_time_).sec();
+}
+
+}  // namespace xmp::mptcp

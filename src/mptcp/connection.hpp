@@ -1,0 +1,113 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "mptcp/coupling.hpp"
+#include "net/network.hpp"
+#include "transport/cc/bos.hpp"
+#include "transport/receiver.hpp"
+#include "transport/segment_source.hpp"
+#include "transport/sender.hpp"
+
+namespace xmp::mptcp {
+
+/// Which coupled controller drives the subflows.
+enum class Coupling {
+  Xmp,            ///< BOS + TraSh (the paper's scheme)
+  Lia,            ///< RFC 6356 Linked Increases (baseline)
+  Olia,           ///< Opportunistic LIA (paper's future-work reference [19])
+  UncoupledBos,   ///< each subflow runs standalone BOS (fairness strawman)
+  UncoupledReno,  ///< each subflow runs plain Reno (fairness strawman)
+};
+
+/// An MPTCP connection: one logical transfer striped over several subflows,
+/// each on its own network path.
+///
+/// Data is a shared connection-level pool of segments; subflows pull from
+/// it as their windows open, so scheduling is implicit "fill the fastest
+/// pipe first". Buffers are unlimited (as configured throughout the paper),
+/// so connection-level reassembly never throttles subflows.
+///
+/// Opportunistic reinjection (as in the MPTCP v0.86 stack the paper builds
+/// on): when a subflow's retransmission timer fires, the data outstanding
+/// on it is duplicated back into the pool so sibling subflows can carry it
+/// — a stalled path delays only its own duplicates, not the transfer.
+class MptcpConnection : private transport::SenderObserver {
+ public:
+  struct Config {
+    net::FlowId id = 0;
+    std::int64_t size_bytes = 0;
+    int n_subflows = 2;
+    Coupling coupling = Coupling::Xmp;
+    transport::BosCc::Params bos;  ///< β (and fallback δ) for XMP subflows
+    /// Per-subflow establishment offsets relative to start(); missing
+    /// entries mean "immediately" (paper Fig. 6 staggers these).
+    std::vector<sim::Time> subflow_start_offsets;
+    /// Path selector per subflow index; default hashes (flow id, index).
+    std::function<std::uint16_t(int)> path_tag_fn;
+    /// Optional extra tuning applied to every subflow's sender config.
+    std::function<void(transport::SenderConfig&)> tune_sender;
+  };
+
+  MptcpConnection(sim::Scheduler& sched, net::Host& src, net::Host& dst, const Config& cfg);
+  ~MptcpConnection();
+
+  MptcpConnection(const MptcpConnection&) = delete;
+  MptcpConnection& operator=(const MptcpConnection&) = delete;
+
+  /// Begin the transfer; subflows start at their configured offsets.
+  void start();
+
+  void set_on_complete(std::function<void()> fn) { on_complete_ = std::move(fn); }
+
+  [[nodiscard]] bool complete() const { return finished_; }
+  [[nodiscard]] sim::Time start_time() const { return start_time_; }
+  [[nodiscard]] sim::Time finish_time() const { return finish_time_; }
+  [[nodiscard]] double goodput_bps() const;
+  [[nodiscard]] std::int64_t size_bytes() const { return cfg_.size_bytes; }
+  /// Bytes delivered so far (== size_bytes() once complete).
+  [[nodiscard]] std::int64_t delivered_bytes() const;
+  [[nodiscard]] net::FlowId id() const { return cfg_.id; }
+
+  [[nodiscard]] int n_subflows() const { return static_cast<int>(subflows_.size()); }
+  [[nodiscard]] transport::TcpSender& subflow_sender(int i) { return *subflows_.at(i).sender; }
+  [[nodiscard]] const transport::TcpSender& subflow_sender(int i) const {
+    return *subflows_.at(i).sender;
+  }
+
+  [[nodiscard]] const CouplingContext& context() const;
+
+ private:
+  struct Subflow {
+    std::unique_ptr<transport::TcpSender> sender;
+    std::unique_ptr<transport::TcpReceiver> receiver;
+    bool started = false;
+  };
+
+  class Context;  // CouplingContext over this connection's subflows
+
+  // transport::SenderObserver
+  void on_sender_delivered(const transport::TcpSender& s, std::int64_t segments) override;
+  void on_sender_timeout(const transport::TcpSender& s) override;
+
+  void start_subflow(int idx);
+  void on_source_done();
+  [[nodiscard]] std::unique_ptr<transport::CongestionControl> make_subflow_cc();
+
+  sim::Scheduler& sched_;
+  net::Host& src_;
+  net::Host& dst_;
+  Config cfg_;
+  std::unique_ptr<Context> ctx_;
+  std::unique_ptr<transport::FixedSource> source_;
+  std::vector<Subflow> subflows_;
+  sim::Time start_time_ = sim::Time::zero();
+  sim::Time finish_time_ = sim::Time::zero();
+  bool started_ = false;
+  bool finished_ = false;
+  std::function<void()> on_complete_;
+};
+
+}  // namespace xmp::mptcp

@@ -1,0 +1,70 @@
+#include "net/link.hpp"
+
+#include <cassert>
+
+namespace xmp::net {
+
+Link::Link(sim::Scheduler& sched, LinkId id, std::int64_t rate_bps, sim::Time prop_delay,
+           std::unique_ptr<Queue> queue, PacketSink& sink)
+    : sched_{sched},
+      id_{id},
+      rate_bps_{rate_bps},
+      prop_delay_{prop_delay},
+      queue_{std::move(queue)},
+      sink_{sink} {
+  assert(rate_bps_ > 0);
+  assert(queue_ != nullptr);
+}
+
+void Link::send(Packet p) {
+  if (down_) return;  // administratively closed: silently dropped
+  if (!queue_->enqueue(std::move(p), sched_.now())) return;  // tail drop
+  if (!transmitting_) start_transmission();
+}
+
+void Link::start_transmission() {
+  Packet p;
+  if (!queue_->dequeue(p, sched_.now())) return;
+  transmitting_ = true;
+
+  const sim::Time tx = sim::transmission_time(p.size_bytes, rate_bps_);
+  busy_ += tx;
+  bytes_sent_ += p.size_bytes;
+
+  // Deliver to the sink after serialization + propagation. The packet rides
+  // in the in-flight FIFO, so the event captures only `this`.
+  in_flight_.push_back(InFlight{std::move(p), epoch_});
+  sched_.schedule_in(tx + prop_delay_, [this] { deliver_head(); });
+  // Transmitter frees up after serialization only; a stale completion from
+  // before a set_down() must not restart the (possibly reopened) link.
+  sched_.schedule_in(tx, [this, e = epoch_] {
+    if (e == epoch_) on_transmit_complete();
+  });
+}
+
+void Link::deliver_head() {
+  assert(!in_flight_.empty());
+  InFlight head = std::move(in_flight_.front());
+  in_flight_.pop_front();
+  if (head.epoch == epoch_) sink_.receive(std::move(head.pkt));
+}
+
+void Link::on_transmit_complete() {
+  transmitting_ = false;
+  if (queue_->len_packets() > 0) start_transmission();
+}
+
+void Link::set_down(bool down) {
+  if (down == down_) return;
+  down_ = down;
+  if (down_) {
+    ++epoch_;  // cancels in-flight deliveries and the pending tx-complete
+    transmitting_ = false;
+    Packet discard;
+    while (queue_->dequeue(discard, sched_.now())) {
+      // flushed on closure
+    }
+  }
+}
+
+}  // namespace xmp::net

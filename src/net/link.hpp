@@ -1,0 +1,86 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+
+#include "net/packet.hpp"
+#include "net/queue.hpp"
+#include "sim/scheduler.hpp"
+#include "sim/time.hpp"
+
+namespace xmp::net {
+
+/// Anything that can accept a packet (the receiving end of a link).
+class PacketSink {
+ public:
+  virtual ~PacketSink() = default;
+  virtual void receive(Packet p) = 0;
+};
+
+/// Unidirectional point-to-point link: an egress queue, a serializing
+/// transmitter of fixed rate, and a propagation delay to the peer sink.
+///
+/// Store-and-forward: a packet is handed to the sink `serialization +
+/// propagation` after transmission starts. The link keeps utilization
+/// statistics (busy time, bytes) used for the paper's Figure 11.
+class Link final {
+ public:
+  Link(sim::Scheduler& sched, LinkId id, std::int64_t rate_bps, sim::Time prop_delay,
+       std::unique_ptr<Queue> queue, PacketSink& sink);
+
+  Link(const Link&) = delete;
+  Link& operator=(const Link&) = delete;
+
+  /// Enqueue a packet for transmission (dropped if the queue rejects it,
+  /// or if the link is administratively down).
+  void send(Packet p);
+
+  /// Administratively close / reopen the link (paper Fig.7: "L3 is closed").
+  /// Closing flushes the queue; packets already propagating are lost too.
+  void set_down(bool down);
+  [[nodiscard]] bool is_down() const { return down_; }
+
+  [[nodiscard]] LinkId id() const { return id_; }
+  [[nodiscard]] std::int64_t rate_bps() const { return rate_bps_; }
+  [[nodiscard]] sim::Time prop_delay() const { return prop_delay_; }
+  [[nodiscard]] const Queue& queue() const { return *queue_; }
+  [[nodiscard]] Queue& queue() { return *queue_; }
+
+  /// Total bytes fully transmitted onto the wire.
+  [[nodiscard]] std::uint64_t bytes_sent() const { return bytes_sent_; }
+  /// Cumulative time the transmitter was busy.
+  [[nodiscard]] sim::Time busy_time() const { return busy_; }
+
+ private:
+  void start_transmission();
+  void on_transmit_complete();
+  void deliver_head();
+
+  sim::Scheduler& sched_;
+  LinkId id_;
+  std::int64_t rate_bps_;
+  sim::Time prop_delay_;
+  std::unique_ptr<Queue> queue_;
+  PacketSink& sink_;
+
+  /// Packets serialized onto the wire, awaiting delivery at the sink.
+  /// Propagation delay is constant, so deliveries are FIFO; each scheduled
+  /// delivery event pops exactly one entry, and entries stamped with a
+  /// stale epoch (the link went down underneath them) are discarded. This
+  /// keeps the per-packet event captures pointer-sized (no heap
+  /// allocation in std::function).
+  struct InFlight {
+    Packet pkt;
+    std::uint64_t epoch;
+  };
+  std::deque<InFlight> in_flight_;
+
+  bool transmitting_ = false;
+  bool down_ = false;
+  std::uint64_t bytes_sent_ = 0;
+  sim::Time busy_ = sim::Time::zero();
+  std::uint64_t epoch_ = 0;  ///< invalidates in-flight deliveries on set_down
+};
+
+}  // namespace xmp::net

@@ -1,0 +1,48 @@
+#include "net/network.hpp"
+
+namespace xmp::net {
+
+Host& Network::add_host() {
+  auto h = std::make_unique<Host>(static_cast<NodeId>(nodes_.size()));
+  Host& ref = *h;
+  nodes_.push_back(std::move(h));
+  hosts_.push_back(&ref);
+  return ref;
+}
+
+Switch& Network::add_switch() {
+  auto s = std::make_unique<Switch>(static_cast<NodeId>(nodes_.size()));
+  Switch& ref = *s;
+  nodes_.push_back(std::move(s));
+  switches_.push_back(&ref);
+  return ref;
+}
+
+Link& Network::add_link(PacketSink& to, std::int64_t rate_bps, sim::Time prop_delay,
+                        const QueueConfig& qcfg) {
+  auto l = std::make_unique<Link>(sched_, static_cast<LinkId>(links_.size()), rate_bps,
+                                  prop_delay, make_queue(qcfg), to);
+  Link& ref = *l;
+  links_.push_back(std::move(l));
+  return ref;
+}
+
+void Network::attach_host(Host& h, Switch& sw, std::int64_t rate_bps, sim::Time prop_delay,
+                          const QueueConfig& qcfg) {
+  Link& up = add_link(sw, rate_bps, prop_delay, qcfg);
+  Link& down = add_link(h, rate_bps, prop_delay, qcfg);
+  h.attach_uplink(up);
+  const std::size_t port = sw.add_port(down);
+  sw.set_host_route(h.id(), port);
+}
+
+Network::PortPair Network::connect_switches(Switch& a, Switch& b, std::int64_t rate_bps,
+                                            sim::Time prop_delay, const QueueConfig& qcfg) {
+  Link& a_to_b = add_link(b, rate_bps, prop_delay, qcfg);
+  Link& b_to_a = add_link(a, rate_bps, prop_delay, qcfg);
+  const std::size_t pa = a.add_port(a_to_b);
+  const std::size_t pb = b.add_port(b_to_a);
+  return PortPair{pa, pb, &a_to_b, &b_to_a};
+}
+
+}  // namespace xmp::net

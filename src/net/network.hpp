@@ -1,0 +1,62 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "net/link.hpp"
+#include "net/node.hpp"
+#include "net/queue.hpp"
+#include "sim/scheduler.hpp"
+
+namespace xmp::net {
+
+/// Owns every node and link of a simulated network and hands out stable
+/// references. NodeIds are dense indices into the node table.
+class Network {
+ public:
+  explicit Network(sim::Scheduler& sched) : sched_{sched} {}
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  Host& add_host();
+  Switch& add_switch();
+
+  /// Create a unidirectional link delivering into `to`.
+  Link& add_link(PacketSink& to, std::int64_t rate_bps, sim::Time prop_delay,
+                 const QueueConfig& qcfg);
+
+  /// Connect host <-> switch with a symmetric pair of links; wires the host
+  /// uplink and the switch downward route.
+  void attach_host(Host& h, Switch& sw, std::int64_t rate_bps, sim::Time prop_delay,
+                   const QueueConfig& qcfg);
+
+  /// Connect two switches with a symmetric pair of links; returns the port
+  /// indices {on_a, on_b} so callers can mark them as up/down ports.
+  struct PortPair {
+    std::size_t on_a;
+    std::size_t on_b;
+    Link* a_to_b;
+    Link* b_to_a;
+  };
+  PortPair connect_switches(Switch& a, Switch& b, std::int64_t rate_bps, sim::Time prop_delay,
+                            const QueueConfig& qcfg);
+
+  [[nodiscard]] sim::Scheduler& scheduler() { return sched_; }
+  [[nodiscard]] const std::vector<std::unique_ptr<Node>>& nodes() const { return nodes_; }
+  [[nodiscard]] const std::vector<std::unique_ptr<Link>>& links() const { return links_; }
+  [[nodiscard]] std::vector<std::unique_ptr<Link>>& links() { return links_; }
+  [[nodiscard]] std::size_t host_count() const { return hosts_.size(); }
+  [[nodiscard]] Host& host(std::size_t i) { return *hosts_.at(i); }
+  [[nodiscard]] const std::vector<Host*>& hosts() const { return hosts_; }
+  [[nodiscard]] const std::vector<Switch*>& switches() const { return switches_; }
+
+ private:
+  sim::Scheduler& sched_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::vector<std::unique_ptr<Link>> links_;
+  std::vector<Host*> hosts_;
+  std::vector<Switch*> switches_;
+};
+
+}  // namespace xmp::net

@@ -1,0 +1,118 @@
+#include "net/queue.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace xmp::net {
+
+void Queue::advance_occupancy_clock(sim::Time now) {
+  if (now > last_change_) {
+    occupancy_area_ +=
+        static_cast<double>(fifo_.size()) * static_cast<double>((now - last_change_).ns());
+    last_change_ = now;
+  }
+}
+
+double Queue::mean_occupancy(sim::Time now) const {
+  if (now <= sim::Time::zero()) return 0.0;
+  const double tail = static_cast<double>(fifo_.size()) *
+                      static_cast<double>((now - last_change_).ns());
+  return (occupancy_area_ + tail) / static_cast<double>(now.ns());
+}
+
+bool Queue::dequeue(Packet& out, sim::Time now) {
+  if (fifo_.empty()) return false;
+  advance_occupancy_clock(now);
+  out = std::move(fifo_.front());
+  fifo_.pop_front();
+  assert(bytes_ >= out.size_bytes);
+  bytes_ -= out.size_bytes;
+  on_dequeue(out, now);
+  return true;
+}
+
+bool Queue::push_tail(Packet&& p, sim::Time now) {
+  advance_occupancy_clock(now);
+  if (fifo_.size() >= capacity_) {
+    ++counters_.dropped;
+    return false;
+  }
+  bytes_ += p.size_bytes;
+  fifo_.push_back(std::move(p));
+  if (fifo_.size() > peak_) peak_ = fifo_.size();
+  ++counters_.enqueued;
+  return true;
+}
+
+bool DropTailQueue::enqueue(Packet&& p, sim::Time now) {
+  return push_tail(std::move(p), now);
+}
+
+bool EcnThresholdQueue::enqueue(Packet&& p, sim::Time now) {
+  // Paper §2.1 rule 1: mark the *arriving* packet when the instantaneous
+  // queue length is larger than K. The length seen by the arriving packet
+  // is the number of packets already queued.
+  if (fifo_.size() > k_ && p.ecn == Ecn::Ect) {
+    p.ecn = Ecn::Ce;
+    ++counters_.marked;
+  }
+  return push_tail(std::move(p), now);
+}
+
+void RedQueue::set_random01(double (* /*fn*/)(std::uint64_t), std::uint64_t seed) {
+  rng_state_ = seed | 1;
+}
+
+double RedQueue::random01() {
+  // xorshift64*: deterministic, decoupled from workload RNG streams.
+  rng_state_ ^= rng_state_ >> 12;
+  rng_state_ ^= rng_state_ << 25;
+  rng_state_ ^= rng_state_ >> 27;
+  return static_cast<double>((rng_state_ * 0x2545f4914f6cdd1dULL) >> 11) * 0x1.0p-53;
+}
+
+bool RedQueue::enqueue(Packet&& p, sim::Time now) {
+  avg_ = (1.0 - p_.wq) * avg_ + p_.wq * static_cast<double>(fifo_.size());
+
+  bool congested = false;
+  // Strict comparison so that min_th == max_th == K with wq = 1 reproduces
+  // the paper's "instantaneous length larger than K" rule exactly.
+  if (avg_ > p_.max_th) {
+    congested = true;
+  } else if (avg_ > p_.min_th) {
+    const double pb = p_.max_p * (avg_ - p_.min_th) / (p_.max_th - p_.min_th);
+    // Floyd's count correction spreads marks more uniformly.
+    const double pa =
+        pb / std::max(1e-9, 1.0 - static_cast<double>(count_since_mark_) * pb);
+    ++count_since_mark_;
+    if (random01() < pa) congested = true;
+  } else {
+    count_since_mark_ = 0;
+  }
+
+  if (congested) {
+    count_since_mark_ = 0;
+    if (p_.ecn && p.ecn == Ecn::Ect) {
+      p.ecn = Ecn::Ce;
+      ++counters_.marked;
+    } else {
+      ++counters_.dropped;
+      return false;
+    }
+  }
+  return push_tail(std::move(p), now);
+}
+
+std::unique_ptr<Queue> make_queue(const QueueConfig& cfg) {
+  switch (cfg.kind) {
+    case QueueConfig::Kind::DropTail:
+      return std::make_unique<DropTailQueue>(cfg.capacity_packets);
+    case QueueConfig::Kind::EcnThreshold:
+      return std::make_unique<EcnThresholdQueue>(cfg.capacity_packets, cfg.mark_threshold);
+    case QueueConfig::Kind::Red:
+      return std::make_unique<RedQueue>(cfg.capacity_packets, cfg.red);
+  }
+  return nullptr;  // unreachable
+}
+
+}  // namespace xmp::net

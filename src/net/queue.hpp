@@ -1,0 +1,144 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+
+#include "net/packet.hpp"
+#include "sim/time.hpp"
+
+namespace xmp::net {
+
+/// Counters shared by every queue discipline.
+struct QueueCounters {
+  std::uint64_t enqueued = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t marked = 0;  ///< packets that received a CE mark here
+};
+
+/// Egress queue discipline attached to a link.
+///
+/// `enqueue` may modify the packet (ECN marking) and returns false when the
+/// packet is dropped. Queues count both packets and bytes; capacity is
+/// expressed in packets, matching the paper ("queue size of 100 packets").
+class Queue {
+ public:
+  explicit Queue(std::size_t capacity_packets) : capacity_{capacity_packets} {}
+  virtual ~Queue() = default;
+
+  Queue(const Queue&) = delete;
+  Queue& operator=(const Queue&) = delete;
+
+  /// Try to accept `p`; returns false if dropped.
+  [[nodiscard]] virtual bool enqueue(Packet&& p, sim::Time now) = 0;
+
+  /// Pop the head packet; returns false when empty.
+  [[nodiscard]] bool dequeue(Packet& out, sim::Time now);
+
+  [[nodiscard]] std::size_t len_packets() const { return fifo_.size(); }
+  [[nodiscard]] std::size_t len_bytes() const { return bytes_; }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] const QueueCounters& counters() const { return counters_; }
+
+  /// Time-weighted average occupancy (packets) over [0, now] — the paper's
+  /// "level of link buffer occupancy", measured exactly rather than by
+  /// polling. `now` must be monotone across calls (simulation time).
+  [[nodiscard]] double mean_occupancy(sim::Time now) const;
+  /// Largest instantaneous occupancy ever observed.
+  [[nodiscard]] std::size_t peak_occupancy() const { return peak_; }
+
+ protected:
+  /// FIFO admission used by subclasses after their drop/mark decision.
+  /// `now` feeds the occupancy integral.
+  bool push_tail(Packet&& p, sim::Time now);
+  virtual void on_dequeue(const Packet& /*p*/, sim::Time /*now*/) {}
+
+  std::size_t capacity_;
+  std::deque<Packet> fifo_;
+  std::size_t bytes_ = 0;
+  QueueCounters counters_;
+
+ private:
+  void advance_occupancy_clock(sim::Time now);
+
+  // Occupancy integral: Σ len · dt, in packet·nanoseconds.
+  double occupancy_area_ = 0.0;
+  sim::Time last_change_ = sim::Time::zero();
+  std::size_t peak_ = 0;
+};
+
+/// Plain FIFO drop-tail queue (what LIA/TCP see in the paper).
+class DropTailQueue final : public Queue {
+ public:
+  using Queue::Queue;
+  bool enqueue(Packet&& p, sim::Time now) override;
+};
+
+/// Drop-tail queue with the paper's packet-marking rule (§2.1): the arriving
+/// packet is marked CE iff the *instantaneous* queue length is larger than
+/// K packets. Non-ECT packets are never marked (they are dropped only on
+/// overflow), which is how the paper's plain-TCP small flows coexist.
+class EcnThresholdQueue final : public Queue {
+ public:
+  EcnThresholdQueue(std::size_t capacity_packets, std::size_t mark_threshold)
+      : Queue{capacity_packets}, k_{mark_threshold} {}
+
+  bool enqueue(Packet&& p, sim::Time now) override;
+
+  [[nodiscard]] std::size_t mark_threshold() const { return k_; }
+
+ private:
+  std::size_t k_;
+};
+
+/// Classic RED with EWMA average-queue estimation (Floyd & Jacobson).
+/// Included to reproduce the paper's argument for *not* using it: with
+/// ultra-low RTT and low statistical multiplexing the EWMA average is a
+/// poor congestion signal. Setting `wq = 1.0` and `min_th == max_th == K`
+/// degenerates RED into the paper's instantaneous-threshold rule (the
+/// "configuration trick" of §3).
+class RedQueue final : public Queue {
+ public:
+  struct Params {
+    double wq = 0.002;       ///< EWMA weight
+    double min_th = 5;       ///< packets
+    double max_th = 15;      ///< packets
+    double max_p = 0.1;      ///< marking probability at max_th
+    bool ecn = true;         ///< mark ECT packets instead of dropping
+  };
+
+  RedQueue(std::size_t capacity_packets, const Params& params)
+      : Queue{capacity_packets}, p_{params} {}
+
+  bool enqueue(Packet&& p, sim::Time now) override;
+
+  [[nodiscard]] double avg() const { return avg_; }
+
+  /// RNG hook so runs stay deterministic; defaults to a fixed seed stream.
+  void set_random01(double (*fn)(std::uint64_t), std::uint64_t seed);
+
+ private:
+  double random01();
+
+  Params p_;
+  double avg_ = 0.0;
+  std::uint64_t count_since_mark_ = 0;
+  std::uint64_t rng_state_ = 0x9e3779b97f4a7c15ULL;
+};
+
+/// Factory signature used by topology builders to instantiate one queue
+/// per link egress.
+using QueueFactory = std::unique_ptr<Queue> (*)(const struct QueueConfig&);
+
+/// Declarative queue configuration used across topologies and experiments.
+struct QueueConfig {
+  enum class Kind { DropTail, EcnThreshold, Red } kind = Kind::EcnThreshold;
+  std::size_t capacity_packets = 100;
+  std::size_t mark_threshold = 10;  ///< K, for EcnThreshold
+  RedQueue::Params red;             ///< for Red
+};
+
+/// Build a queue from a declarative config.
+[[nodiscard]] std::unique_ptr<Queue> make_queue(const QueueConfig& cfg);
+
+}  // namespace xmp::net

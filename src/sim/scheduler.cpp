@@ -1,0 +1,71 @@
+#include "sim/scheduler.hpp"
+
+#include <cassert>
+
+namespace xmp::sim {
+
+EventId Scheduler::schedule_at(Time t, Callback cb) {
+  assert(t >= now_ && "cannot schedule into the past");
+  assert(cb && "null event callback");
+  const EventId id = next_id_++;
+  heap_.push(Item{t, id, std::move(cb)});
+  return id;
+}
+
+void Scheduler::cancel(EventId id) {
+  if (id == kInvalidEventId) return;
+  cancelled_.insert(id);
+}
+
+bool Scheduler::pop_next(Item& out) {
+  while (!heap_.empty()) {
+    // priority_queue::top() is const; we move the callback out via const_cast,
+    // which is safe because we pop immediately and the heap order does not
+    // depend on the callback.
+    Item& top = const_cast<Item&>(heap_.top());
+    const bool live = cancelled_.erase(top.id) == 0;
+    if (live) {
+      out.t = top.t;
+      out.id = top.id;
+      out.cb = std::move(top.cb);
+      heap_.pop();
+      return true;
+    }
+    heap_.pop();
+  }
+  return false;
+}
+
+void Scheduler::run() {
+  stopped_ = false;
+  Item ev;
+  while (!stopped_ && pop_next(ev)) {
+    assert(ev.t >= now_);
+    now_ = ev.t;
+    ++dispatched_;
+    ev.cb();
+  }
+}
+
+void Scheduler::run_until(Time t) {
+  stopped_ = false;
+  Item ev;
+  while (!stopped_) {
+    if (heap_.empty()) break;
+    // Peek: skip cancelled heads without dispatching.
+    while (!heap_.empty() && cancelled_.count(heap_.top().id) != 0) {
+      cancelled_.erase(heap_.top().id);
+      heap_.pop();
+    }
+    if (heap_.empty() || heap_.top().t > t) break;
+    if (!pop_next(ev)) break;
+    now_ = ev.t;
+    ++dispatched_;
+    ev.cb();
+  }
+  // Advance the clock to the horizon only on a quiet completion; a stop()
+  // freezes time at the stopping event (so measurement windows stay tight).
+  if (!stopped_ && now_ < t) now_ = t;
+}
+
+}  // namespace xmp::sim

@@ -1,0 +1,80 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace xmp::sim {
+
+/// Identifier of a scheduled event; used for cancellation.
+using EventId = std::uint64_t;
+inline constexpr EventId kInvalidEventId = 0;
+
+/// Discrete-event scheduler with a virtual clock.
+///
+/// Events scheduled for the same instant fire in FIFO order, which together
+/// with the deterministic Rng makes every simulation run reproducible.
+/// Cancellation is lazy: a cancelled event stays in the heap and is skipped
+/// when popped, which keeps schedule/cancel O(log n) / O(1).
+class Scheduler {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Current virtual time.
+  [[nodiscard]] Time now() const { return now_; }
+
+  /// Schedule `cb` at absolute time `t` (must be >= now()).
+  EventId schedule_at(Time t, Callback cb);
+
+  /// Schedule `cb` after `delay` (must be >= 0).
+  EventId schedule_in(Time delay, Callback cb) { return schedule_at(now_ + delay, std::move(cb)); }
+
+  /// Cancel a pending event. Cancelling an already-fired or invalid id is a no-op.
+  void cancel(EventId id);
+
+  /// Run until no events remain or stop() is called.
+  void run();
+
+  /// Run all events with timestamp <= `t`; the clock is advanced to `t`
+  /// afterwards if the queue drained early. If stop() was called, the clock
+  /// stays at the stopping event's time.
+  void run_until(Time t);
+
+  /// Request the run loop to return after the current event.
+  void stop() { stopped_ = true; }
+
+  /// Number of live (not yet fired, not cancelled) events.
+  [[nodiscard]] std::size_t pending() const { return heap_.size() - cancelled_.size(); }
+
+  /// Total events dispatched so far (for micro-benchmarks and tests).
+  [[nodiscard]] std::uint64_t dispatched() const { return dispatched_; }
+
+ private:
+  struct Item {
+    Time t;
+    EventId id;
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Item& a, const Item& b) const {
+      if (a.t != b.t) return a.t > b.t;
+      return a.id > b.id;  // FIFO among equal timestamps
+    }
+  };
+
+  /// Pop the earliest live event, skipping cancelled ones. Returns false if empty.
+  bool pop_next(Item& out);
+
+  std::priority_queue<Item, std::vector<Item>, Later> heap_;
+  std::unordered_set<EventId> cancelled_;
+  Time now_ = Time::zero();
+  EventId next_id_ = 1;
+  std::uint64_t dispatched_ = 0;
+  bool stopped_ = false;
+};
+
+}  // namespace xmp::sim

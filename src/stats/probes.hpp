@@ -1,0 +1,88 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "net/link.hpp"
+#include "sim/scheduler.hpp"
+#include "sim/time.hpp"
+
+namespace xmp::stats {
+
+/// Periodically differentiates a cumulative counter into a per-interval
+/// rate series (the "Normalized Rate" time series of Figures 1/4/6/7).
+class RateProbe {
+ public:
+  /// `cumulative` returns a monotone counter (e.g. delivered bytes).
+  RateProbe(sim::Scheduler& sched, sim::Time interval, std::function<double()> cumulative);
+  ~RateProbe();
+
+  RateProbe(const RateProbe&) = delete;
+  RateProbe& operator=(const RateProbe&) = delete;
+
+  void start();
+  void stop();
+
+  /// Rates per interval, in counter-units per second.
+  [[nodiscard]] const std::vector<double>& rates() const { return rates_; }
+  /// End timestamp of each interval.
+  [[nodiscard]] const std::vector<sim::Time>& timestamps() const { return times_; }
+  [[nodiscard]] sim::Time interval() const { return interval_; }
+
+ private:
+  void tick();
+
+  sim::Scheduler& sched_;
+  sim::Time interval_;
+  std::function<double()> cumulative_;
+  double last_value_ = 0.0;
+  sim::EventId timer_ = sim::kInvalidEventId;
+  std::vector<double> rates_;
+  std::vector<sim::Time> times_;
+};
+
+/// Periodically samples an instantaneous gauge (queue occupancy, srtt, ...).
+class GaugeProbe {
+ public:
+  GaugeProbe(sim::Scheduler& sched, sim::Time interval, std::function<double()> gauge);
+  ~GaugeProbe();
+
+  GaugeProbe(const GaugeProbe&) = delete;
+  GaugeProbe& operator=(const GaugeProbe&) = delete;
+
+  void start();
+  void stop();
+
+  [[nodiscard]] const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  void tick();
+
+  sim::Scheduler& sched_;
+  sim::Time interval_;
+  std::function<double()> gauge_;
+  sim::EventId timer_ = sim::kInvalidEventId;
+  std::vector<double> samples_;
+};
+
+/// Measures per-link utilization over a time window: snapshot busy time at
+/// open(), compute busy-fraction at close().
+class UtilizationWindow {
+ public:
+  explicit UtilizationWindow(sim::Scheduler& sched) : sched_{sched} {}
+
+  /// Begin the window over the given links.
+  void open(const std::vector<net::Link*>& links);
+
+  /// End the window; returns one utilization value in [0,1] per link.
+  [[nodiscard]] std::vector<double> close() const;
+
+ private:
+  sim::Scheduler& sched_;
+  std::vector<net::Link*> links_;
+  std::vector<sim::Time> busy_at_open_;
+  sim::Time opened_at_ = sim::Time::zero();
+};
+
+}  // namespace xmp::stats

@@ -1,0 +1,120 @@
+#include "topo/fattree.hpp"
+
+#include <cassert>
+
+namespace xmp::topo {
+
+FatTree::FatTree(net::Network& netw, const Config& cfg) : cfg_{cfg} {
+  const int k = cfg_.k;
+  assert(k >= 2 && k % 2 == 0);
+  const int half = k / 2;
+  hosts_per_pod_ = half * half;
+
+  // --- create switches ---
+  std::vector<std::vector<net::Switch*>> edge(k), agg(k);
+  for (int p = 0; p < k; ++p) {
+    for (int i = 0; i < half; ++i) {
+      edge[p].push_back(&netw.add_switch());
+      agg[p].push_back(&netw.add_switch());
+    }
+  }
+  // core[g][j]: core group g is wired to aggregation switch #g of each pod.
+  std::vector<std::vector<net::Switch*>> core(half);
+  for (int g = 0; g < half; ++g) {
+    for (int j = 0; j < half; ++j) core[g].push_back(&netw.add_switch());
+  }
+
+  // --- hosts + rack layer ---
+  for (int p = 0; p < k; ++p) {
+    for (int e = 0; e < half; ++e) {
+      for (int h = 0; h < half; ++h) {
+        net::Host& host = netw.add_host();
+        const std::size_t before = netw.links().size();
+        netw.attach_host(host, *edge[p][e], cfg_.link_rate_bps, cfg_.rack_delay, cfg_.queue);
+        rack_links_.push_back(netw.links()[before].get());      // host -> edge
+        rack_links_.push_back(netw.links()[before + 1].get());  // edge -> host
+        hosts_.push_back(&host);
+      }
+    }
+  }
+
+  // --- aggregation layer: every edge to every agg in the pod ---
+  for (int p = 0; p < k; ++p) {
+    for (int e = 0; e < half; ++e) {
+      for (int a = 0; a < half; ++a) {
+        const auto ports = netw.connect_switches(*edge[p][e], *agg[p][a], cfg_.link_rate_bps,
+                                                 cfg_.agg_delay, cfg_.queue);
+        agg_links_.push_back(ports.a_to_b);
+        agg_links_.push_back(ports.b_to_a);
+        edge[p][e]->add_up_port(ports.on_a);
+        // Agg routes the hosts of this edge switch downward through it.
+        for (int h = 0; h < half; ++h) {
+          const int host_index = p * hosts_per_pod_ + e * half + h;
+          agg[p][a]->set_host_route(hosts_[host_index]->id(), ports.on_b);
+        }
+      }
+    }
+  }
+
+  // --- core layer: agg #g of every pod to all cores in group g ---
+  for (int p = 0; p < k; ++p) {
+    for (int g = 0; g < half; ++g) {
+      for (int j = 0; j < half; ++j) {
+        const auto ports = netw.connect_switches(*agg[p][g], *core[g][j], cfg_.link_rate_bps,
+                                                 cfg_.core_delay, cfg_.queue);
+        core_links_.push_back(ports.a_to_b);
+        core_links_.push_back(ports.b_to_a);
+        agg[p][g]->add_up_port(ports.on_a);
+        // The core switch reaches every host of pod p through this agg.
+        for (int h = 0; h < hosts_per_pod_; ++h) {
+          const int host_index = p * hosts_per_pod_ + h;
+          core[g][j]->set_host_route(hosts_[host_index]->id(), ports.on_b);
+        }
+      }
+    }
+  }
+}
+
+FatTree::Category FatTree::category(int src, int dst) const {
+  if (pod_of(src) != pod_of(dst)) return Category::InterPod;
+  if (edge_of(src) != edge_of(dst)) return Category::InterRack;
+  return Category::InnerRack;
+}
+
+const std::vector<net::Link*>& FatTree::links(Layer l) const {
+  switch (l) {
+    case Layer::Rack:
+      return rack_links_;
+    case Layer::Aggregation:
+      return agg_links_;
+    case Layer::Core:
+      return core_links_;
+  }
+  return rack_links_;  // unreachable
+}
+
+const char* FatTree::category_name(Category c) {
+  switch (c) {
+    case Category::InnerRack:
+      return "Inner-Rack";
+    case Category::InterRack:
+      return "Inter-Rack";
+    case Category::InterPod:
+      return "Inter-Pod";
+  }
+  return "?";
+}
+
+const char* FatTree::layer_name(Layer l) {
+  switch (l) {
+    case Layer::Rack:
+      return "Rack";
+    case Layer::Aggregation:
+      return "Aggregation";
+    case Layer::Core:
+      return "Core";
+  }
+  return "?";
+}
+
+}  // namespace xmp::topo

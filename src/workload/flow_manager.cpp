@@ -1,0 +1,113 @@
+#include "workload/flow_manager.hpp"
+
+#include <cassert>
+
+namespace xmp::workload {
+
+std::size_t FlowManager::new_record(int src_idx, int dst_idx, std::int64_t bytes, bool large) {
+  FlowRecord rec;
+  rec.id = next_id_++;
+  rec.src_host = src_idx;
+  rec.dst_host = dst_idx;
+  rec.bytes = bytes;
+  rec.large = large;
+  rec.start = sched_.now();
+  records_.push_back(rec);
+  return records_.size() - 1;
+}
+
+void FlowManager::finish_record(std::size_t idx, std::function<void()>& on_done) {
+  FlowRecord& rec = records_[idx];
+  rec.finish = sched_.now();
+  rec.completed = true;
+  if (rec.large) {
+    assert(active_large_ > 0);
+    --active_large_;
+  }
+  if (on_done) on_done();
+}
+
+void FlowManager::start_large_flow(net::Host& src, net::Host& dst, int src_idx, int dst_idx,
+                                   std::int64_t bytes, std::function<void()> on_done) {
+  const std::size_t rec = new_record(src_idx, dst_idx, bytes, /*large=*/true);
+  const net::FlowId id = records_[rec].id;
+  ++active_large_;
+
+  if (!spec_.multipath()) {
+    transport::Flow::Config fc;
+    fc.id = id;
+    fc.size_bytes = bytes;
+    fc.cc.kind = spec_.kind == SchemeSpec::Kind::Dctcp ? transport::CcConfig::Kind::Dctcp
+                                                       : transport::CcConfig::Kind::Reno;
+    auto flow = std::make_unique<transport::Flow>(sched_, src, dst, fc);
+    flow->set_on_complete(
+        [this, rec, done = std::move(on_done)]() mutable { finish_record(rec, done); });
+    flow->start();
+    singles_.push_back(LargeSingle{rec, std::move(flow)});
+    return;
+  }
+
+  mptcp::MptcpConnection::Config mc;
+  mc.id = id;
+  mc.size_bytes = bytes;
+  mc.n_subflows = spec_.subflows;
+  mc.bos.beta = spec_.beta;
+  switch (spec_.kind) {
+    case SchemeSpec::Kind::Xmp:
+      mc.coupling = mptcp::Coupling::Xmp;
+      break;
+    case SchemeSpec::Kind::Lia:
+      mc.coupling = mptcp::Coupling::Lia;
+      break;
+    case SchemeSpec::Kind::Olia:
+      mc.coupling = mptcp::Coupling::Olia;
+      break;
+    default:
+      assert(false && "unexpected multipath scheme");
+  }
+  auto conn = std::make_unique<mptcp::MptcpConnection>(sched_, src, dst, mc);
+  conn->set_on_complete(
+      [this, rec, done = std::move(on_done)]() mutable { finish_record(rec, done); });
+  conn->start();
+  multis_.push_back(LargeMulti{rec, std::move(conn)});
+}
+
+void FlowManager::start_small_flow(net::Host& src, net::Host& dst, int src_idx, int dst_idx,
+                                   std::int64_t bytes, std::function<void()> on_done) {
+  const std::size_t rec = new_record(src_idx, dst_idx, bytes, /*large=*/false);
+
+  transport::Flow::Config fc;
+  fc.id = records_[rec].id;
+  fc.size_bytes = bytes;
+  fc.cc.kind = transport::CcConfig::Kind::Reno;  // small flows use TCP
+  auto flow = std::make_unique<transport::Flow>(sched_, src, dst, fc);
+  flow->set_on_complete(
+      [this, rec, done = std::move(on_done)]() mutable { finish_record(rec, done); });
+  flow->start();
+  smalls_.push_back(std::move(flow));
+}
+
+void FlowManager::for_each_partial_large(
+    const std::function<void(const FlowRecord&, std::int64_t)>& fn) const {
+  for (const auto& s : singles_) {
+    if (!records_[s.record].completed) fn(records_[s.record], s.flow->delivered_bytes());
+  }
+  for (const auto& m : multis_) {
+    if (!records_[m.record].completed) fn(records_[m.record], m.conn->delivered_bytes());
+  }
+}
+
+void FlowManager::for_each_active_large_sender(
+    const std::function<void(const FlowRecord&, const transport::TcpSender&)>& fn) const {
+  for (const auto& s : singles_) {
+    if (!records_[s.record].completed) fn(records_[s.record], s.flow->sender());
+  }
+  for (const auto& m : multis_) {
+    if (records_[m.record].completed) continue;
+    for (int i = 0; i < m.conn->n_subflows(); ++i) {
+      fn(records_[m.record], m.conn->subflow_sender(i));
+    }
+  }
+}
+
+}  // namespace xmp::workload

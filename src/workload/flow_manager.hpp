@@ -1,0 +1,91 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "mptcp/connection.hpp"
+#include "net/network.hpp"
+#include "transport/flow.hpp"
+#include "workload/scheme.hpp"
+
+namespace xmp::workload {
+
+/// Completion record of one transfer.
+struct FlowRecord {
+  net::FlowId id = 0;
+  int src_host = -1;  ///< topology host index
+  int dst_host = -1;
+  std::int64_t bytes = 0;
+  bool large = true;
+  sim::Time start = sim::Time::zero();
+  sim::Time finish = sim::Time::zero();
+  bool completed = false;
+
+  [[nodiscard]] double goodput_bps() const {
+    if (!completed || finish <= start) return 0.0;
+    return static_cast<double>(bytes) * 8.0 / (finish - start).sec();
+  }
+};
+
+/// Creates, owns and tracks every transfer of an experiment.
+///
+/// Large flows follow the configured SchemeSpec (single-path Flow for
+/// TCP/DCTCP, MptcpConnection otherwise); small flows are always plain TCP
+/// as in the paper. Flow ids are unique across the manager's lifetime.
+class FlowManager {
+ public:
+  /// `id_base` partitions the flow-id space when several managers share a
+  /// network (coexistence runs): ids are demux keys at the hosts, so two
+  /// managers must never hand out the same id.
+  FlowManager(sim::Scheduler& sched, SchemeSpec spec, net::FlowId id_base = 1)
+      : sched_{sched}, spec_{spec}, next_id_{id_base} {}
+
+  /// Start a large flow now. `on_done` (optional) fires at completion,
+  /// after the record is finalized.
+  void start_large_flow(net::Host& src, net::Host& dst, int src_idx, int dst_idx,
+                        std::int64_t bytes, std::function<void()> on_done = nullptr);
+
+  /// Start a small plain-TCP flow now (incast requests/responses).
+  void start_small_flow(net::Host& src, net::Host& dst, int src_idx, int dst_idx,
+                        std::int64_t bytes, std::function<void()> on_done = nullptr);
+
+  [[nodiscard]] const std::vector<FlowRecord>& records() const { return records_; }
+  [[nodiscard]] const SchemeSpec& scheme() const { return spec_; }
+  [[nodiscard]] std::size_t active_large_flows() const { return active_large_; }
+
+  /// Visit every in-progress large flow's subflow senders (RTT probing).
+  void for_each_active_large_sender(
+      const std::function<void(const FlowRecord&, const transport::TcpSender&)>& fn) const;
+
+  /// Visit every *unfinished* large flow with the bytes it has delivered so
+  /// far — used to include partial goodput at the end of a fixed-horizon
+  /// run instead of silently censoring slow flows.
+  void for_each_partial_large(
+      const std::function<void(const FlowRecord&, std::int64_t delivered_bytes)>& fn) const;
+
+ private:
+  std::size_t new_record(int src_idx, int dst_idx, std::int64_t bytes, bool large);
+  void finish_record(std::size_t idx, std::function<void()>& on_done);
+
+  sim::Scheduler& sched_;
+  SchemeSpec spec_;
+  net::FlowId next_id_;
+  std::size_t active_large_ = 0;
+
+  struct LargeSingle {
+    std::size_t record;
+    std::unique_ptr<transport::Flow> flow;
+  };
+  struct LargeMulti {
+    std::size_t record;
+    std::unique_ptr<mptcp::MptcpConnection> conn;
+  };
+  std::vector<LargeSingle> singles_;
+  std::vector<LargeMulti> multis_;
+  std::vector<std::unique_ptr<transport::Flow>> smalls_;
+  std::vector<FlowRecord> records_;
+};
+
+}  // namespace xmp::workload

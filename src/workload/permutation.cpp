@@ -1,0 +1,41 @@
+#include "workload/permutation.hpp"
+
+#include <numeric>
+#include <vector>
+
+namespace xmp::workload {
+
+void PermutationTraffic::start_round() {
+  const int n = topo_.n_hosts();
+  // Random permutation with no fixed points: Fisher-Yates shuffle, then
+  // repair any host mapped to itself by swapping with a neighbour.
+  std::vector<int> perm(static_cast<std::size_t>(n));
+  std::iota(perm.begin(), perm.end(), 0);
+  for (int i = n - 1; i > 0; --i) {
+    const auto j = static_cast<int>(rng_.uniform_u64(static_cast<std::uint64_t>(i) + 1));
+    std::swap(perm[i], perm[j]);
+  }
+  for (int i = 0; i < n; ++i) {
+    if (perm[i] == i) std::swap(perm[i], perm[(i + 1) % n]);
+  }
+
+  outstanding_ = n;
+  for (int src = 0; src < n; ++src) {
+    const int dst = perm[src];
+    const std::int64_t bytes = rng_.uniform_int(cfg_.min_bytes, cfg_.max_bytes);
+    flows_.start_large_flow(topo_.host(src), topo_.host(dst), src, dst, bytes,
+                            [this] { on_flow_done(); });
+  }
+}
+
+void PermutationTraffic::on_flow_done() {
+  if (--outstanding_ > 0) return;
+  ++completed_rounds_;
+  if (completed_rounds_ < cfg_.rounds) {
+    start_round();
+  } else if (on_done_) {
+    on_done_();
+  }
+}
+
+}  // namespace xmp::workload

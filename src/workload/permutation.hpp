@@ -1,0 +1,50 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "sim/random.hpp"
+#include "sim/scheduler.hpp"
+#include "topo/host_pool.hpp"
+#include "workload/flow_manager.hpp"
+
+namespace xmp::workload {
+
+/// The paper's Permutation pattern (§5.2.1): every host sends one large
+/// flow to a distinct random host (a random permutation with no fixed
+/// point); when *all* flows of the round finish, a new permutation starts.
+class PermutationTraffic {
+ public:
+  struct Config {
+    std::int64_t min_bytes = 2'000'000;   ///< paper: 64 MB (scaled 32x down)
+    std::int64_t max_bytes = 16'000'000;  ///< paper: 512 MB (scaled 32x down)
+    int rounds = 2;
+  };
+
+  PermutationTraffic(sim::Scheduler& sched, topo::HostPool& topo, FlowManager& flows,
+                     sim::Rng rng, const Config& cfg)
+      : sched_{sched}, topo_{topo}, flows_{flows}, rng_{rng}, cfg_{cfg} {}
+
+  void start() { start_round(); }
+
+  [[nodiscard]] bool done() const { return completed_rounds_ >= cfg_.rounds; }
+  [[nodiscard]] int completed_rounds() const { return completed_rounds_; }
+
+  /// Fires when the configured number of rounds has completed.
+  void set_on_done(std::function<void()> fn) { on_done_ = std::move(fn); }
+
+ private:
+  void start_round();
+  void on_flow_done();
+
+  sim::Scheduler& sched_;
+  topo::HostPool& topo_;
+  FlowManager& flows_;
+  sim::Rng rng_;
+  Config cfg_;
+  int completed_rounds_ = 0;
+  int outstanding_ = 0;
+  std::function<void()> on_done_;
+};
+
+}  // namespace xmp::workload

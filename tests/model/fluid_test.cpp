@@ -1,0 +1,245 @@
+#include "model/fluid.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mptcp/connection.hpp"
+#include "net/types.hpp"
+#include "topo/pinned.hpp"
+#include "transport/flow.hpp"
+#include "util/fixtures.hpp"
+
+namespace xmp::model {
+namespace {
+
+constexpr double kGbpsInSegments = 1e9 / (net::kDataPacketBytes * 8.0);  // ~83.3k sps
+
+TEST(FluidSingle, EquationThreeHoldsAtEquilibrium) {
+  // One flow: p = S/(C+S) with S = delta*beta/T, and w = delta*beta*(1-p)/p
+  // must satisfy Eq. 3 exactly: p = 1/(1 + w/(delta*beta)).
+  const std::vector<FluidFlow> flows = {{1.0, 4.0, 300e-6}};
+  const auto res = solve_single_bottleneck(flows, kGbpsInSegments);
+  ASSERT_EQ(res.rates.size(), 1u);
+  const double w = res.windows[0];
+  EXPECT_NEAR(res.p, 1.0 / (1.0 + w / (1.0 * 4.0)), 1e-12);
+  // Rate conservation: the flow fills the link.
+  EXPECT_NEAR(res.rates[0], kGbpsInSegments, 1e-6);
+}
+
+TEST(FluidSingle, EqualFlowsSplitEqually) {
+  const std::vector<FluidFlow> flows(4, FluidFlow{1.0, 4.0, 300e-6});
+  const auto res = solve_single_bottleneck(flows, kGbpsInSegments);
+  for (double r : res.rates) EXPECT_NEAR(r, kGbpsInSegments / 4, 1e-6);
+}
+
+TEST(FluidSingle, LargerDeltaGetsProportionallyMore) {
+  // Eq. 8: x ∝ delta for equal RTTs — this is why delta works as the knob.
+  const std::vector<FluidFlow> flows = {{1.0, 4.0, 300e-6}, {2.0, 4.0, 300e-6}};
+  const auto res = solve_single_bottleneck(flows, kGbpsInSegments);
+  EXPECT_NEAR(res.rates[1] / res.rates[0], 2.0, 1e-9);
+}
+
+TEST(FluidSingle, ShorterRttGetsMore) {
+  const std::vector<FluidFlow> flows = {{1.0, 4.0, 200e-6}, {1.0, 4.0, 400e-6}};
+  const auto res = solve_single_bottleneck(flows, kGbpsInSegments);
+  EXPECT_NEAR(res.rates[0] / res.rates[1], 2.0, 1e-9);
+  // Windows are RTT-independent given equal delta*beta (Eq. 3).
+  EXPECT_NEAR(res.windows[0], res.windows[1], 1e-9);
+}
+
+TEST(FluidSingle, SoleFlowWindowIsBdpIndependentOfBeta) {
+  // A lone flow at full utilization settles at w = C*T (the BDP) for any
+  // beta; what changes is the marking probability needed to hold it there
+  // (gentler cuts demand more frequent marks: p grows with beta).
+  const std::vector<FluidFlow> beta4 = {{1.0, 4.0, 300e-6}};
+  const std::vector<FluidFlow> beta6 = {{1.0, 6.0, 300e-6}};
+  const auto r4 = solve_single_bottleneck(beta4, kGbpsInSegments);
+  const auto r6 = solve_single_bottleneck(beta6, kGbpsInSegments);
+  EXPECT_NEAR(r4.windows[0], kGbpsInSegments * 300e-6, 1e-6);
+  EXPECT_NEAR(r6.windows[0], kGbpsInSegments * 300e-6, 1e-6);
+  EXPECT_GT(r6.p, r4.p);
+}
+
+TEST(FluidSingle, EmptyInputIsSafe) {
+  const auto res = solve_single_bottleneck({}, kGbpsInSegments);
+  EXPECT_TRUE(res.rates.empty());
+  EXPECT_DOUBLE_EQ(res.p, 0.0);
+}
+
+TEST(FluidMultipath, ConvergesOnSymmetricTwoPaths) {
+  // One 2-subflow flow over two equal private links: rates equalize and
+  // gains settle at ~1/2 each (equal RTTs).
+  std::vector<FluidMptcpFlow> flows(1);
+  flows[0].beta = 4.0;
+  flows[0].subflows = {{0, 300e-6}, {1, 300e-6}};
+  const auto res = solve_multipath({kGbpsInSegments, kGbpsInSegments}, flows);
+  ASSERT_TRUE(res.converged);
+  EXPECT_NEAR(res.rates[0][0], res.rates[0][1], kGbpsInSegments * 1e-6);
+  EXPECT_NEAR(res.deltas[0][0], 0.5, 1e-6);
+  EXPECT_NEAR(res.deltas[0][1], 0.5, 1e-6);
+  // Both links full.
+  EXPECT_NEAR(res.rates[0][0] + res.rates[0][1], 2 * kGbpsInSegments,
+              2 * kGbpsInSegments * 0.01);
+}
+
+TEST(FluidMultipath, CongestionEqualityShiftsTraffic) {
+  // Flow A has subflows on links 0 and 1; three single-path flows sit on
+  // link 0. TraSh must move most of A onto link 1.
+  std::vector<FluidMptcpFlow> flows;
+  FluidMptcpFlow a;
+  a.subflows = {{0, 300e-6}, {1, 300e-6}};
+  flows.push_back(a);
+  for (int i = 0; i < 3; ++i) {
+    FluidMptcpFlow s;
+    s.subflows = {{0, 300e-6}};
+    flows.push_back(s);
+  }
+  const auto res = solve_multipath({kGbpsInSegments, kGbpsInSegments}, flows);
+  ASSERT_TRUE(res.converged);
+  EXPECT_GT(res.rates[0][1], 5.0 * res.rates[0][0]);
+  // Congestion Equality: p on link 0 exceeds p on link 1, so the gain on
+  // link 0 is depressed.
+  EXPECT_GT(res.link_p[0], res.link_p[1]);
+  EXPECT_LT(res.deltas[0][0], res.deltas[0][1]);
+}
+
+TEST(FluidMultipath, PropositionOneDirection) {
+  // Proposition 1: starting from delta = 1, a subflow whose perceived
+  // congestion is below the flow-wide expectation has its delta increased.
+  // With one congested and one clean path, after one solve the clean
+  // subflow's delta is above the congested one's.
+  std::vector<FluidMptcpFlow> flows;
+  FluidMptcpFlow a;
+  a.subflows = {{0, 300e-6}, {1, 300e-6}};
+  flows.push_back(a);
+  FluidMptcpFlow bg;
+  bg.subflows = {{0, 300e-6}};
+  flows.push_back(bg);
+  const auto res = solve_multipath({kGbpsInSegments, kGbpsInSegments}, flows, 10'000, 1e-12);
+  ASSERT_TRUE(res.converged);
+  EXPECT_GT(res.deltas[0][1], res.deltas[0][0]);
+}
+
+TEST(FluidMultipath, RttAsymmetryReflectedInGains) {
+  // One flow over two clean links with different RTTs: BOS windows are
+  // delta-beta-determined, so the shorter-RTT subflow converts its window
+  // into a higher rate and TraSh's gains settle accordingly.
+  std::vector<FluidMptcpFlow> flows(1);
+  flows[0].subflows = {{0, 200e-6}, {1, 400e-6}};
+  const auto res = solve_multipath({kGbpsInSegments, kGbpsInSegments}, flows);
+  ASSERT_TRUE(res.converged);
+  // Each private link still saturates (rates equal capacity), but the
+  // gains reflect the RTT ratio: delta_r = T_r x_r / (T_min y).
+  EXPECT_NEAR(res.rates[0][0], kGbpsInSegments, kGbpsInSegments * 0.02);
+  EXPECT_NEAR(res.rates[0][1], kGbpsInSegments, kGbpsInSegments * 0.02);
+  EXPECT_GT(res.deltas[0][1], res.deltas[0][0]);  // longer RTT needs larger gain
+}
+
+TEST(FluidMultipath, SinglePathFlowKeepsUnitGain) {
+  std::vector<FluidMptcpFlow> flows(1);
+  flows[0].subflows = {{0, 300e-6}};
+  const auto res = solve_multipath({kGbpsInSegments}, flows);
+  ASSERT_TRUE(res.converged);
+  EXPECT_NEAR(res.deltas[0][0], 1.0, 1e-9);
+}
+
+TEST(MarkingThreshold, EquationOne) {
+  EXPECT_NEAR(min_marking_threshold(19.0, 2.0), 19.0, 1e-12);
+  EXPECT_NEAR(min_marking_threshold(33.0, 4.0), 11.0, 1e-12);
+  EXPECT_LT(min_marking_threshold(33.0, 6.0), min_marking_threshold(33.0, 3.0));
+}
+
+// ------------------------- fluid model vs packet simulator -------------
+
+TEST(FluidVsSim, SingleBottleneckSharesMatch) {
+  // 3 BOS flows on a 1 Gbps bottleneck: the packet simulator's goodput
+  // shares should match the fluid prediction (equal thirds) within 15%.
+  sim::Scheduler sched;
+  net::Network network{sched};
+  topo::PinnedPaths::Config tc;
+  tc.bottlenecks = {{1'000'000'000, sim::Time::microseconds(100)}};
+  tc.bottleneck_queue = testutil::ecn_queue(100, 10);
+  topo::PinnedPaths tb{network, tc};
+
+  std::vector<std::unique_ptr<transport::Flow>> flows;
+  for (int i = 0; i < 3; ++i) {
+    auto pair = tb.add_pair({0});
+    transport::Flow::Config fc;
+    fc.id = static_cast<net::FlowId>(i + 1);
+    fc.size_bytes = 1'000'000'000'000LL;
+    fc.cc.kind = transport::CcConfig::Kind::Bos;
+    fc.path_tag = 0;
+    fc.path_tag_explicit = true;
+    flows.push_back(std::make_unique<transport::Flow>(sched, *pair.src, *pair.dst, fc));
+    flows.back()->start();
+  }
+  sched.run_until(sim::Time::seconds(1.0));
+
+  const std::vector<FluidFlow> model_flows(3, FluidFlow{1.0, 4.0, 450e-6});
+  const auto predicted = solve_single_bottleneck(model_flows, kGbpsInSegments);
+
+  for (int i = 0; i < 3; ++i) {
+    const double measured_sps =
+        static_cast<double>(flows[static_cast<std::size_t>(i)]->sender().delivered_segments()) /
+        1.0;
+    EXPECT_NEAR(measured_sps, predicted.rates[static_cast<std::size_t>(i)],
+                predicted.rates[static_cast<std::size_t>(i)] * 0.15)
+        << "flow " << i;
+  }
+}
+
+TEST(FluidVsSim, TrafficShiftDirectionMatches) {
+  // XMP over two paths with a competitor on path 0: the fluid model and
+  // the simulator must agree on the *direction* and rough magnitude of the
+  // shift (subflow-1 share > 70% in both).
+  std::vector<FluidMptcpFlow> mflows;
+  FluidMptcpFlow a;
+  a.subflows = {{0, 450e-6}, {1, 450e-6}};
+  mflows.push_back(a);
+  FluidMptcpFlow bg;
+  bg.subflows = {{0, 450e-6}};
+  mflows.push_back(bg);
+  const auto predicted = solve_multipath({kGbpsInSegments, kGbpsInSegments}, mflows);
+  ASSERT_TRUE(predicted.converged);
+  const double predicted_share =
+      predicted.rates[0][1] / (predicted.rates[0][0] + predicted.rates[0][1]);
+
+  sim::Scheduler sched;
+  net::Network network{sched};
+  topo::PinnedPaths::Config tc;
+  tc.bottlenecks = {{1'000'000'000, sim::Time::microseconds(100)},
+                    {1'000'000'000, sim::Time::microseconds(100)}};
+  tc.bottleneck_queue = testutil::ecn_queue(100, 10);
+  topo::PinnedPaths tb{network, tc};
+
+  auto mp = tb.add_pair({0, 1});
+  mptcp::MptcpConnection::Config mc;
+  mc.id = 1;
+  mc.size_bytes = 1'000'000'000'000LL;
+  mc.n_subflows = 2;
+  mc.coupling = mptcp::Coupling::Xmp;
+  mc.path_tag_fn = [](int i) { return static_cast<std::uint16_t>(i); };
+  mptcp::MptcpConnection conn{sched, *mp.src, *mp.dst, mc};
+
+  auto bgp = tb.add_pair({0});
+  transport::Flow::Config fc;
+  fc.id = 2;
+  fc.size_bytes = 1'000'000'000'000LL;
+  fc.cc.kind = transport::CcConfig::Kind::Bos;
+  fc.path_tag = 0;
+  fc.path_tag_explicit = true;
+  transport::Flow competitor{sched, *bgp.src, *bgp.dst, fc};
+
+  conn.start();
+  competitor.start();
+  sched.run_until(sim::Time::seconds(1.0));
+
+  const double d0 = static_cast<double>(conn.subflow_sender(0).delivered_segments());
+  const double d1 = static_cast<double>(conn.subflow_sender(1).delivered_segments());
+  const double measured_share = d1 / (d0 + d1);
+
+  EXPECT_GT(predicted_share, 0.7);
+  EXPECT_GT(measured_share, 0.7);
+}
+
+}  // namespace
+}  // namespace xmp::model

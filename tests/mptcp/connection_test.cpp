@@ -1,0 +1,295 @@
+#include "mptcp/connection.hpp"
+
+#include <gtest/gtest.h>
+
+#include "stats/distribution.hpp"
+#include "topo/pinned.hpp"
+#include "transport/flow.hpp"
+#include "util/fixtures.hpp"
+
+namespace xmp::mptcp {
+namespace {
+
+constexpr std::int64_t kGbps = 1'000'000'000;
+
+/// Testbed with `n` pinned 1 Gbps bottlenecks (ECN K = 10, queue 100).
+struct Testbed {
+  sim::Scheduler sched;
+  net::Network net{sched};
+  std::unique_ptr<topo::PinnedPaths> paths;
+
+  explicit Testbed(int n_bottlenecks, std::int64_t rate = kGbps) {
+    topo::PinnedPaths::Config tc;
+    for (int i = 0; i < n_bottlenecks; ++i) {
+      tc.bottlenecks.push_back({rate, sim::Time::microseconds(50)});
+    }
+    tc.bottleneck_queue = testutil::ecn_queue(100, 10);
+    paths = std::make_unique<topo::PinnedPaths>(net, tc);
+  }
+
+  MptcpConnection::Config base_config(net::FlowId id, std::int64_t bytes, int subflows,
+                                      Coupling coupling) {
+    MptcpConnection::Config mc;
+    mc.id = id;
+    mc.size_bytes = bytes;
+    mc.n_subflows = subflows;
+    mc.coupling = coupling;
+    mc.path_tag_fn = [](int i) { return static_cast<std::uint16_t>(i); };
+    return mc;
+  }
+};
+
+class CouplingParam : public ::testing::TestWithParam<Coupling> {};
+
+TEST_P(CouplingParam, TwoPathTransferCompletes) {
+  Testbed tb{2};
+  auto pair = tb.paths->add_pair({0, 1});
+  auto cfg = tb.base_config(1, 10'000'000, 2, GetParam());
+  MptcpConnection conn{tb.sched, *pair.src, *pair.dst, cfg};
+  conn.start();
+  tb.sched.run_until(sim::Time::seconds(3.0));
+  ASSERT_TRUE(conn.complete());
+  EXPECT_GT(conn.goodput_bps(), 0.0);
+}
+
+TEST_P(CouplingParam, UsesBothPaths) {
+  Testbed tb{2};
+  auto pair = tb.paths->add_pair({0, 1});
+  auto cfg = tb.base_config(1, 20'000'000, 2, GetParam());
+  MptcpConnection conn{tb.sched, *pair.src, *pair.dst, cfg};
+  conn.start();
+  tb.sched.run_until(sim::Time::seconds(3.0));
+  ASSERT_TRUE(conn.complete());
+  EXPECT_GT(conn.subflow_sender(0).delivered_segments(), 100);
+  EXPECT_GT(conn.subflow_sender(1).delivered_segments(), 100);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCouplings, CouplingParam,
+                         ::testing::Values(Coupling::Xmp, Coupling::Lia, Coupling::Olia,
+                                           Coupling::UncoupledBos, Coupling::UncoupledReno),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case Coupling::Xmp:
+                               return "Xmp";
+                             case Coupling::Lia:
+                               return "Lia";
+                             case Coupling::Olia:
+                               return "Olia";
+                             case Coupling::UncoupledBos:
+                               return "UncoupledBos";
+                             case Coupling::UncoupledReno:
+                               return "UncoupledReno";
+                           }
+                           return "?";
+                         });
+
+TEST(MptcpConnection, XmpAggregatesTwoCleanPaths) {
+  Testbed tb{2};
+  auto pair = tb.paths->add_pair({0, 1});
+  auto cfg = tb.base_config(1, 50'000'000, 2, Coupling::Xmp);
+  MptcpConnection conn{tb.sched, *pair.src, *pair.dst, cfg};
+  conn.start();
+  tb.sched.run_until(sim::Time::seconds(3.0));
+  ASSERT_TRUE(conn.complete());
+  // Two idle 1 Gbps paths: the aggregate should clearly exceed one path.
+  EXPECT_GT(conn.goodput_bps(), 1.4e9);
+}
+
+TEST(MptcpConnection, XmpShiftsTrafficAwayFromCongestedPath) {
+  Testbed tb{2};
+  auto pair = tb.paths->add_pair({0, 1});
+  auto cfg = tb.base_config(1, 1'000'000'000, 2, Coupling::Xmp);
+  MptcpConnection conn{tb.sched, *pair.src, *pair.dst, cfg};
+
+  // A standalone BOS competitor pinned to path 0.
+  auto bg = tb.paths->add_pair({0});
+  transport::Flow::Config fc;
+  fc.id = 2;
+  fc.size_bytes = 1'000'000'000;
+  fc.cc.kind = transport::CcConfig::Kind::Bos;
+  fc.path_tag = 0;
+  fc.path_tag_explicit = true;
+  transport::Flow competitor{tb.sched, *bg.src, *bg.dst, fc};
+
+  conn.start();
+  competitor.start();
+  tb.sched.run_until(sim::Time::milliseconds(800));
+
+  const auto d0 = conn.subflow_sender(0).delivered_segments();
+  const auto d1 = conn.subflow_sender(1).delivered_segments();
+  // Subflow 1 owns a clean path; subflow 0 shares with the competitor and
+  // must shed most of its traffic (Congestion Equality Principle).
+  EXPECT_GT(d1, d0 * 2);
+  // The shed traffic reappears on path 1 (rate compensation): the
+  // aggregate still exceeds what a single path could carry, because path 1
+  // runs at full rate while path 0 keeps the 2-segment floor trickle.
+  EXPECT_GT(static_cast<double>(d0 + d1) * net::kMssBytes * 8 / 0.8, 1.0e9);
+}
+
+TEST(MptcpConnection, SubflowsShareOnePathFairlyWithSinglePathFlow) {
+  // Paper Fig. 6 property: an XMP flow with several subflows over the SAME
+  // bottleneck must not beat a single-subflow XMP flow.
+  Testbed tb{1};
+  auto pair_a = tb.paths->add_pair({0, 0, 0});  // 3 subflows, same path
+  auto cfg_a = tb.base_config(1, 2'000'000'000, 3, Coupling::Xmp);
+  MptcpConnection three{tb.sched, *pair_a.src, *pair_a.dst, cfg_a};
+
+  auto pair_b = tb.paths->add_pair({0});
+  auto cfg_b = tb.base_config(2, 2'000'000'000, 1, Coupling::Xmp);
+  MptcpConnection one{tb.sched, *pair_b.src, *pair_b.dst, cfg_b};
+
+  three.start();
+  one.start();
+  tb.sched.run_until(sim::Time::seconds(1.0));
+
+  std::int64_t d3 = 0;
+  for (int i = 0; i < 3; ++i) d3 += three.subflow_sender(i).delivered_segments();
+  const std::int64_t d1 = one.subflow_sender(0).delivered_segments();
+  const double ratio = static_cast<double>(d3) / static_cast<double>(d1);
+  EXPECT_GT(ratio, 0.6);
+  EXPECT_LT(ratio, 1.8);
+}
+
+TEST(MptcpConnection, UncoupledBosIsUnfairToSinglePathFlow) {
+  // The strawman the coupling fixes: independent BOS subflows grab ~n times
+  // the single flow's share.
+  Testbed tb{1};
+  auto pair_a = tb.paths->add_pair({0, 0, 0});
+  auto cfg_a = tb.base_config(1, 2'000'000'000, 3, Coupling::UncoupledBos);
+  MptcpConnection three{tb.sched, *pair_a.src, *pair_a.dst, cfg_a};
+
+  auto pair_b = tb.paths->add_pair({0});
+  auto cfg_b = tb.base_config(2, 2'000'000'000, 1, Coupling::Xmp);
+  MptcpConnection one{tb.sched, *pair_b.src, *pair_b.dst, cfg_b};
+
+  three.start();
+  one.start();
+  tb.sched.run_until(sim::Time::seconds(1.0));
+
+  std::int64_t d3 = 0;
+  for (int i = 0; i < 3; ++i) d3 += three.subflow_sender(i).delivered_segments();
+  const std::int64_t d1 = one.subflow_sender(0).delivered_segments();
+  EXPECT_GT(static_cast<double>(d3) / static_cast<double>(d1), 2.0);
+}
+
+TEST(MptcpConnection, StaggeredSubflowStartsAreHonoured) {
+  Testbed tb{2};
+  auto pair = tb.paths->add_pair({0, 1});
+  auto cfg = tb.base_config(1, 1'000'000'000, 2, Coupling::Xmp);
+  cfg.subflow_start_offsets = {sim::Time::zero(), sim::Time::milliseconds(200)};
+  MptcpConnection conn{tb.sched, *pair.src, *pair.dst, cfg};
+  conn.start();
+  tb.sched.run_until(sim::Time::milliseconds(150));
+  EXPECT_GT(conn.subflow_sender(0).delivered_segments(), 0);
+  EXPECT_EQ(conn.subflow_sender(1).delivered_segments(), 0);
+  tb.sched.run_until(sim::Time::milliseconds(400));
+  EXPECT_GT(conn.subflow_sender(1).delivered_segments(), 0);
+}
+
+TEST(MptcpConnection, SurvivesPathClosureOnSiblingSubflow) {
+  // Paper Fig. 7 end-phase: L3 is closed; the subflow on it starves while
+  // its sibling keeps (and grows) its rate.
+  Testbed tb{2};
+  auto pair = tb.paths->add_pair({0, 1});
+  auto cfg = tb.base_config(1, 2'000'000'000, 2, Coupling::Xmp);
+  MptcpConnection conn{tb.sched, *pair.src, *pair.dst, cfg};
+  conn.start();
+  tb.sched.schedule_at(sim::Time::milliseconds(200), [&] {
+    tb.paths->bottleneck(0).set_down(true);
+  });
+  tb.sched.run_until(sim::Time::milliseconds(300));
+  const auto d0_at_300 = conn.subflow_sender(0).delivered_segments();
+  const auto d1_at_300 = conn.subflow_sender(1).delivered_segments();
+  tb.sched.run_until(sim::Time::milliseconds(900));
+  // Subflow 0 is dead (at most a couple of RTO probes trickle nothing).
+  EXPECT_LT(conn.subflow_sender(0).delivered_segments() - d0_at_300, 10);
+  // Subflow 1 keeps the transfer going.
+  EXPECT_GT(conn.subflow_sender(1).delivered_segments() - d1_at_300, 10'000);
+  EXPECT_GT(conn.subflow_sender(0).timeouts(), 0u);
+}
+
+TEST(MptcpConnection, ReinjectionCompletesTransferDespiteDeadPath) {
+  // Opportunistic reinjection: segments stranded on a subflow whose path
+  // died are duplicated onto the sibling, so the transfer still completes.
+  Testbed tb{2};
+  auto pair = tb.paths->add_pair({0, 1});
+  auto cfg = tb.base_config(1, 50'000'000, 2, Coupling::Xmp);
+  MptcpConnection conn{tb.sched, *pair.src, *pair.dst, cfg};
+  conn.start();
+  tb.sched.schedule_at(sim::Time::milliseconds(50), [&] {
+    tb.paths->bottleneck(0).set_down(true);
+  });
+  tb.sched.run_until(sim::Time::seconds(3.0));
+  EXPECT_TRUE(conn.complete());
+}
+
+TEST(MptcpConnection, ReinjectionRefundsOnlyOncePerStall) {
+  // A dead path triggers repeated RTO backoffs; only the first refunds.
+  Testbed tb{2};
+  auto pair = tb.paths->add_pair({0, 1});
+  auto cfg = tb.base_config(1, 400'000'000, 2, Coupling::Xmp);
+  MptcpConnection conn{tb.sched, *pair.src, *pair.dst, cfg};
+  conn.start();
+  tb.sched.schedule_at(sim::Time::milliseconds(50), [&] {
+    tb.paths->bottleneck(0).set_down(true);
+  });
+  tb.sched.run_until(sim::Time::seconds(3.0));
+  // The healthy path carries everything exactly once, plus at most one
+  // refunded batch: total sent across subflows stays close to the flow
+  // size (no runaway duplication).
+  const auto total_sent = conn.subflow_sender(0).segments_sent() +
+                          conn.subflow_sender(1).segments_sent();
+  const auto flow_segments = net::segments_for_bytes(400'000'000);
+  EXPECT_LT(total_sent, static_cast<std::uint64_t>(flow_segments) + 500u);
+  EXPECT_GT(conn.subflow_sender(0).timeouts(), 1u);  // repeated backoffs happened
+}
+
+TEST(MptcpConnection, ContextAggregatesMatchSubflows) {
+  Testbed tb{2};
+  auto pair = tb.paths->add_pair({0, 1});
+  auto cfg = tb.base_config(1, 50'000'000, 2, Coupling::Xmp);
+  MptcpConnection conn{tb.sched, *pair.src, *pair.dst, cfg};
+  conn.start();
+  tb.sched.run_until(sim::Time::milliseconds(100));
+
+  const auto& ctx = conn.context();
+  EXPECT_EQ(ctx.subflow_count(), 2);
+  const double w0 = conn.subflow_sender(0).cwnd();
+  const double w1 = conn.subflow_sender(1).cwnd();
+  EXPECT_DOUBLE_EQ(ctx.total_cwnd(), w0 + w1);
+  EXPECT_NEAR(ctx.total_rate(),
+              conn.subflow_sender(0).instant_rate() + conn.subflow_sender(1).instant_rate(),
+              1e-9);
+  const sim::Time m = ctx.min_srtt();
+  EXPECT_GT(m, sim::Time::zero());
+  EXPECT_LE(m, conn.subflow_sender(0).srtt());
+  EXPECT_LE(m, conn.subflow_sender(1).srtt());
+  EXPECT_GT(ctx.lia_alpha(), 0.0);
+}
+
+TEST(MptcpConnection, SingleSubflowXmpBehavesLikeBos) {
+  Testbed tb{1};
+  auto pair = tb.paths->add_pair({0});
+  auto cfg = tb.base_config(1, 20'000'000, 1, Coupling::Xmp);
+  MptcpConnection conn{tb.sched, *pair.src, *pair.dst, cfg};
+  conn.start();
+  tb.sched.run_until(sim::Time::seconds(2.0));
+  ASSERT_TRUE(conn.complete());
+  EXPECT_GT(conn.goodput_bps(), 0.85e9);
+}
+
+TEST(MptcpConnection, CompletionCallbackFires) {
+  Testbed tb{2};
+  auto pair = tb.paths->add_pair({0, 1});
+  auto cfg = tb.base_config(1, 1'000'000, 2, Coupling::Xmp);
+  MptcpConnection conn{tb.sched, *pair.src, *pair.dst, cfg};
+  bool done = false;
+  conn.set_on_complete([&] { done = true; });
+  conn.start();
+  tb.sched.run_until(sim::Time::seconds(1.0));
+  EXPECT_TRUE(done);
+  EXPECT_TRUE(conn.complete());
+}
+
+}  // namespace
+}  // namespace xmp::mptcp

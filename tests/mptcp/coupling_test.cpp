@@ -1,0 +1,175 @@
+#include <gtest/gtest.h>
+
+#include "mptcp/connection.hpp"
+#include "topo/pinned.hpp"
+#include "transport/flow.hpp"
+#include "util/fixtures.hpp"
+
+namespace xmp::mptcp {
+namespace {
+
+constexpr std::int64_t kGbps = 1'000'000'000;
+
+struct SharedBottleneck {
+  sim::Scheduler sched;
+  net::Network net{sched};
+  std::unique_ptr<topo::PinnedPaths> paths;
+
+  explicit SharedBottleneck(const net::QueueConfig& q) {
+    topo::PinnedPaths::Config tc;
+    tc.bottlenecks = {{kGbps, sim::Time::microseconds(50)}};
+    tc.bottleneck_queue = q;
+    paths = std::make_unique<topo::PinnedPaths>(net, tc);
+  }
+};
+
+MptcpConnection::Config mp_cfg(net::FlowId id, int subflows, Coupling c) {
+  MptcpConnection::Config mc;
+  mc.id = id;
+  mc.size_bytes = 4'000'000'000LL;
+  mc.n_subflows = subflows;
+  mc.coupling = c;
+  mc.path_tag_fn = [](int) { return std::uint16_t{0}; };
+  return mc;
+}
+
+/// LIA's design goal (RFC 6356 goal 2): a multi-subflow LIA flow sharing
+/// one drop-tail bottleneck with a plain TCP flow takes no more than a
+/// regular TCP flow would.
+TEST(LiaCoupling, FairToSinglePathTcpOnSharedBottleneck) {
+  SharedBottleneck tb{testutil::droptail_queue(100)};
+  auto pair_a = tb.paths->add_pair({0, 0});
+  MptcpConnection lia{tb.sched, *pair_a.src, *pair_a.dst, mp_cfg(1, 2, Coupling::Lia)};
+
+  auto pair_b = tb.paths->add_pair({0});
+  transport::Flow::Config fc;
+  fc.id = 2;
+  fc.size_bytes = 4'000'000'000LL;
+  fc.cc.kind = transport::CcConfig::Kind::Reno;
+  fc.path_tag = 0;
+  fc.path_tag_explicit = true;
+  transport::Flow tcp{tb.sched, *pair_b.src, *pair_b.dst, fc};
+
+  lia.start();
+  tcp.start();
+  tb.sched.run_until(sim::Time::seconds(2.0));
+
+  const double lia_segs = static_cast<double>(lia.subflow_sender(0).delivered_segments() +
+                                              lia.subflow_sender(1).delivered_segments());
+  const double tcp_segs = static_cast<double>(tcp.sender().delivered_segments());
+  const double ratio = lia_segs / tcp_segs;
+  EXPECT_GT(ratio, 0.4);
+  EXPECT_LT(ratio, 1.7);
+}
+
+TEST(LiaCoupling, UncoupledRenoTakesMoreThanLia) {
+  auto run = [](Coupling c) {
+    SharedBottleneck tb{testutil::droptail_queue(100)};
+    auto pair_a = tb.paths->add_pair({0, 0});
+    MptcpConnection mp{tb.sched, *pair_a.src, *pair_a.dst, mp_cfg(1, 2, c)};
+    auto pair_b = tb.paths->add_pair({0});
+    transport::Flow::Config fc;
+    fc.id = 2;
+    fc.size_bytes = 4'000'000'000LL;
+    fc.cc.kind = transport::CcConfig::Kind::Reno;
+    fc.path_tag = 0;
+    fc.path_tag_explicit = true;
+    transport::Flow tcp{tb.sched, *pair_b.src, *pair_b.dst, fc};
+    mp.start();
+    tcp.start();
+    tb.sched.run_until(sim::Time::seconds(2.0));
+    const double mp_segs = static_cast<double>(mp.subflow_sender(0).delivered_segments() +
+                                               mp.subflow_sender(1).delivered_segments());
+    return mp_segs / static_cast<double>(tcp.sender().delivered_segments());
+  };
+  EXPECT_GT(run(Coupling::UncoupledReno), run(Coupling::Lia) * 1.2);
+}
+
+/// TraSh equalizes congestion: with both subflows on the SAME path the gain
+/// must converge so that the aggregate matches a single BOS flow (paper
+/// §2.2, and the mechanism behind Fig. 6).
+TEST(XmpCoupling, GainsSumToRoughlyOneOnSharedPath) {
+  SharedBottleneck tb{testutil::ecn_queue(100, 10)};
+  auto pair = tb.paths->add_pair({0, 0});
+  MptcpConnection conn{tb.sched, *pair.src, *pair.dst, mp_cfg(1, 2, Coupling::Xmp)};
+  conn.start();
+  tb.sched.run_until(sim::Time::milliseconds(500));
+
+  double gains = 0.0;
+  for (int i = 0; i < 2; ++i) {
+    const auto* bos = dynamic_cast<const transport::BosCc*>(&conn.subflow_sender(i).cc());
+    ASSERT_NE(bos, nullptr);
+    gains += bos->current_gain();
+  }
+  // delta_r = cwnd_r / (total_rate * min_rtt); with equal RTTs the gains
+  // sum to ~1 (each subflow gets a proportional share of one flow's
+  // aggressiveness).
+  EXPECT_GT(gains, 0.6);
+  EXPECT_LT(gains, 1.4);
+}
+
+TEST(XmpCoupling, GainReflectsSubflowShare) {
+  // On two clean equal paths the subflows converge to similar rates and
+  // hence similar gains (~1/2 + 1/2 scaled by rtt ratio ~ 1 each... the
+  // gain formula gives cwnd_r/(total_rate*min_rtt) ~ 1/2 * (rtt_r/min_rtt)
+  // per subflow when rates equalize; with equal RTTs that is ~1/2 each).
+  SharedBottleneck tb{testutil::ecn_queue(100, 10)};
+  (void)tb;
+  sim::Scheduler sched;
+  net::Network net{sched};
+  topo::PinnedPaths::Config tc;
+  tc.bottlenecks = {{kGbps, sim::Time::microseconds(50)}, {kGbps, sim::Time::microseconds(50)}};
+  tc.bottleneck_queue = testutil::ecn_queue(100, 10);
+  topo::PinnedPaths paths{net, tc};
+  auto pair = paths.add_pair({0, 1});
+  MptcpConnection::Config mc = mp_cfg(1, 2, Coupling::Xmp);
+  mc.path_tag_fn = [](int i) { return static_cast<std::uint16_t>(i); };
+  MptcpConnection conn{sched, *pair.src, *pair.dst, mc};
+  conn.start();
+  sched.run_until(sim::Time::milliseconds(500));
+
+  for (int i = 0; i < 2; ++i) {
+    const auto* bos = dynamic_cast<const transport::BosCc*>(&conn.subflow_sender(i).cc());
+    ASSERT_NE(bos, nullptr);
+    EXPECT_GT(bos->current_gain(), 0.25);
+    EXPECT_LT(bos->current_gain(), 0.9);
+  }
+}
+
+TEST(OliaCoupling, ShiftsTowardCleanPath) {
+  sim::Scheduler sched;
+  net::Network net{sched};
+  topo::PinnedPaths::Config tc;
+  tc.bottlenecks = {{kGbps, sim::Time::microseconds(50)}, {kGbps, sim::Time::microseconds(50)}};
+  tc.bottleneck_queue = testutil::droptail_queue(100);  // OLIA is loss-driven
+  topo::PinnedPaths paths{net, tc};
+
+  auto pair = paths.add_pair({0, 1});
+  MptcpConnection::Config mc = mp_cfg(1, 2, Coupling::Olia);
+  mc.path_tag_fn = [](int i) { return static_cast<std::uint16_t>(i); };
+  MptcpConnection conn{sched, *pair.src, *pair.dst, mc};
+
+  // Two Reno competitors on path 0.
+  auto bg1 = paths.add_pair({0});
+  auto bg2 = paths.add_pair({0});
+  transport::Flow::Config fc;
+  fc.size_bytes = 4'000'000'000LL;
+  fc.cc.kind = transport::CcConfig::Kind::Reno;
+  fc.path_tag = 0;
+  fc.path_tag_explicit = true;
+  fc.id = 10;
+  transport::Flow c1{sched, *bg1.src, *bg1.dst, fc};
+  fc.id = 11;
+  transport::Flow c2{sched, *bg2.src, *bg2.dst, fc};
+
+  conn.start();
+  c1.start();
+  c2.start();
+  sched.run_until(sim::Time::seconds(2.0));
+
+  EXPECT_GT(conn.subflow_sender(1).delivered_segments(),
+            conn.subflow_sender(0).delivered_segments());
+}
+
+}  // namespace
+}  // namespace xmp::mptcp

@@ -1,0 +1,111 @@
+// Unit tests for OLIA's path-quality bookkeeping and alpha partition.
+
+#include <gtest/gtest.h>
+
+#include "mptcp/connection.hpp"
+#include "mptcp/olia_cc.hpp"
+#include "topo/pinned.hpp"
+#include "transport/sender.hpp"
+#include "util/fixtures.hpp"
+
+namespace xmp::mptcp {
+namespace {
+
+TEST(OliaQuality, TracksInterLossIntervals) {
+  // Drive the hooks directly: quality is max(since-last-loss, between-last-
+  // two-losses) squared.
+  testutil::TwoHosts t{1'000'000'000, sim::Time::microseconds(10),
+                       testutil::droptail_queue(1000)};
+  transport::FixedSource src{1'000'000};
+
+  // A standalone context is not needed for quality bookkeeping; reuse a
+  // minimal connection to obtain one.
+  topo::PinnedPaths::Config pc;
+  pc.bottlenecks = {{1'000'000'000, sim::Time::microseconds(10)}};
+  topo::PinnedPaths paths{t.net, pc};
+  auto pair = paths.add_pair({0});
+  MptcpConnection::Config mc;
+  mc.id = 9;
+  mc.size_bytes = 1'000;
+  mc.n_subflows = 1;
+  mc.coupling = Coupling::Olia;
+  MptcpConnection conn{t.sched, *pair.src, *pair.dst, mc};
+
+  auto olia = std::make_unique<OliaCc>(conn.context());
+  OliaCc* cc = olia.get();
+  transport::TcpSender sender{t.sched, *t.a, t.b->id(), 77, 0, 0, src, std::move(olia), {}};
+
+  transport::AckEvent ev;
+  ev.newly_acked = 50;
+  cc->on_ack(sender, ev);
+  cc->on_ack(sender, ev);
+  EXPECT_DOUBLE_EQ(cc->quality(), 100.0 * 100.0);  // 100 acked since last loss
+
+  cc->on_loss(sender, false);
+  // since_last_loss reset to 0; between_last_two = 100 -> quality unchanged.
+  EXPECT_DOUBLE_EQ(cc->quality(), 100.0 * 100.0);
+
+  ev.newly_acked = 10;
+  cc->on_ack(sender, ev);
+  cc->on_loss(sender, false);
+  // Now between_last_two = 10, since = 0 -> quality = max(0,10)^2.
+  EXPECT_DOUBLE_EQ(cc->quality(), 100.0);
+}
+
+TEST(OliaQuality, DupacksDoNotCountTowardQuality) {
+  testutil::TwoHosts t{1'000'000'000, sim::Time::microseconds(10),
+                       testutil::droptail_queue(1000)};
+  transport::FixedSource src{1'000'000};
+  topo::PinnedPaths::Config pc;
+  pc.bottlenecks = {{1'000'000'000, sim::Time::microseconds(10)}};
+  topo::PinnedPaths paths{t.net, pc};
+  auto pair = paths.add_pair({0});
+  MptcpConnection::Config mc;
+  mc.id = 9;
+  mc.size_bytes = 1'000;
+  mc.n_subflows = 1;
+  mc.coupling = Coupling::Olia;
+  MptcpConnection conn{t.sched, *pair.src, *pair.dst, mc};
+
+  auto olia = std::make_unique<OliaCc>(conn.context());
+  OliaCc* cc = olia.get();
+  transport::TcpSender sender{t.sched, *t.a, t.b->id(), 78, 0, 0, src, std::move(olia), {}};
+
+  transport::AckEvent dup;
+  dup.dupack = true;
+  dup.newly_acked = 0;
+  cc->on_ack(sender, dup);
+  cc->on_ack(sender, dup);
+  EXPECT_DOUBLE_EQ(cc->quality(), 0.0);
+}
+
+TEST(OliaAlpha, ZeroWhenAllPathsEquivalent) {
+  // Two equal clean paths: best set == max-cwnd set, collected is empty,
+  // every alpha is 0 (pure coupled increase).
+  sim::Scheduler sched;
+  net::Network net{sched};
+  topo::PinnedPaths::Config pc;
+  pc.bottlenecks = {{1'000'000'000, sim::Time::microseconds(50)},
+                    {1'000'000'000, sim::Time::microseconds(50)}};
+  pc.bottleneck_queue = testutil::droptail_queue(100);
+  topo::PinnedPaths paths{net, pc};
+  auto pair = paths.add_pair({0, 1});
+  MptcpConnection::Config mc;
+  mc.id = 1;
+  mc.size_bytes = 1'000'000'000;
+  mc.n_subflows = 2;
+  mc.coupling = Coupling::Olia;
+  mc.path_tag_fn = [](int i) { return static_cast<std::uint16_t>(i); };
+  MptcpConnection conn{sched, *pair.src, *pair.dst, mc};
+  conn.start();
+  sched.run_until(sim::Time::milliseconds(300));
+
+  const auto& ctx = conn.context();
+  const double a0 = ctx.olia_alpha(conn.subflow_sender(0));
+  const double a1 = ctx.olia_alpha(conn.subflow_sender(1));
+  // Symmetric paths: alphas are (near-)balanced and sum to ~0.
+  EXPECT_NEAR(a0 + a1, 0.0, 0.51);  // at most one 1/(n*|set|) = 1/2 term
+}
+
+}  // namespace
+}  // namespace xmp::mptcp

@@ -1,0 +1,78 @@
+// More subflows than distinct paths: tags collide onto shared bottlenecks;
+// the coupling must still behave (complete, stay fair to single flows).
+
+#include <gtest/gtest.h>
+
+#include "mptcp/connection.hpp"
+#include "topo/pinned.hpp"
+#include "util/fixtures.hpp"
+
+namespace xmp::mptcp {
+namespace {
+
+TEST(OversubscribedSubflows, EightSubflowsOverTwoPathsComplete) {
+  sim::Scheduler sched;
+  net::Network net{sched};
+  topo::PinnedPaths::Config tc;
+  tc.bottlenecks = {{1'000'000'000, sim::Time::microseconds(50)},
+                    {1'000'000'000, sim::Time::microseconds(50)}};
+  tc.bottleneck_queue = testutil::ecn_queue(100, 10);
+  topo::PinnedPaths paths{net, tc};
+  auto pair = paths.add_pair({0, 1});  // ingress has 2 up ports
+  MptcpConnection::Config mc;
+  mc.id = 1;
+  mc.size_bytes = 30'000'000;
+  mc.n_subflows = 8;  // tags 0..7 fold onto ports 0/1 (TagModulo)
+  mc.coupling = Coupling::Xmp;
+  mc.path_tag_fn = [](int i) { return static_cast<std::uint16_t>(i); };
+  MptcpConnection conn{sched, *pair.src, *pair.dst, mc};
+  conn.start();
+  sched.run_until(sim::Time::seconds(3.0));
+  ASSERT_TRUE(conn.complete());
+  // All eight subflows moved data.
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_GT(conn.subflow_sender(i).delivered_segments(), 0) << i;
+  }
+  // Aggregate still bounded by the two physical paths.
+  EXPECT_LT(conn.goodput_bps(), 2.0e9);
+}
+
+TEST(OversubscribedSubflows, StillFairAgainstSingleBosFlow) {
+  // 6 XMP subflows vs 1 BOS flow on ONE bottleneck: coupling keeps the
+  // aggregate near a single flow's share (paper Fig. 6 generalized).
+  sim::Scheduler sched;
+  net::Network net{sched};
+  topo::PinnedPaths::Config tc;
+  tc.bottlenecks = {{1'000'000'000, sim::Time::microseconds(50)}};
+  tc.bottleneck_queue = testutil::ecn_queue(100, 10);
+  topo::PinnedPaths paths{net, tc};
+
+  auto mp_pair = paths.add_pair({0, 0, 0, 0, 0, 0});
+  MptcpConnection::Config mc;
+  mc.id = 1;
+  mc.size_bytes = 4'000'000'000LL;
+  mc.n_subflows = 6;
+  mc.coupling = Coupling::Xmp;
+  mc.path_tag_fn = [](int i) { return static_cast<std::uint16_t>(i); };
+  MptcpConnection conn{sched, *mp_pair.src, *mp_pair.dst, mc};
+
+  auto bg = paths.add_pair({0});
+  MptcpConnection::Config sc = mc;
+  sc.id = 2;
+  sc.n_subflows = 1;
+  MptcpConnection single{sched, *bg.src, *bg.dst, sc};
+
+  conn.start();
+  single.start();
+  sched.run_until(sim::Time::seconds(1.5));
+
+  std::int64_t multi = 0;
+  for (int i = 0; i < 6; ++i) multi += conn.subflow_sender(i).delivered_segments();
+  const auto one = single.subflow_sender(0).delivered_segments();
+  const double ratio = static_cast<double>(multi) / static_cast<double>(one);
+  EXPECT_GT(ratio, 0.5);
+  EXPECT_LT(ratio, 2.2);  // nowhere near the 6x an uncoupled bundle takes
+}
+
+}  // namespace
+}  // namespace xmp::mptcp

@@ -1,0 +1,141 @@
+#include "net/link.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/scheduler.hpp"
+
+namespace xmp::net {
+namespace {
+
+/// Records every delivered packet with its arrival time.
+class CaptureSink final : public PacketSink {
+ public:
+  explicit CaptureSink(sim::Scheduler& s) : sched_{s} {}
+  void receive(Packet p) override {
+    arrivals.emplace_back(sched_.now(), std::move(p));
+  }
+  std::vector<std::pair<sim::Time, Packet>> arrivals;
+
+ private:
+  sim::Scheduler& sched_;
+};
+
+QueueConfig droptail(std::size_t cap) {
+  QueueConfig q;
+  q.kind = QueueConfig::Kind::DropTail;
+  q.capacity_packets = cap;
+  return q;
+}
+
+Packet data_packet(std::uint64_t uid, std::uint32_t bytes = kDataPacketBytes) {
+  Packet p;
+  p.uid = uid;
+  p.size_bytes = bytes;
+  return p;
+}
+
+TEST(Link, DeliversAfterSerializationPlusPropagation) {
+  sim::Scheduler sched;
+  CaptureSink sink{sched};
+  Link link{sched, 0, 1'000'000'000, sim::Time::microseconds(100), make_queue(droptail(10)),
+            sink};
+  link.send(data_packet(1));
+  sched.run();
+  ASSERT_EQ(sink.arrivals.size(), 1u);
+  // 1500 B at 1 Gbps = 12 us serialization + 100 us propagation.
+  EXPECT_EQ(sink.arrivals[0].first, sim::Time::microseconds(112));
+}
+
+TEST(Link, BackToBackPacketsSpacedBySerialization) {
+  sim::Scheduler sched;
+  CaptureSink sink{sched};
+  Link link{sched, 0, 1'000'000'000, sim::Time::microseconds(100), make_queue(droptail(10)),
+            sink};
+  link.send(data_packet(1));
+  link.send(data_packet(2));
+  link.send(data_packet(3));
+  sched.run();
+  ASSERT_EQ(sink.arrivals.size(), 3u);
+  EXPECT_EQ(sink.arrivals[0].first.us(), 112);
+  EXPECT_EQ(sink.arrivals[1].first.us(), 124);
+  EXPECT_EQ(sink.arrivals[2].first.us(), 136);
+  EXPECT_EQ(sink.arrivals[0].second.uid, 1u);
+  EXPECT_EQ(sink.arrivals[2].second.uid, 3u);
+}
+
+TEST(Link, RateDeterminesThroughput) {
+  sim::Scheduler sched;
+  CaptureSink sink{sched};
+  Link link{sched, 0, 300'000'000, sim::Time::zero(), make_queue(droptail(1000)), sink};
+  for (std::uint64_t i = 0; i < 100; ++i) link.send(data_packet(i));
+  sched.run();
+  ASSERT_EQ(sink.arrivals.size(), 100u);
+  // 100 * 1500 B at 300 Mbps = 4 ms.
+  EXPECT_EQ(sink.arrivals.back().first, sim::Time::microseconds(4000));
+}
+
+TEST(Link, CountsBusyTimeAndBytes) {
+  sim::Scheduler sched;
+  CaptureSink sink{sched};
+  Link link{sched, 0, 1'000'000'000, sim::Time::microseconds(5), make_queue(droptail(10)), sink};
+  link.send(data_packet(1));
+  link.send(data_packet(2, 60));
+  sched.run();
+  EXPECT_EQ(link.bytes_sent(), 1560u);
+  EXPECT_EQ(link.busy_time().ns(), 12'000 + 480);
+}
+
+TEST(Link, OverflowDropsAreCounted) {
+  sim::Scheduler sched;
+  CaptureSink sink{sched};
+  Link link{sched, 0, 1'000'000'000, sim::Time::zero(), make_queue(droptail(2)), sink};
+  // First packet starts transmitting immediately (leaves the queue); two
+  // more fill the queue; the rest drop.
+  for (std::uint64_t i = 0; i < 6; ++i) link.send(data_packet(i));
+  sched.run();
+  EXPECT_EQ(sink.arrivals.size(), 3u);
+  EXPECT_EQ(link.queue().counters().dropped, 3u);
+}
+
+TEST(Link, SetDownDropsQueueAndInFlight) {
+  sim::Scheduler sched;
+  CaptureSink sink{sched};
+  Link link{sched, 0, 1'000'000'000, sim::Time::milliseconds(1), make_queue(droptail(10)), sink};
+  link.send(data_packet(1));
+  link.send(data_packet(2));
+  // Close the link while packet 1 is still propagating.
+  sched.schedule_at(sim::Time::microseconds(500), [&] { link.set_down(true); });
+  sched.run();
+  EXPECT_TRUE(sink.arrivals.empty());
+  EXPECT_TRUE(link.is_down());
+}
+
+TEST(Link, SendWhileDownIsDropped) {
+  sim::Scheduler sched;
+  CaptureSink sink{sched};
+  Link link{sched, 0, 1'000'000'000, sim::Time::zero(), make_queue(droptail(10)), sink};
+  link.set_down(true);
+  link.send(data_packet(1));
+  sched.run();
+  EXPECT_TRUE(sink.arrivals.empty());
+}
+
+TEST(Link, ReopeningRestoresService) {
+  sim::Scheduler sched;
+  CaptureSink sink{sched};
+  Link link{sched, 0, 1'000'000'000, sim::Time::zero(), make_queue(droptail(10)), sink};
+  link.send(data_packet(1));
+  sched.schedule_at(sim::Time::microseconds(1), [&] { link.set_down(true); });
+  sched.schedule_at(sim::Time::microseconds(2), [&] {
+    link.set_down(false);
+    link.send(data_packet(2));
+  });
+  sched.run();
+  ASSERT_EQ(sink.arrivals.size(), 1u);
+  EXPECT_EQ(sink.arrivals[0].second.uid, 2u);
+}
+
+}  // namespace
+}  // namespace xmp::net

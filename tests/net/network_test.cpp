@@ -1,0 +1,113 @@
+#include "net/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/scheduler.hpp"
+
+namespace xmp::net {
+namespace {
+
+QueueConfig droptail() {
+  QueueConfig q;
+  q.kind = QueueConfig::Kind::DropTail;
+  q.capacity_packets = 50;
+  return q;
+}
+
+TEST(Network, AddLinkDeliversIntoSink) {
+  sim::Scheduler sched;
+  Network net{sched};
+  Host& h = net.add_host();
+  Link& l = net.add_link(h, 1'000'000'000, sim::Time::microseconds(1), droptail());
+  Packet p;
+  p.dst = h.id();
+  p.flow = 42;
+  l.send(std::move(p));
+  sched.run();
+  EXPECT_EQ(h.undeliverable(), 1u);  // delivered to the host's demux
+}
+
+TEST(Network, ConnectSwitchesWiresBothDirections) {
+  sim::Scheduler sched;
+  Network net{sched};
+  Switch& a = net.add_switch();
+  Switch& b = net.add_switch();
+  const auto pp = net.connect_switches(a, b, 1'000'000'000, sim::Time::microseconds(1),
+                                       droptail());
+  ASSERT_NE(pp.a_to_b, nullptr);
+  ASSERT_NE(pp.b_to_a, nullptr);
+  // Route a host id through each direction and confirm bytes move on the
+  // expected link only.
+  Host& h = net.add_host();
+  net.attach_host(h, b, 1'000'000'000, sim::Time::microseconds(1), droptail());
+  a.set_host_route(h.id(), pp.on_a);
+  Packet p;
+  p.dst = h.id();
+  a.receive(std::move(p));
+  sched.run();
+  EXPECT_GT(pp.a_to_b->bytes_sent(), 0u);
+  EXPECT_EQ(pp.b_to_a->bytes_sent(), 0u);
+}
+
+TEST(Network, AttachHostInstallsDownRoute) {
+  sim::Scheduler sched;
+  Network net{sched};
+  Switch& sw = net.add_switch();
+  Host& h = net.add_host();
+  net.attach_host(h, sw, 1'000'000'000, sim::Time::microseconds(1), droptail());
+  ASSERT_NE(h.uplink(), nullptr);
+  Packet p;
+  p.dst = h.id();
+  sw.receive(std::move(p));
+  sched.run();
+  EXPECT_EQ(sw.forwarded(), 1u);
+  EXPECT_EQ(h.undeliverable(), 1u);  // reached the host
+}
+
+TEST(Network, OwnsNodesAndLinksStably) {
+  sim::Scheduler sched;
+  Network net{sched};
+  Host* first = &net.add_host();
+  // Provoke vector growth; earlier references must stay valid (unique_ptr
+  // ownership).
+  for (int i = 0; i < 100; ++i) net.add_host();
+  EXPECT_EQ(first->id(), 0u);
+  EXPECT_EQ(net.host_count(), 101u);
+  EXPECT_EQ(&net.host(0), first);
+}
+
+TEST(Network, LinkIdsAreDense) {
+  sim::Scheduler sched;
+  Network net{sched};
+  Host& h = net.add_host();
+  for (int i = 0; i < 5; ++i) {
+    net.add_link(h, 1'000'000'000, sim::Time::zero(), droptail());
+  }
+  for (std::size_t i = 0; i < net.links().size(); ++i) {
+    EXPECT_EQ(net.links()[i]->id(), i);
+  }
+}
+
+TEST(Mix64, DeterministicAndDispersive) {
+  EXPECT_EQ(mix64(42), mix64(42));
+  // Adjacent inputs must not produce adjacent outputs (avalanche sanity).
+  int close = 0;
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    const auto d = mix64(i) ^ mix64(i + 1);
+    int bits = 0;
+    for (auto x = d; x != 0; x &= x - 1) ++bits;
+    if (bits < 16) ++close;
+  }
+  EXPECT_EQ(close, 0);
+}
+
+TEST(SegmentsForBytes, RoundsUpAndFloorsAtOne) {
+  EXPECT_EQ(segments_for_bytes(0), 1);
+  EXPECT_EQ(segments_for_bytes(1), 1);
+  EXPECT_EQ(segments_for_bytes(kMssBytes), 1);
+  EXPECT_EQ(segments_for_bytes(kMssBytes + 1), 2);
+  EXPECT_EQ(segments_for_bytes(10 * kMssBytes), 10);
+}
+
+}  // namespace
+}  // namespace xmp::net

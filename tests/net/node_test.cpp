@@ -1,0 +1,195 @@
+#include "net/node.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/network.hpp"
+#include "sim/scheduler.hpp"
+
+namespace xmp::net {
+namespace {
+
+QueueConfig droptail() {
+  QueueConfig q;
+  q.kind = QueueConfig::Kind::DropTail;
+  q.capacity_packets = 100;
+  return q;
+}
+
+class CountingEndpoint final : public Host::Endpoint {
+ public:
+  void handle(Packet p) override {
+    ++count;
+    last = std::move(p);
+  }
+  int count = 0;
+  Packet last;
+};
+
+struct SwitchFixture : public ::testing::Test {
+  sim::Scheduler sched;
+  net::Network net{sched};
+};
+
+TEST_F(SwitchFixture, ForwardsViaHostRoute) {
+  Switch& sw = net.add_switch();
+  Host& h = net.add_host();
+  net.attach_host(h, sw, 1'000'000'000, sim::Time::microseconds(1), droptail());
+
+  CountingEndpoint ep;
+  h.register_endpoint(7, 0, PacketType::Data, ep);
+
+  Packet p;
+  p.flow = 7;
+  p.type = PacketType::Data;
+  p.dst = h.id();
+  sw.receive(std::move(p));
+  sched.run();
+  EXPECT_EQ(ep.count, 1);
+  EXPECT_EQ(sw.forwarded(), 1u);
+}
+
+TEST_F(SwitchFixture, UnroutableIsCountedNotCrashed) {
+  Switch& sw = net.add_switch();
+  Packet p;
+  p.dst = 12345;
+  sw.receive(std::move(p));
+  EXPECT_EQ(sw.unroutable(), 1u);
+  EXPECT_EQ(sw.forwarded(), 0u);
+}
+
+TEST_F(SwitchFixture, HashedUpPortsAreDeterministic) {
+  Switch& a = net.add_switch();
+  Switch& b1 = net.add_switch();
+  Switch& b2 = net.add_switch();
+  const auto p1 = net.connect_switches(a, b1, 1'000'000'000, sim::Time::zero(), droptail());
+  const auto p2 = net.connect_switches(a, b2, 1'000'000'000, sim::Time::zero(), droptail());
+  a.add_up_port(p1.on_a);
+  a.add_up_port(p2.on_a);
+
+  // Same (dst, tag) must always pick the same port.
+  auto send = [&](NodeId dst, std::uint16_t tag) {
+    Packet p;
+    p.dst = dst;
+    p.path_tag = tag;
+    a.receive(std::move(p));
+  };
+  for (int i = 0; i < 10; ++i) send(99, 3);
+  sched.run();
+  const auto sent1 = p1.a_to_b->bytes_sent();
+  const auto sent2 = p2.a_to_b->bytes_sent();
+  EXPECT_TRUE(sent1 == 0 || sent2 == 0);  // all on one port
+  EXPECT_EQ(sent1 + sent2, 10u * kDataPacketBytes);
+
+  // Different tags must spread over both ports (with 32 tags the odds of
+  // all landing on one port are 2^-31).
+  for (std::uint16_t t = 0; t < 32; ++t) send(99, t);
+  sched.run();
+  EXPECT_GT(p1.a_to_b->bytes_sent(), sent1);
+  EXPECT_GT(p2.a_to_b->bytes_sent(), sent2);
+}
+
+TEST_F(SwitchFixture, TagModuloPinsPath) {
+  Switch& a = net.add_switch();
+  Switch& b1 = net.add_switch();
+  Switch& b2 = net.add_switch();
+  const auto p1 = net.connect_switches(a, b1, 1'000'000'000, sim::Time::zero(), droptail());
+  const auto p2 = net.connect_switches(a, b2, 1'000'000'000, sim::Time::zero(), droptail());
+  a.set_up_port_policy(Switch::UpPortPolicy::TagModulo);
+  a.add_up_port(p1.on_a);
+  a.add_up_port(p2.on_a);
+
+  Packet even;
+  even.dst = 50;
+  even.path_tag = 0;
+  a.receive(std::move(even));
+  Packet odd;
+  odd.dst = 50;
+  odd.path_tag = 1;
+  a.receive(std::move(odd));
+  sched.run();
+  EXPECT_EQ(p1.a_to_b->bytes_sent(), kDataPacketBytes);
+  EXPECT_EQ(p2.a_to_b->bytes_sent(), kDataPacketBytes);
+}
+
+TEST_F(SwitchFixture, HostRouteTakesPrecedenceOverUpPorts) {
+  Switch& sw = net.add_switch();
+  Host& h = net.add_host();
+  net.attach_host(h, sw, 1'000'000'000, sim::Time::zero(), droptail());
+  Switch& up = net.add_switch();
+  const auto pp = net.connect_switches(sw, up, 1'000'000'000, sim::Time::zero(), droptail());
+  sw.add_up_port(pp.on_a);
+
+  Packet p;
+  p.dst = h.id();
+  sw.receive(std::move(p));
+  sched.run();
+  EXPECT_EQ(pp.a_to_b->bytes_sent(), 0u);
+}
+
+TEST_F(SwitchFixture, HostDemuxesByFlowSubflowAndType) {
+  Switch& sw = net.add_switch();
+  Host& h = net.add_host();
+  net.attach_host(h, sw, 1'000'000'000, sim::Time::zero(), droptail());
+
+  CountingEndpoint data0, data1, ack0;
+  h.register_endpoint(1, 0, PacketType::Data, data0);
+  h.register_endpoint(1, 1, PacketType::Data, data1);
+  h.register_endpoint(1, 0, PacketType::Ack, ack0);
+
+  auto deliver = [&](std::uint16_t subflow, PacketType type) {
+    Packet p;
+    p.flow = 1;
+    p.subflow = subflow;
+    p.type = type;
+    p.dst = h.id();
+    h.receive(std::move(p));
+  };
+  deliver(0, PacketType::Data);
+  deliver(0, PacketType::Data);
+  deliver(1, PacketType::Data);
+  deliver(0, PacketType::Ack);
+  EXPECT_EQ(data0.count, 2);
+  EXPECT_EQ(data1.count, 1);
+  EXPECT_EQ(ack0.count, 1);
+  EXPECT_EQ(h.delivered(), 4u);
+}
+
+TEST_F(SwitchFixture, HostCountsUndeliverable) {
+  Switch& sw = net.add_switch();
+  Host& h = net.add_host();
+  net.attach_host(h, sw, 1'000'000'000, sim::Time::zero(), droptail());
+  Packet p;
+  p.flow = 42;
+  p.dst = h.id();
+  h.receive(std::move(p));
+  EXPECT_EQ(h.undeliverable(), 1u);
+}
+
+TEST_F(SwitchFixture, UnregisterStopsDelivery) {
+  Switch& sw = net.add_switch();
+  Host& h = net.add_host();
+  net.attach_host(h, sw, 1'000'000'000, sim::Time::zero(), droptail());
+  CountingEndpoint ep;
+  h.register_endpoint(1, 0, PacketType::Data, ep);
+  h.unregister_endpoint(1, 0, PacketType::Data);
+  Packet p;
+  p.flow = 1;
+  p.dst = h.id();
+  h.receive(std::move(p));
+  EXPECT_EQ(ep.count, 0);
+  EXPECT_EQ(h.undeliverable(), 1u);
+}
+
+TEST_F(SwitchFixture, NetworkAssignsDenseNodeIds) {
+  Host& h0 = net.add_host();
+  Switch& s0 = net.add_switch();
+  Host& h1 = net.add_host();
+  EXPECT_EQ(h0.id(), 0u);
+  EXPECT_EQ(s0.id(), 1u);
+  EXPECT_EQ(h1.id(), 2u);
+  EXPECT_EQ(net.host_count(), 2u);
+  EXPECT_EQ(&net.host(0), &h0);
+}
+
+}  // namespace
+}  // namespace xmp::net

@@ -1,0 +1,222 @@
+#include "net/queue.hpp"
+
+#include <gtest/gtest.h>
+
+namespace xmp::net {
+namespace {
+
+Packet data_packet(std::uint64_t uid, Ecn ecn = Ecn::Ect) {
+  Packet p;
+  p.uid = uid;
+  p.ecn = ecn;
+  p.size_bytes = kDataPacketBytes;
+  return p;
+}
+
+TEST(DropTailQueue, FifoOrder) {
+  DropTailQueue q{10};
+  ASSERT_TRUE(q.enqueue(data_packet(1), sim::Time::zero()));
+  ASSERT_TRUE(q.enqueue(data_packet(2), sim::Time::zero()));
+  Packet out;
+  ASSERT_TRUE(q.dequeue(out, sim::Time::zero()));
+  EXPECT_EQ(out.uid, 1u);
+  ASSERT_TRUE(q.dequeue(out, sim::Time::zero()));
+  EXPECT_EQ(out.uid, 2u);
+  EXPECT_FALSE(q.dequeue(out, sim::Time::zero()));
+}
+
+TEST(DropTailQueue, DropsWhenFull) {
+  DropTailQueue q{2};
+  EXPECT_TRUE(q.enqueue(data_packet(1), sim::Time::zero()));
+  EXPECT_TRUE(q.enqueue(data_packet(2), sim::Time::zero()));
+  EXPECT_FALSE(q.enqueue(data_packet(3), sim::Time::zero()));
+  EXPECT_EQ(q.counters().dropped, 1u);
+  EXPECT_EQ(q.counters().enqueued, 2u);
+  EXPECT_EQ(q.len_packets(), 2u);
+}
+
+TEST(DropTailQueue, TracksBytes) {
+  DropTailQueue q{10};
+  ASSERT_TRUE(q.enqueue(data_packet(1), sim::Time::zero()));
+  EXPECT_EQ(q.len_bytes(), kDataPacketBytes);
+  Packet out;
+  ASSERT_TRUE(q.dequeue(out, sim::Time::zero()));
+  EXPECT_EQ(q.len_bytes(), 0u);
+}
+
+TEST(EcnThresholdQueue, MarksOnlyAboveK) {
+  // Paper rule: the arriving packet is marked iff the instantaneous queue
+  // length (packets already queued) exceeds K.
+  const std::size_t k = 3;
+  EcnThresholdQueue q{100, k};
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    Packet p = data_packet(i);
+    ASSERT_TRUE(q.enqueue(std::move(p), sim::Time::zero()));
+  }
+  // Packets 0..k arrive with queue length <= K: unmarked. 4..9 marked.
+  Packet out;
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    ASSERT_TRUE(q.dequeue(out, sim::Time::zero()));
+    if (i <= k) {
+      EXPECT_EQ(out.ecn, Ecn::Ect) << "packet " << i;
+    } else {
+      EXPECT_EQ(out.ecn, Ecn::Ce) << "packet " << i;
+    }
+  }
+  EXPECT_EQ(q.counters().marked, 6u);
+}
+
+TEST(EcnThresholdQueue, NeverMarksNonEct) {
+  EcnThresholdQueue q{100, 0};
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    ASSERT_TRUE(q.enqueue(data_packet(i, Ecn::NotEct), sim::Time::zero()));
+  }
+  Packet out;
+  while (q.dequeue(out, sim::Time::zero())) EXPECT_EQ(out.ecn, Ecn::NotEct);
+  EXPECT_EQ(q.counters().marked, 0u);
+}
+
+TEST(EcnThresholdQueue, DropsOnOverflowRegardlessOfEcn) {
+  EcnThresholdQueue q{2, 1};
+  EXPECT_TRUE(q.enqueue(data_packet(1), sim::Time::zero()));
+  EXPECT_TRUE(q.enqueue(data_packet(2), sim::Time::zero()));
+  EXPECT_FALSE(q.enqueue(data_packet(3), sim::Time::zero()));
+  EXPECT_EQ(q.counters().dropped, 1u);
+}
+
+TEST(EcnThresholdQueue, CePreservedThroughQueue) {
+  EcnThresholdQueue q{100, 50};
+  Packet p = data_packet(1, Ecn::Ce);  // marked upstream
+  ASSERT_TRUE(q.enqueue(std::move(p), sim::Time::zero()));
+  Packet out;
+  ASSERT_TRUE(q.dequeue(out, sim::Time::zero()));
+  EXPECT_EQ(out.ecn, Ecn::Ce);
+}
+
+TEST(RedQueue, NoMarksBelowMinThreshold) {
+  RedQueue::Params params;
+  params.wq = 1.0;  // instantaneous average
+  params.min_th = 5;
+  params.max_th = 15;
+  RedQueue q{100, params};
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    ASSERT_TRUE(q.enqueue(data_packet(i), sim::Time::zero()));
+  }
+  EXPECT_EQ(q.counters().marked, 0u);
+}
+
+TEST(RedQueue, AlwaysCongestedAboveMaxThreshold) {
+  RedQueue::Params params;
+  params.wq = 1.0;
+  params.min_th = 2;
+  params.max_th = 4;
+  RedQueue q{100, params};
+  for (std::uint64_t i = 0; i < 20; ++i) {
+    ASSERT_TRUE(q.enqueue(data_packet(i), sim::Time::zero()));
+  }
+  // Once the (instantaneous) average exceeds max_th every arrival is marked.
+  EXPECT_GE(q.counters().marked, 15u);
+}
+
+TEST(RedQueue, DegeneratesToThresholdRuleWithPaperTrick) {
+  // Paper §3: RED with Wq = 1.0 and min_th == max_th == K behaves like the
+  // instantaneous-threshold marking rule.
+  const double k = 10;
+  RedQueue::Params params;
+  params.wq = 1.0;
+  params.min_th = k;
+  params.max_th = k;
+  RedQueue red{100, params};
+  EcnThresholdQueue thr{100, static_cast<std::size_t>(k)};
+  for (std::uint64_t i = 0; i < 30; ++i) {
+    ASSERT_TRUE(red.enqueue(data_packet(i), sim::Time::zero()));
+    ASSERT_TRUE(thr.enqueue(data_packet(i), sim::Time::zero()));
+  }
+  EXPECT_EQ(red.counters().marked, thr.counters().marked);
+}
+
+TEST(RedQueue, DropsInsteadOfMarkingWhenEcnDisabled) {
+  RedQueue::Params params;
+  params.wq = 1.0;
+  params.min_th = 1;
+  params.max_th = 1;
+  params.ecn = false;
+  RedQueue q{100, params};
+  ASSERT_TRUE(q.enqueue(data_packet(0), sim::Time::zero()));
+  ASSERT_TRUE(q.enqueue(data_packet(1), sim::Time::zero()));
+  // avg is now >= max_th: further arrivals are dropped.
+  EXPECT_FALSE(q.enqueue(data_packet(2), sim::Time::zero()));
+  EXPECT_GE(q.counters().dropped, 1u);
+}
+
+TEST(RedQueue, EwmaSmoothsBursts) {
+  RedQueue::Params params;
+  params.wq = 0.002;  // the classic slow EWMA the paper criticizes
+  params.min_th = 5;
+  params.max_th = 15;
+  RedQueue q{100, params};
+  // A burst of 50 packets: instantaneous length blows past max_th but the
+  // EWMA barely moves, so (almost) nothing is marked — the paper's argument
+  // for using the instantaneous length in DCNs.
+  for (std::uint64_t i = 0; i < 50; ++i) {
+    ASSERT_TRUE(q.enqueue(data_packet(i), sim::Time::zero()));
+  }
+  EXPECT_LT(q.avg(), 6.0);
+  EXPECT_EQ(q.counters().marked, 0u);
+}
+
+TEST(QueueOccupancy, TimeWeightedMean) {
+  DropTailQueue q{10};
+  // [0, 1ms): empty; [1ms, 3ms): 1 packet; [3ms, 4ms): 2 packets.
+  ASSERT_TRUE(q.enqueue(data_packet(1), sim::Time::milliseconds(1)));
+  ASSERT_TRUE(q.enqueue(data_packet(2), sim::Time::milliseconds(3)));
+  // mean over [0, 4ms] = (0*1 + 1*2 + 2*1) / 4 = 1.0
+  EXPECT_DOUBLE_EQ(q.mean_occupancy(sim::Time::milliseconds(4)), 1.0);
+  Packet out;
+  ASSERT_TRUE(q.dequeue(out, sim::Time::milliseconds(4)));
+  // [4ms, 8ms): 1 packet -> mean over [0, 8ms] = (4 + 4*1) / 8 = 1.0
+  EXPECT_DOUBLE_EQ(q.mean_occupancy(sim::Time::milliseconds(8)), 1.0);
+}
+
+TEST(QueueOccupancy, PeakTracksHighWaterMark) {
+  DropTailQueue q{10};
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    ASSERT_TRUE(q.enqueue(data_packet(i), sim::Time::microseconds(i)));
+  }
+  Packet out;
+  while (q.dequeue(out, sim::Time::microseconds(10))) {
+  }
+  EXPECT_EQ(q.peak_occupancy(), 5u);
+  EXPECT_EQ(q.len_packets(), 0u);
+}
+
+TEST(QueueOccupancy, EmptyQueueMeansZero) {
+  DropTailQueue q{10};
+  EXPECT_DOUBLE_EQ(q.mean_occupancy(sim::Time::seconds(1.0)), 0.0);
+  EXPECT_DOUBLE_EQ(q.mean_occupancy(sim::Time::zero()), 0.0);
+  EXPECT_EQ(q.peak_occupancy(), 0u);
+}
+
+TEST(MakeQueue, BuildsConfiguredKind) {
+  QueueConfig cfg;
+  cfg.kind = QueueConfig::Kind::DropTail;
+  cfg.capacity_packets = 7;
+  auto q1 = make_queue(cfg);
+  ASSERT_NE(q1, nullptr);
+  EXPECT_EQ(q1->capacity(), 7u);
+  EXPECT_NE(dynamic_cast<DropTailQueue*>(q1.get()), nullptr);
+
+  cfg.kind = QueueConfig::Kind::EcnThreshold;
+  cfg.mark_threshold = 4;
+  auto q2 = make_queue(cfg);
+  auto* ecn = dynamic_cast<EcnThresholdQueue*>(q2.get());
+  ASSERT_NE(ecn, nullptr);
+  EXPECT_EQ(ecn->mark_threshold(), 4u);
+
+  cfg.kind = QueueConfig::Kind::Red;
+  auto q3 = make_queue(cfg);
+  EXPECT_NE(dynamic_cast<RedQueue*>(q3.get()), nullptr);
+}
+
+}  // namespace
+}  // namespace xmp::net

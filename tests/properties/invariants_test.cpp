@@ -1,0 +1,277 @@
+// Property-style parameterized sweeps over the paper's design space.
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.hpp"
+#include "sim/random.hpp"
+#include "topo/fattree.hpp"
+#include "transport/ecn_codec.hpp"
+#include "transport/flow.hpp"
+#include "util/fixtures.hpp"
+
+namespace xmp {
+namespace {
+
+// ------------------------------------------------------ Eq. 1 sweep ----
+
+struct BosParams {
+  int beta;
+  int k_over_bound;  // K as a multiple (x100) of BDP/(beta-1)
+};
+
+class BosUtilizationSweep : public ::testing::TestWithParam<BosParams> {};
+
+TEST_P(BosUtilizationSweep, UtilizationFollowsEquationOne) {
+  const auto [beta, mult100] = GetParam();
+  // 1 Gbps, base RTT ~ 310 us (150 us bottleneck + access/inner hops)
+  // -> BDP ~ 26 packets.
+  const int bdp = 26;
+  const int k = std::max(1, bdp * mult100 / (100 * (beta - 1)));
+
+  testutil::TwoHosts t{1'000'000'000, sim::Time::microseconds(150),
+                       testutil::ecn_queue(250, static_cast<std::size_t>(k))};
+  transport::Flow::Config fc;
+  fc.id = 1;
+  fc.size_bytes = 1'000'000'000'000LL;
+  fc.cc.kind = transport::CcConfig::Kind::Bos;
+  fc.cc.bos.beta = beta;
+  transport::Flow f{t.sched, *t.a, *t.b, fc};
+  f.start();
+
+  // Measure past slow start.
+  sim::Time busy0 = sim::Time::zero();
+  t.sched.schedule_at(sim::Time::milliseconds(200), [&] { busy0 = t.ab->busy_time(); });
+  t.sched.run_until(sim::Time::milliseconds(700));
+  const double util = (t.ab->busy_time() - busy0).sec() / 0.5;
+
+  if (mult100 >= 100) {
+    // K >= BDP/(beta-1): Eq. 1 promises (near-)full utilization. Exactly
+    // at the bound, integer cwnd and delayed acks cost a whisker, so allow
+    // a small margin below the ~96% header-overhead ceiling.
+    EXPECT_GT(util, 0.92) << "beta=" << beta << " K=" << k;
+  } else {
+    // Well below the bound the link must drain periodically; some loss of
+    // utilization is partially compensated by the shorter RTT (§2.1), so
+    // only require that it is not pathological.
+    EXPECT_GT(util, 0.5) << "beta=" << beta << " K=" << k;
+  }
+  // The queue never grows beyond K + one BDP worth of overshoot.
+  EXPECT_EQ(t.ab->queue().counters().dropped, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Eq1, BosUtilizationSweep,
+    ::testing::Values(BosParams{2, 100}, BosParams{2, 200}, BosParams{3, 100},
+                      BosParams{4, 100}, BosParams{4, 200}, BosParams{4, 50},
+                      BosParams{5, 100}, BosParams{6, 100}, BosParams{6, 50}),
+    [](const auto& info) {
+      return "beta" + std::to_string(info.param.beta) + "_K" +
+             std::to_string(info.param.k_over_bound) + "pct";
+    });
+
+// --------------------------------------------- XMP codec conservation ----
+
+TEST(XmpCodecProperty, EchoedCountEqualsMarkedCount) {
+  // Whatever the arrival pattern, the sum of ce_echo over all acks equals
+  // the number of CE-marked segments (no congestion signal ever lost).
+  sim::Rng rng{2024};
+  for (int trial = 0; trial < 50; ++trial) {
+    transport::EcnEchoState state{transport::EcnCodec::XmpCounter};
+    std::uint64_t marked = 0;
+    std::uint64_t echoed = 0;
+    const int packets = static_cast<int>(rng.uniform_int(1, 200));
+    for (int i = 0; i < packets; ++i) {
+      net::Packet p;
+      p.ecn = rng.uniform01() < 0.3 ? net::Ecn::Ce : net::Ecn::Ect;
+      if (p.ecn == net::Ecn::Ce) ++marked;
+      state.on_data(p);
+      if (rng.uniform01() < 0.5) {  // ack every ~2 packets
+        net::Packet ack;
+        state.fill_ack(ack);
+        echoed += ack.ce_echo;
+      }
+    }
+    // Drain the codec.
+    for (int i = 0; i < 100; ++i) {
+      net::Packet ack;
+      state.fill_ack(ack);
+      echoed += ack.ce_echo;
+    }
+    EXPECT_EQ(echoed, marked);
+  }
+}
+
+// ------------------------------------------------ queue conservation ----
+
+TEST(QueueProperty, PacketAndByteAccountingConsistent) {
+  sim::Rng rng{7};
+  net::EcnThresholdQueue q{50, 10};
+  std::uint64_t accepted = 0;
+  std::uint64_t dequeued = 0;
+  for (int i = 0; i < 5000; ++i) {
+    if (rng.uniform01() < 0.55) {
+      net::Packet p;
+      p.ecn = net::Ecn::Ect;
+      p.size_bytes = static_cast<std::uint32_t>(rng.uniform_int(60, 1500));
+      if (q.enqueue(std::move(p), sim::Time::zero())) ++accepted;
+    } else {
+      net::Packet out;
+      if (q.dequeue(out, sim::Time::zero())) ++dequeued;
+    }
+    ASSERT_LE(q.len_packets(), 50u);
+    if (q.len_packets() == 0) {
+      ASSERT_EQ(q.len_bytes(), 0u);
+    }
+  }
+  EXPECT_EQ(accepted - dequeued, q.len_packets());
+  EXPECT_EQ(q.counters().enqueued, accepted);
+}
+
+// ------------------------------------------- scheme-wide determinism ----
+
+class SchemeDeterminism
+    : public ::testing::TestWithParam<workload::SchemeSpec::Kind> {};
+
+TEST_P(SchemeDeterminism, IdenticalSeedsIdenticalRuns) {
+  auto run = [&] {
+    core::ExperimentConfig cfg;
+    cfg.fat_tree_k = 4;
+    cfg.scheme.kind = GetParam();
+    cfg.scheme.subflows = 2;
+    cfg.pattern = core::Pattern::Random;
+    cfg.rand_min_bytes = 50'000;
+    cfg.rand_max_bytes = 200'000;
+    cfg.duration = sim::Time::milliseconds(80);
+    cfg.seed = 42;
+    return core::run_experiment(cfg);
+  };
+  const auto a = run();
+  const auto b = run();
+  EXPECT_EQ(a.events_dispatched, b.events_dispatched);
+  ASSERT_EQ(a.flows.size(), b.flows.size());
+  for (std::size_t i = 0; i < a.flows.size(); ++i) {
+    EXPECT_EQ(a.flows[i].start, b.flows[i].start);
+    EXPECT_EQ(a.flows[i].finish, b.flows[i].finish);
+    EXPECT_EQ(a.flows[i].bytes, b.flows[i].bytes);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchemes, SchemeDeterminism,
+                         ::testing::Values(workload::SchemeSpec::Kind::Tcp,
+                                           workload::SchemeSpec::Kind::Dctcp,
+                                           workload::SchemeSpec::Kind::Xmp,
+                                           workload::SchemeSpec::Kind::Lia,
+                                           workload::SchemeSpec::Kind::Olia),
+                         [](const auto& info) {
+                           workload::SchemeSpec s;
+                           s.kind = info.param;
+                           s.subflows = 2;
+                           auto n = s.name();
+                           for (auto& c : n) {
+                             if (c == '-') c = '_';
+                           }
+                           return n;
+                         });
+
+// ----------------------------------------- Fat-Tree structural sweep ----
+
+class FatTreeStructure : public ::testing::TestWithParam<int> {};
+
+TEST_P(FatTreeStructure, DimensionsMatchFormulae) {
+  const int k = GetParam();
+  sim::Scheduler sched;
+  net::Network net{sched};
+  topo::FatTree::Config tc;
+  tc.k = k;
+  topo::FatTree tree{net, tc};
+  EXPECT_EQ(tree.n_hosts(), k * k * k / 4);
+  EXPECT_EQ(static_cast<int>(net.switches().size()), 5 * k * k / 4);
+  EXPECT_EQ(tree.inter_pod_paths(), k * k / 4);
+  // Every layer has k^3/2 unidirectional links... rack: 2*k^3/4; the
+  // aggregation and core layers have k * (k/2) * (k/2) * 2 each.
+  EXPECT_EQ(tree.links(topo::FatTree::Layer::Rack).size(),
+            static_cast<std::size_t>(2 * k * k * k / 4));
+  EXPECT_EQ(tree.links(topo::FatTree::Layer::Aggregation).size(),
+            static_cast<std::size_t>(k * (k / 2) * (k / 2) * 2));
+  EXPECT_EQ(tree.links(topo::FatTree::Layer::Core).size(),
+            static_cast<std::size_t>(k * (k / 2) * (k / 2) * 2));
+}
+
+TEST_P(FatTreeStructure, RandomPairsAreMutuallyReachable) {
+  const int k = GetParam();
+  sim::Scheduler sched;
+  net::Network net{sched};
+  topo::FatTree::Config tc;
+  tc.k = k;
+  tc.queue = testutil::ecn_queue(100, 10);
+  topo::FatTree tree{net, tc};
+  sim::Rng rng{static_cast<std::uint64_t>(k)};
+  std::vector<std::unique_ptr<transport::Flow>> flows;
+  for (int i = 0; i < 12; ++i) {
+    const int s = static_cast<int>(rng.uniform_u64(static_cast<std::uint64_t>(tree.n_hosts())));
+    int d = static_cast<int>(rng.uniform_u64(static_cast<std::uint64_t>(tree.n_hosts())));
+    if (d == s) d = (d + 1) % tree.n_hosts();
+    transport::Flow::Config fc;
+    fc.id = static_cast<net::FlowId>(i + 1);
+    fc.size_bytes = 30'000;
+    fc.cc.kind = transport::CcConfig::Kind::Dctcp;
+    flows.push_back(std::make_unique<transport::Flow>(sched, tree.host(s), tree.host(d), fc));
+    flows.back()->start();
+  }
+  sched.run_until(sim::Time::seconds(1.0));
+  for (const auto& f : flows) EXPECT_TRUE(f->complete());
+}
+
+INSTANTIATE_TEST_SUITE_P(K, FatTreeStructure, ::testing::Values(2, 4, 6, 8),
+                         [](const auto& info) { return "k" + std::to_string(info.param); });
+
+// -------------------------------------------- transfer conservation ----
+
+class TransferConservation
+    : public ::testing::TestWithParam<std::tuple<transport::CcConfig::Kind, int>> {};
+
+TEST_P(TransferConservation, DeliveredNeverExceedsSentAndCompletes) {
+  const auto [kind, size_kb] = GetParam();
+  testutil::TwoHosts t{1'000'000'000, sim::Time::microseconds(50),
+                       testutil::ecn_queue(100, 10)};
+  transport::Flow::Config fc;
+  fc.id = 1;
+  fc.size_bytes = static_cast<std::int64_t>(size_kb) * 1000;
+  fc.cc.kind = kind;
+  transport::Flow f{t.sched, *t.a, *t.b, fc};
+  f.start();
+  t.sched.run_until(sim::Time::seconds(5.0));
+  ASSERT_TRUE(f.complete());
+  EXPECT_EQ(f.sender().delivered_segments(), net::segments_for_bytes(fc.size_bytes));
+  EXPECT_GE(f.sender().segments_sent(),
+            static_cast<std::uint64_t>(f.sender().delivered_segments()));
+  EXPECT_EQ(f.receiver().delivered_segments(), f.sender().delivered_segments());
+}
+
+std::string conservation_name(
+    const ::testing::TestParamInfo<std::tuple<transport::CcConfig::Kind, int>>& info) {
+  const char* name = "Reno";
+  switch (std::get<0>(info.param)) {
+    case transport::CcConfig::Kind::Reno:
+      name = "Reno";
+      break;
+    case transport::CcConfig::Kind::Dctcp:
+      name = "Dctcp";
+      break;
+    case transport::CcConfig::Kind::Bos:
+      name = "Bos";
+      break;
+  }
+  return std::string(name) + "_" + std::to_string(std::get<1>(info.param)) + "kb";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, TransferConservation,
+    ::testing::Combine(::testing::Values(transport::CcConfig::Kind::Reno,
+                                         transport::CcConfig::Kind::Dctcp,
+                                         transport::CcConfig::Kind::Bos),
+                       ::testing::Values(1, 2, 64, 1000, 10000)),
+    conservation_name);
+
+}  // namespace
+}  // namespace xmp

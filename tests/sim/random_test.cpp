@@ -1,0 +1,112 @@
+#include "sim/random.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace xmp::sim {
+namespace {
+
+TEST(Rng, Deterministic) {
+  Rng a{42};
+  Rng b{42};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a{1};
+  Rng b{2};
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, UniformU64InBounds) {
+  Rng r{7};
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(r.uniform_u64(17), 17u);
+  }
+}
+
+TEST(Rng, UniformU64CoversRange) {
+  Rng r{7};
+  std::vector<int> hits(8, 0);
+  for (int i = 0; i < 8000; ++i) ++hits[r.uniform_u64(8)];
+  for (int h : hits) {
+    EXPECT_GT(h, 700);  // each bucket near 1000
+    EXPECT_LT(h, 1300);
+  }
+}
+
+TEST(Rng, UniformIntInclusive) {
+  Rng r{3};
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = r.uniform_int(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    saw_lo |= v == -2;
+    saw_hi |= v == 2;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, Uniform01HalfOpen) {
+  Rng r{11};
+  for (int i = 0; i < 10000; ++i) {
+    const double u = r.uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng r{13};
+  double sum = 0.0;
+  const int n = 200'000;
+  for (int i = 0; i < n; ++i) sum += r.exponential(5.0);
+  EXPECT_NEAR(sum / n, 5.0, 0.1);
+}
+
+TEST(Rng, BoundedParetoRange) {
+  Rng r{17};
+  for (int i = 0; i < 10000; ++i) {
+    const double v = r.bounded_pareto(1.5, 2.0, 24.0);
+    EXPECT_GE(v, 2.0);
+    EXPECT_LE(v, 24.0);
+  }
+}
+
+TEST(Rng, BoundedParetoMeanMatchesClosedForm) {
+  // E[X] for bounded Pareto(alpha, L, H):
+  //   L^a/(1-(L/H)^a) * a/(a-1) * (1/L^(a-1) - 1/H^(a-1))
+  const double a = 1.5;
+  const double L = 2.0;
+  const double H = 24.0;
+  const double la = std::pow(L, a);
+  const double expected = la / (1 - std::pow(L / H, a)) * (a / (a - 1)) *
+                          (1 / std::pow(L, a - 1) - 1 / std::pow(H, a - 1));
+  Rng r{19};
+  double sum = 0.0;
+  const int n = 400'000;
+  for (int i = 0; i < n; ++i) sum += r.bounded_pareto(a, L, H);
+  EXPECT_NEAR(sum / n, expected, expected * 0.02);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng a{99};
+  Rng b = a.split();
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+}  // namespace
+}  // namespace xmp::sim

@@ -1,0 +1,114 @@
+// Randomized stress tests for the event scheduler: ordering, cancellation
+// and clock invariants under adversarial schedule/cancel interleavings.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/random.hpp"
+#include "sim/scheduler.hpp"
+
+namespace xmp::sim {
+namespace {
+
+TEST(SchedulerStress, TimestampsNeverRegress) {
+  Scheduler s;
+  Rng rng{101};
+  Time last = Time::zero();
+  int fired = 0;
+  for (int i = 0; i < 20'000; ++i) {
+    s.schedule_at(Time::nanoseconds(rng.uniform_int(0, 1'000'000)), [&] {
+      EXPECT_GE(s.now(), last);
+      last = s.now();
+      ++fired;
+    });
+  }
+  s.run();
+  EXPECT_EQ(fired, 20'000);
+}
+
+TEST(SchedulerStress, RandomCancellationsNeverFire) {
+  Scheduler s;
+  Rng rng{202};
+  std::vector<EventId> ids;
+  std::vector<bool> cancelled;
+  int fired = 0;
+  for (int i = 0; i < 10'000; ++i) {
+    ids.push_back(s.schedule_at(Time::nanoseconds(rng.uniform_int(0, 500'000)),
+                                [&fired] { ++fired; }));
+    cancelled.push_back(false);
+  }
+  int n_cancelled = 0;
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    if (rng.uniform01() < 0.37) {
+      s.cancel(ids[i]);
+      cancelled[i] = true;
+      ++n_cancelled;
+    }
+  }
+  s.run();
+  EXPECT_EQ(fired, 10'000 - n_cancelled);
+}
+
+TEST(SchedulerStress, CancelFromInsideEvent) {
+  Scheduler s;
+  bool victim_fired = false;
+  EventId victim = kInvalidEventId;
+  s.schedule_at(Time::nanoseconds(10), [&] { s.cancel(victim); });
+  victim = s.schedule_at(Time::nanoseconds(20), [&] { victim_fired = true; });
+  s.run();
+  EXPECT_FALSE(victim_fired);
+}
+
+TEST(SchedulerStress, SelfRescheduleChainUnderCancellationNoise) {
+  Scheduler s;
+  Rng rng{303};
+  int ticks = 0;
+  std::function<void()> tick = [&] {
+    if (++ticks < 1000) s.schedule_in(Time::nanoseconds(100), tick);
+  };
+  s.schedule_at(Time::zero(), tick);
+  // Interleave noise events, half of them cancelled.
+  for (int i = 0; i < 5000; ++i) {
+    const EventId id =
+        s.schedule_at(Time::nanoseconds(rng.uniform_int(0, 100'000)), [] {});
+    if (i % 2 == 0) s.cancel(id);
+  }
+  s.run();
+  EXPECT_EQ(ticks, 1000);
+}
+
+TEST(SchedulerStress, RunUntilBoundaryExact) {
+  Scheduler s;
+  int fired = 0;
+  for (int i = 1; i <= 100; ++i) {
+    s.schedule_at(Time::nanoseconds(i * 10), [&] { ++fired; });
+  }
+  s.run_until(Time::nanoseconds(500));  // events at 10..500 inclusive
+  EXPECT_EQ(fired, 50);
+  s.run_until(Time::nanoseconds(505));
+  EXPECT_EQ(fired, 50);
+  s.run_until(Time::nanoseconds(1000));
+  EXPECT_EQ(fired, 100);
+}
+
+TEST(SchedulerStress, InterleavedRunUntilWindows) {
+  Scheduler s;
+  Rng rng{404};
+  std::vector<Time> fire_times;
+  for (int i = 0; i < 5000; ++i) {
+    s.schedule_at(Time::nanoseconds(rng.uniform_int(0, 1'000'000)),
+                  [&] { fire_times.push_back(s.now()); });
+  }
+  for (int w = 1; w <= 10; ++w) {
+    s.run_until(Time::nanoseconds(w * 100'000));
+    EXPECT_EQ(s.now(), Time::nanoseconds(w * 100'000));
+  }
+  EXPECT_EQ(fire_times.size(), 5000u);
+  for (std::size_t i = 1; i < fire_times.size(); ++i) {
+    EXPECT_LE(fire_times[i - 1], fire_times[i]);
+  }
+}
+
+}  // namespace
+}  // namespace xmp::sim

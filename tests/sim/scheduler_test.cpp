@@ -1,0 +1,125 @@
+#include "sim/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace xmp::sim {
+namespace {
+
+TEST(Scheduler, RunsEventsInTimeOrder) {
+  Scheduler s;
+  std::vector<int> order;
+  s.schedule_at(Time::microseconds(30), [&] { order.push_back(3); });
+  s.schedule_at(Time::microseconds(10), [&] { order.push_back(1); });
+  s.schedule_at(Time::microseconds(20), [&] { order.push_back(2); });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(s.now(), Time::microseconds(30));
+}
+
+TEST(Scheduler, FifoAmongEqualTimestamps) {
+  Scheduler s;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    s.schedule_at(Time::microseconds(5), [&order, i] { order.push_back(i); });
+  }
+  s.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Scheduler, ScheduleInIsRelative) {
+  Scheduler s;
+  Time fired = Time::zero();
+  s.schedule_at(Time::microseconds(100), [&] {
+    s.schedule_in(Time::microseconds(50), [&] { fired = s.now(); });
+  });
+  s.run();
+  EXPECT_EQ(fired, Time::microseconds(150));
+}
+
+TEST(Scheduler, CancelPreventsDispatch) {
+  Scheduler s;
+  bool ran = false;
+  const EventId id = s.schedule_at(Time::microseconds(10), [&] { ran = true; });
+  s.cancel(id);
+  s.run();
+  EXPECT_FALSE(ran);
+  EXPECT_EQ(s.dispatched(), 0u);
+}
+
+TEST(Scheduler, CancelInvalidIdIsNoop) {
+  Scheduler s;
+  s.cancel(kInvalidEventId);
+  s.cancel(12345);
+  bool ran = false;
+  s.schedule_at(Time::microseconds(1), [&] { ran = true; });
+  s.run();
+  EXPECT_TRUE(ran);
+}
+
+TEST(Scheduler, StopHaltsRun) {
+  Scheduler s;
+  int count = 0;
+  for (int i = 1; i <= 10; ++i) {
+    s.schedule_at(Time::microseconds(i), [&] {
+      if (++count == 3) s.stop();
+    });
+  }
+  s.run();
+  EXPECT_EQ(count, 3);
+  EXPECT_EQ(s.pending(), 7u);
+}
+
+TEST(Scheduler, RunUntilAdvancesClockEvenWhenIdle) {
+  Scheduler s;
+  s.run_until(Time::milliseconds(5));
+  EXPECT_EQ(s.now(), Time::milliseconds(5));
+}
+
+TEST(Scheduler, RunUntilProcessesOnlyDueEvents) {
+  Scheduler s;
+  int fired = 0;
+  s.schedule_at(Time::microseconds(10), [&] { ++fired; });
+  s.schedule_at(Time::microseconds(20), [&] { ++fired; });
+  s.schedule_at(Time::microseconds(30), [&] { ++fired; });
+  s.run_until(Time::microseconds(20));
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(s.now(), Time::microseconds(20));
+  s.run();
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(Scheduler, EventsCanScheduleMoreEvents) {
+  Scheduler s;
+  int depth = 0;
+  std::function<void()> chain = [&] {
+    if (++depth < 100) s.schedule_in(Time::nanoseconds(1), chain);
+  };
+  s.schedule_at(Time::zero(), chain);
+  s.run();
+  EXPECT_EQ(depth, 100);
+  EXPECT_EQ(s.dispatched(), 100u);
+}
+
+TEST(Scheduler, PendingCountsLiveEventsOnly) {
+  Scheduler s;
+  const EventId a = s.schedule_at(Time::microseconds(1), [] {});
+  s.schedule_at(Time::microseconds(2), [] {});
+  EXPECT_EQ(s.pending(), 2u);
+  s.cancel(a);
+  EXPECT_EQ(s.pending(), 1u);
+}
+
+TEST(Scheduler, CancelledHeadDoesNotBlockRunUntil) {
+  Scheduler s;
+  bool ran = false;
+  const EventId a = s.schedule_at(Time::microseconds(1), [&] { ran = true; });
+  s.cancel(a);
+  s.schedule_at(Time::microseconds(2), [&] { ran = true; });
+  s.run_until(Time::microseconds(3));
+  EXPECT_TRUE(ran);
+}
+
+}  // namespace
+}  // namespace xmp::sim

@@ -1,0 +1,62 @@
+#include "sim/time.hpp"
+
+#include <gtest/gtest.h>
+
+namespace xmp::sim {
+namespace {
+
+TEST(Time, FactoriesAndAccessors) {
+  EXPECT_EQ(Time::nanoseconds(5).ns(), 5);
+  EXPECT_EQ(Time::microseconds(3).ns(), 3'000);
+  EXPECT_EQ(Time::milliseconds(7).ns(), 7'000'000);
+  EXPECT_EQ(Time::seconds(2.0).ns(), 2'000'000'000);
+  EXPECT_DOUBLE_EQ(Time::milliseconds(1).us(), 1000.0);
+  EXPECT_DOUBLE_EQ(Time::seconds(0.5).sec(), 0.5);
+}
+
+TEST(Time, SecondsRoundsToNearestNanosecond) {
+  EXPECT_EQ(Time::seconds(1e-9).ns(), 1);
+  EXPECT_EQ(Time::seconds(1.5e-9).ns(), 2);
+  EXPECT_EQ(Time::seconds(0.4e-9).ns(), 0);
+}
+
+TEST(Time, Arithmetic) {
+  const Time a = Time::microseconds(10);
+  const Time b = Time::microseconds(4);
+  EXPECT_EQ((a + b).ns(), 14'000);
+  EXPECT_EQ((a - b).ns(), 6'000);
+  EXPECT_EQ((a * 3).ns(), 30'000);
+  EXPECT_EQ((a / 2).ns(), 5'000);
+  Time c = a;
+  c += b;
+  EXPECT_EQ(c.ns(), 14'000);
+  c -= b;
+  EXPECT_EQ(c, a);
+}
+
+TEST(Time, Comparisons) {
+  EXPECT_LT(Time::microseconds(1), Time::microseconds(2));
+  EXPECT_LE(Time::zero(), Time::zero());
+  EXPECT_GT(Time::infinity(), Time::seconds(1e6));
+  EXPECT_EQ(Time::zero(), Time{});
+}
+
+TEST(Time, TransmissionTime) {
+  // 1500 B at 1 Gbps = 12 us.
+  EXPECT_EQ(transmission_time(1500, 1'000'000'000).ns(), 12'000);
+  // 60 B at 1 Gbps = 480 ns.
+  EXPECT_EQ(transmission_time(60, 1'000'000'000).ns(), 480);
+  // 1500 B at 300 Mbps = 40 us.
+  EXPECT_EQ(transmission_time(1500, 300'000'000).ns(), 40'000);
+}
+
+TEST(Time, ToStringPicksUnits) {
+  EXPECT_EQ(Time::nanoseconds(500).to_string(), "500ns");
+  EXPECT_EQ(Time::microseconds(225).to_string(), "225.000us");
+  EXPECT_EQ(Time::milliseconds(200).to_string(), "200.000ms");
+  EXPECT_EQ(Time::seconds(12.0).to_string(), "12.000s");
+  EXPECT_EQ(Time::infinity().to_string(), "+inf");
+}
+
+}  // namespace
+}  // namespace xmp::sim

@@ -1,0 +1,70 @@
+#include "stats/ascii_chart.hpp"
+
+#include <gtest/gtest.h>
+
+namespace xmp::stats {
+namespace {
+
+TEST(AsciiChart, RendersGlyphsAtExpectedRows) {
+  AsciiChart::Series s;
+  s.name = "flat";
+  s.glyph = '#';
+  s.values.assign(10, 1.0);  // pinned at y_max
+  AsciiChart::Options opts;
+  opts.rows = 4;
+  opts.cols = 10;
+  const std::string out = AsciiChart::render({s}, opts);
+  // First plotted row (y = 1.00) carries all glyphs.
+  const auto first_line = out.substr(0, out.find('\n'));
+  EXPECT_NE(first_line.find("##########"), std::string::npos);
+}
+
+TEST(AsciiChart, ClampsOutOfRangeValues) {
+  AsciiChart::Series s;
+  s.name = "wild";
+  s.values = {-5.0, 5.0};
+  AsciiChart::Options opts;
+  opts.rows = 3;
+  opts.cols = 2;
+  const std::string out = AsciiChart::render({s}, opts);
+  EXPECT_NE(out.find('*'), std::string::npos);  // still drawn, clamped
+}
+
+TEST(AsciiChart, DownsamplesLongSeries) {
+  AsciiChart::Series s;
+  s.name = "long";
+  for (int i = 0; i < 1000; ++i) s.values.push_back(0.5);
+  AsciiChart::Options opts;
+  opts.cols = 20;
+  const std::string out = AsciiChart::render({s}, opts);
+  // Exactly 20 glyph columns in the plot area (the legend repeats the
+  // glyph once more).
+  const std::string plot = out.substr(0, out.find("legend"));
+  int count = 0;
+  for (char c : plot) count += c == '*';
+  EXPECT_EQ(count, 20);
+}
+
+TEST(AsciiChart, LegendListsAllSeries) {
+  AsciiChart::Series a;
+  a.name = "alpha";
+  a.glyph = 'a';
+  a.values = {0.1};
+  AsciiChart::Series b;
+  b.name = "bravo";
+  b.glyph = 'b';
+  b.values = {0.9};
+  const std::string out = AsciiChart::render({a, b}, {});
+  EXPECT_NE(out.find("a=alpha"), std::string::npos);
+  EXPECT_NE(out.find("b=bravo"), std::string::npos);
+}
+
+TEST(AsciiChart, EmptySeriesIsSafe) {
+  AsciiChart::Series s;
+  s.name = "empty";
+  const std::string out = AsciiChart::render({s}, {});
+  EXPECT_FALSE(out.empty());
+}
+
+}  // namespace
+}  // namespace xmp::stats

@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include "stats/distribution.hpp"
+#include "stats/probes.hpp"
+#include "util/fixtures.hpp"
+
+namespace xmp::stats {
+namespace {
+
+TEST(Distribution, BasicMoments) {
+  Distribution d;
+  for (double x : {1.0, 2.0, 3.0, 4.0}) d.add(x);
+  EXPECT_EQ(d.count(), 4u);
+  EXPECT_DOUBLE_EQ(d.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(d.min(), 1.0);
+  EXPECT_DOUBLE_EQ(d.max(), 4.0);
+}
+
+TEST(Distribution, EmptyIsSafe) {
+  Distribution d;
+  EXPECT_TRUE(d.empty());
+  EXPECT_DOUBLE_EQ(d.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(d.percentile(50), 0.0);
+  EXPECT_DOUBLE_EQ(d.cdf_at(1.0), 0.0);
+  EXPECT_TRUE(d.cdf_points(10).empty());
+}
+
+TEST(Distribution, PercentilesNearestRank) {
+  Distribution d;
+  for (int i = 1; i <= 100; ++i) d.add(i);
+  EXPECT_DOUBLE_EQ(d.percentile(50), 50.0);
+  EXPECT_DOUBLE_EQ(d.percentile(90), 90.0);
+  EXPECT_DOUBLE_EQ(d.percentile(10), 10.0);
+  EXPECT_DOUBLE_EQ(d.percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(d.percentile(100), 100.0);
+}
+
+TEST(Distribution, PercentileUnsortedInput) {
+  Distribution d;
+  for (double x : {9.0, 1.0, 5.0, 3.0, 7.0}) d.add(x);
+  EXPECT_DOUBLE_EQ(d.percentile(50), 5.0);
+}
+
+TEST(Distribution, CdfAt) {
+  Distribution d;
+  for (int i = 1; i <= 10; ++i) d.add(i);
+  EXPECT_DOUBLE_EQ(d.cdf_at(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(d.cdf_at(5.0), 0.5);
+  EXPECT_DOUBLE_EQ(d.cdf_at(10.0), 1.0);
+}
+
+TEST(Distribution, CdfPointsMonotone) {
+  Distribution d;
+  for (int i = 0; i < 57; ++i) d.add(i * 1.5);
+  const auto pts = d.cdf_points(10);
+  ASSERT_FALSE(pts.empty());
+  for (std::size_t i = 1; i < pts.size(); ++i) {
+    EXPECT_GE(pts[i].first, pts[i - 1].first);
+    EXPECT_GE(pts[i].second, pts[i - 1].second);
+  }
+  EXPECT_DOUBLE_EQ(pts.back().second, 1.0);
+}
+
+TEST(Distribution, AddAfterQueryResorts) {
+  Distribution d;
+  d.add(10.0);
+  EXPECT_DOUBLE_EQ(d.percentile(50), 10.0);
+  d.add(1.0);
+  EXPECT_DOUBLE_EQ(d.min(), 1.0);
+}
+
+TEST(JainIndex, PerfectFairnessIsOne) {
+  EXPECT_DOUBLE_EQ(jain_index({5.0, 5.0, 5.0, 5.0}), 1.0);
+}
+
+TEST(JainIndex, SingleHogApproaches1OverN) {
+  EXPECT_NEAR(jain_index({1.0, 0.0, 0.0, 0.0}), 0.25, 1e-12);
+}
+
+TEST(JainIndex, EmptyAndZeroAreSafe) {
+  EXPECT_DOUBLE_EQ(jain_index({}), 0.0);
+  EXPECT_DOUBLE_EQ(jain_index({0.0, 0.0}), 0.0);
+}
+
+TEST(RateProbe, DifferentiatesCumulativeCounter) {
+  sim::Scheduler sched;
+  double counter = 0.0;
+  // Counter grows by 5 units per ms.
+  std::function<void()> grow = [&] {
+    counter += 5.0;
+    sched.schedule_in(sim::Time::milliseconds(1), grow);
+  };
+  sched.schedule_in(sim::Time::milliseconds(1), grow);
+
+  RateProbe probe{sched, sim::Time::milliseconds(10), [&] { return counter; }};
+  probe.start();
+  sched.run_until(sim::Time::milliseconds(100));
+  ASSERT_GE(probe.rates().size(), 9u);
+  for (double r : probe.rates()) EXPECT_NEAR(r, 5000.0, 500.0);  // units/s
+  EXPECT_EQ(probe.timestamps().front(), sim::Time::milliseconds(10));
+}
+
+TEST(RateProbe, StopCeasesSampling) {
+  sim::Scheduler sched;
+  RateProbe probe{sched, sim::Time::milliseconds(1), [] { return 0.0; }};
+  probe.start();
+  sched.run_until(sim::Time::milliseconds(5));
+  probe.stop();
+  const auto n = probe.rates().size();
+  sched.run_until(sim::Time::milliseconds(20));
+  EXPECT_EQ(probe.rates().size(), n);
+}
+
+TEST(GaugeProbe, SamplesInstantaneousValue) {
+  sim::Scheduler sched;
+  GaugeProbe probe{sched, sim::Time::milliseconds(1), [&] { return sched.now().ms(); }};
+  probe.start();
+  sched.run_until(sim::Time::milliseconds(5));
+  ASSERT_GE(probe.samples().size(), 4u);
+  EXPECT_DOUBLE_EQ(probe.samples()[0], 1.0);
+  EXPECT_DOUBLE_EQ(probe.samples()[2], 3.0);
+}
+
+TEST(UtilizationWindow, MeasuresBusyFraction) {
+  using namespace xmp::testutil;
+  TwoHosts t{1'000'000'000, sim::Time::microseconds(10), droptail_queue(1000)};
+  UtilizationWindow win{t.sched};
+  win.open({t.ab});
+  // 50 packets of 1500 B at 1 Gbps = 600 us busy.
+  for (int i = 0; i < 50; ++i) {
+    net::Packet p;
+    p.size_bytes = net::kDataPacketBytes;
+    p.dst = t.b->id();
+    t.a->send(std::move(p));
+  }
+  t.sched.run_until(sim::Time::milliseconds(1));
+  const auto utils = win.close();
+  ASSERT_EQ(utils.size(), 1u);
+  EXPECT_NEAR(utils[0], 0.6, 0.02);
+}
+
+TEST(UtilizationWindow, WindowExcludesEarlierTraffic) {
+  using namespace xmp::testutil;
+  TwoHosts t{1'000'000'000, sim::Time::microseconds(10), droptail_queue(1000)};
+  // Traffic before the window opens.
+  for (int i = 0; i < 50; ++i) {
+    net::Packet p;
+    p.size_bytes = net::kDataPacketBytes;
+    p.dst = t.b->id();
+    t.a->send(std::move(p));
+  }
+  t.sched.run_until(sim::Time::milliseconds(1));
+  UtilizationWindow win{t.sched};
+  win.open({t.ab});
+  t.sched.run_until(sim::Time::milliseconds(2));
+  const auto utils = win.close();
+  ASSERT_EQ(utils.size(), 1u);
+  EXPECT_DOUBLE_EQ(utils[0], 0.0);
+}
+
+}  // namespace
+}  // namespace xmp::stats

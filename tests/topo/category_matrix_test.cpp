@@ -1,0 +1,71 @@
+// Exhaustive locality-category verification for the paper's k=8 Fat-Tree.
+
+#include <gtest/gtest.h>
+
+#include "topo/fattree.hpp"
+#include "util/fixtures.hpp"
+
+namespace xmp::topo {
+namespace {
+
+TEST(CategoryMatrix, CountsMatchCombinatoricsK8) {
+  sim::Scheduler sched;
+  net::Network net{sched};
+  FatTree::Config tc;
+  tc.k = 8;
+  FatTree tree{net, tc};
+
+  // k=8: 4 hosts per edge, 16 per pod, 128 total.
+  std::size_t inner = 0;
+  std::size_t inter_rack = 0;
+  std::size_t inter_pod = 0;
+  for (int s = 0; s < tree.n_hosts(); ++s) {
+    for (int d = 0; d < tree.n_hosts(); ++d) {
+      if (s == d) continue;
+      switch (tree.category(s, d)) {
+        case FatTree::Category::InnerRack:
+          ++inner;
+          break;
+        case FatTree::Category::InterRack:
+          ++inter_rack;
+          break;
+        case FatTree::Category::InterPod:
+          ++inter_pod;
+          break;
+      }
+    }
+  }
+  // Inner-rack: 128 * 3 partners; inter-rack: 128 * 12; inter-pod: 128 * 112.
+  EXPECT_EQ(inner, 128u * 3u);
+  EXPECT_EQ(inter_rack, 128u * 12u);
+  EXPECT_EQ(inter_pod, 128u * 112u);
+}
+
+TEST(CategoryMatrix, SymmetricClassification) {
+  sim::Scheduler sched;
+  net::Network net{sched};
+  FatTree::Config tc;
+  tc.k = 4;
+  FatTree tree{net, tc};
+  for (int s = 0; s < tree.n_hosts(); ++s) {
+    for (int d = 0; d < tree.n_hosts(); ++d) {
+      if (s == d) continue;
+      EXPECT_EQ(tree.category(s, d), tree.category(d, s));
+    }
+  }
+}
+
+TEST(CategoryMatrix, RackEqualsEdge) {
+  sim::Scheduler sched;
+  net::Network net{sched};
+  FatTree::Config tc;
+  tc.k = 8;
+  FatTree tree{net, tc};
+  for (int h = 0; h < tree.n_hosts(); ++h) {
+    EXPECT_EQ(tree.rack_of(h), tree.edge_of(h));
+    EXPECT_EQ(tree.pod_of(h), h / 16);
+  }
+}
+
+}  // namespace
+}  // namespace xmp::topo

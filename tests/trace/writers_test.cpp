@@ -1,0 +1,146 @@
+#include "trace/writers.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "core/experiment.hpp"
+#include "core/export.hpp"
+
+namespace xmp::trace {
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in{path};
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+struct TempFile {
+  std::string path;
+  explicit TempFile(const char* name) : path{std::string{"/tmp/xmp_test_"} + name} {}
+  ~TempFile() { std::remove(path.c_str()); }
+};
+
+TEST(CsvWriter, WritesHeaderAndRows) {
+  TempFile f{"basic.csv"};
+  {
+    CsvWriter csv{f.path};
+    csv.header({"a", "b", "c"});
+    csv.field(std::int64_t{1}).field(2.5).field(std::string{"x"});
+    csv.end_row();
+  }
+  EXPECT_EQ(slurp(f.path), "a,b,c\n1,2.5,x\n");
+}
+
+TEST(CsvWriter, QuotesSpecialCharacters) {
+  TempFile f{"quotes.csv"};
+  {
+    CsvWriter csv{f.path};
+    csv.field(std::string{"hello, world"}).field(std::string{"say \"hi\""});
+    csv.end_row();
+  }
+  EXPECT_EQ(slurp(f.path), "\"hello, world\",\"say \"\"hi\"\"\"\n");
+}
+
+TEST(CsvWriter, UnterminatedRowFlushedOnDestruction) {
+  TempFile f{"flush.csv"};
+  {
+    CsvWriter csv{f.path};
+    csv.field(std::int64_t{7});
+  }
+  EXPECT_EQ(slurp(f.path), "7\n");
+}
+
+TEST(JsonWriter, NestedStructure) {
+  TempFile f{"nested.json"};
+  {
+    JsonWriter json{f.path};
+    json.begin_object();
+    json.kv("name", "xmp");
+    json.kv("beta", std::int64_t{4});
+    json.kv("ratio", 0.25);
+    json.kv("enabled", true);
+    json.key("subflows");
+    json.begin_array();
+    json.value(std::int64_t{1});
+    json.value(std::int64_t{2});
+    json.end_array();
+    json.key("nested");
+    json.begin_object();
+    json.kv("k", std::int64_t{10});
+    json.end_object();
+    json.end_object();
+  }
+  const std::string s = slurp(f.path);
+  EXPECT_NE(s.find("\"name\": \"xmp\""), std::string::npos);
+  EXPECT_NE(s.find("\"subflows\": ["), std::string::npos);
+  EXPECT_NE(s.find("\"k\": 10"), std::string::npos);
+  // Balanced braces/brackets.
+  EXPECT_EQ(std::count(s.begin(), s.end(), '{'), std::count(s.begin(), s.end(), '}'));
+  EXPECT_EQ(std::count(s.begin(), s.end(), '['), std::count(s.begin(), s.end(), ']'));
+}
+
+TEST(JsonWriter, EscapesStrings) {
+  TempFile f{"escape.json"};
+  {
+    JsonWriter json{f.path};
+    json.begin_object();
+    json.kv("text", "line\nbreak \"quoted\" back\\slash");
+    json.end_object();
+  }
+  const std::string s = slurp(f.path);
+  EXPECT_NE(s.find("\\n"), std::string::npos);
+  EXPECT_NE(s.find("\\\""), std::string::npos);
+  EXPECT_NE(s.find("\\\\"), std::string::npos);
+}
+
+TEST(JsonWriter, EmptyContainers) {
+  TempFile f{"empty.json"};
+  {
+    JsonWriter json{f.path};
+    json.begin_object();
+    json.key("arr");
+    json.begin_array();
+    json.end_array();
+    json.key("obj");
+    json.begin_object();
+    json.end_object();
+    json.end_object();
+  }
+  const std::string s = slurp(f.path);
+  EXPECT_NE(s.find("[]"), std::string::npos);
+  EXPECT_NE(s.find("{}"), std::string::npos);
+}
+
+TEST(Export, FlowsCsvAndSummaryJsonRoundTrip) {
+  core::ExperimentConfig cfg;
+  cfg.fat_tree_k = 4;
+  cfg.scheme.kind = workload::SchemeSpec::Kind::Xmp;
+  cfg.pattern = core::Pattern::Random;
+  cfg.rand_min_bytes = 50'000;
+  cfg.rand_max_bytes = 100'000;
+  cfg.duration = sim::Time::milliseconds(50);
+  const auto res = core::run_experiment(cfg);
+
+  TempFile csv{"flows.csv"};
+  TempFile json{"summary.json"};
+  core::export_flows_csv(res, csv.path);
+  core::export_summary_json(cfg, res, json.path);
+
+  const std::string csv_text = slurp(csv.path);
+  // One header plus one line per flow.
+  EXPECT_EQ(static_cast<std::size_t>(std::count(csv_text.begin(), csv_text.end(), '\n')),
+            res.flows.size() + 1);
+  const std::string json_text = slurp(json.path);
+  EXPECT_NE(json_text.find("\"pattern\": \"Random\""), std::string::npos);
+  EXPECT_NE(json_text.find("\"avg_goodput_mbps\""), std::string::npos);
+  EXPECT_EQ(std::count(json_text.begin(), json_text.end(), '{'),
+            std::count(json_text.begin(), json_text.end(), '}'));
+}
+
+}  // namespace
+}  // namespace xmp::trace

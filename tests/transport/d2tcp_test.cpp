@@ -1,0 +1,134 @@
+#include "transport/cc/d2tcp.hpp"
+
+#include <gtest/gtest.h>
+
+#include "transport/flow.hpp"
+#include "transport/segment_source.hpp"
+#include "transport/sender.hpp"
+#include "util/fixtures.hpp"
+
+namespace xmp::transport {
+namespace {
+
+using testutil::TwoHosts;
+
+struct D2Harness {
+  TwoHosts t{10'000'000'000, sim::Time::microseconds(1), testutil::droptail_queue(100'000)};
+  FixedSource source{1'000'000};
+  D2tcpCc* cc = nullptr;
+  std::unique_ptr<TcpSender> sender;
+
+  explicit D2Harness(const D2tcpCc::DeadlineParams& dp) {
+    auto policy = std::make_unique<D2tcpCc>(DctcpCc::Params{}, dp);
+    cc = policy.get();
+    SenderConfig sc;
+    sc.ecn_capable = true;
+    sender = std::make_unique<TcpSender>(t.sched, *t.a, t.b->id(), 1, 0, 0, source,
+                                         std::move(policy), sc);
+    sender->start();
+    t.sched.run_until(sim::Time::microseconds(100));
+  }
+
+  void ack(std::int64_t ackno, bool ece, sim::Time ts = sim::Time::zero()) {
+    net::Packet p;
+    p.flow = 1;
+    p.type = net::PacketType::Ack;
+    p.ack = ackno;
+    p.ece = ece;
+    p.ts = ts;
+    sender->handle(std::move(p));
+    t.sched.run_until(t.sched.now() + sim::Time::microseconds(100));
+  }
+};
+
+TEST(D2tcp, NoDeadlineBehavesLikeDctcp) {
+  D2Harness h{{}};
+  EXPECT_DOUBLE_EQ(h.cc->imminence(*h.sender, h.t.sched.now()), 1.0);
+  // alpha = 1 initially: reduction = cwnd * (1 - 1/2).
+  h.sender->set_ssthresh(1.0);
+  h.sender->set_cwnd(100.0);
+  AckEvent ev;
+  ev.ece = true;
+  h.cc->on_congestion_signal(*h.sender, ev);
+  EXPECT_NEAR(h.sender->cwnd(), 50.0, 1e-9);
+}
+
+TEST(D2tcp, FarDeadlineBacksOffMoreThanNearDeadline) {
+  // Two senders with the same alpha but different deadline pressure.
+  D2tcpCc::DeadlineParams far;
+  far.deadline = sim::Time::seconds(100.0);  // loads of time: d -> 0.5
+  far.total_segments = 1000;
+  D2tcpCc::DeadlineParams near;
+  near.deadline = sim::Time::milliseconds(1);  // nearly due: d -> 2
+  near.total_segments = 1000;
+
+  D2Harness hf{far};
+  D2Harness hn{near};
+  // Both need an RTT sample so Tc is computable.
+  hf.ack(1, false, sim::Time::microseconds(1));
+  hn.ack(1, false, sim::Time::microseconds(1));
+
+  // Decay alpha below 1 so the gamma correction has an effect.
+  for (int i = 0; i < 10; ++i) {
+    hf.ack(hf.sender->snd_nxt(), false);
+    hn.ack(hn.sender->snd_nxt(), false);
+  }
+
+  hf.sender->set_ssthresh(1.0);
+  hn.sender->set_ssthresh(1.0);
+  hf.sender->set_cwnd(100.0);
+  hn.sender->set_cwnd(100.0);
+  AckEvent ev;
+  ev.ece = true;
+  hf.cc->on_congestion_signal(*hf.sender, ev);
+  hn.cc->on_congestion_signal(*hn.sender, ev);
+  // alpha < 1: alpha^0.5 > alpha^2, so the far-deadline flow cuts deeper.
+  EXPECT_LT(hf.sender->cwnd(), hn.sender->cwnd());
+}
+
+TEST(D2tcp, ImminenceClampedToRange) {
+  D2tcpCc::DeadlineParams dp;
+  dp.deadline = sim::Time::nanoseconds(1);  // already essentially past
+  dp.total_segments = 1'000'000;
+  D2Harness h{dp};
+  h.ack(1, false, sim::Time::microseconds(1));
+  h.t.sched.run_until(sim::Time::seconds(0.001));
+  const double d = h.cc->imminence(*h.sender, h.t.sched.now());
+  EXPECT_GE(d, 0.5);
+  EXPECT_LE(d, 2.0);
+  EXPECT_DOUBLE_EQ(d, 2.0);  // past deadline -> max aggressiveness
+}
+
+TEST(D2tcp, DeadlineFlowCompletesEndToEnd) {
+  TwoHosts t{1'000'000'000, sim::Time::microseconds(50), testutil::ecn_queue(100, 10)};
+  FixedSource source{net::segments_for_bytes(2'000'000)};
+  D2tcpCc::DeadlineParams dp;
+  dp.deadline = sim::Time::milliseconds(60);
+  dp.total_segments = source.total();
+  SenderConfig sc;
+  sc.ecn_capable = true;
+  ReceiverConfig rc;
+  rc.codec = EcnCodec::Dctcp;
+  TcpReceiver receiver{t.sched, *t.b, t.a->id(), 1, 0, 0, rc};
+  TcpSender sender{t.sched, *t.a, t.b->id(), 1, 0, 0, source,
+                   std::make_unique<D2tcpCc>(DctcpCc::Params{}, dp), sc};
+  sender.start();
+  sim::Time finished = sim::Time::zero();
+  // Poll for completion so we can record when it happened.
+  std::function<void()> watch = [&] {
+    if (source.complete()) {
+      finished = t.sched.now();
+      return;
+    }
+    t.sched.schedule_in(sim::Time::milliseconds(1), watch);
+  };
+  t.sched.schedule_in(sim::Time::milliseconds(1), watch);
+  t.sched.run_until(sim::Time::seconds(1.0));
+  ASSERT_TRUE(source.complete());
+  // 2 MB at ~1 Gbps ~ 17 ms: comfortably within the 60 ms deadline.
+  EXPECT_GT(finished, sim::Time::zero());
+  EXPECT_LT(finished.ms(), 60.0);
+}
+
+}  // namespace
+}  // namespace xmp::transport

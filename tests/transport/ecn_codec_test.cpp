@@ -1,0 +1,128 @@
+#include "transport/ecn_codec.hpp"
+
+#include <gtest/gtest.h>
+
+namespace xmp::transport {
+namespace {
+
+net::Packet data(net::Ecn ecn) {
+  net::Packet p;
+  p.type = net::PacketType::Data;
+  p.ecn = ecn;
+  return p;
+}
+
+TEST(EcnCodecNone, NeverSignals) {
+  EcnEchoState s{EcnCodec::None};
+  EXPECT_FALSE(s.on_data(data(net::Ecn::Ce)));
+  net::Packet ack;
+  s.fill_ack(ack);
+  EXPECT_FALSE(ack.ece);
+  EXPECT_EQ(ack.ce_echo, 0);
+}
+
+TEST(EcnCodecXmp, CountsCesUpToThree) {
+  EcnEchoState s{EcnCodec::XmpCounter};
+  EXPECT_FALSE(s.on_data(data(net::Ecn::Ce)));
+  EXPECT_FALSE(s.on_data(data(net::Ecn::Ce)));
+  net::Packet ack;
+  s.fill_ack(ack);
+  EXPECT_EQ(ack.ce_echo, 2);
+  // Counter resets after echoing.
+  net::Packet ack2;
+  s.fill_ack(ack2);
+  EXPECT_EQ(ack2.ce_echo, 0);
+}
+
+TEST(EcnCodecXmp, SaturatesAtThreeAndCarriesRemainder) {
+  EcnEchoState s{EcnCodec::XmpCounter};
+  for (int i = 0; i < 5; ++i) s.on_data(data(net::Ecn::Ce));
+  net::Packet ack;
+  s.fill_ack(ack);
+  EXPECT_EQ(ack.ce_echo, 3);  // two bits encode at most 3 CEs (paper §2.1)
+  net::Packet ack2;
+  s.fill_ack(ack2);
+  EXPECT_EQ(ack2.ce_echo, 2);  // remainder is not lost
+}
+
+TEST(EcnCodecXmp, UnmarkedPacketsEchoZero) {
+  EcnEchoState s{EcnCodec::XmpCounter};
+  s.on_data(data(net::Ecn::Ect));
+  s.on_data(data(net::Ecn::Ect));
+  net::Packet ack;
+  s.fill_ack(ack);
+  EXPECT_EQ(ack.ce_echo, 0);
+}
+
+TEST(EcnCodecClassic, EceSticksUntilCwr) {
+  EcnEchoState s{EcnCodec::Classic};
+  s.on_data(data(net::Ecn::Ce));
+  for (int i = 0; i < 3; ++i) {
+    s.on_data(data(net::Ecn::Ect));  // no further marks
+    net::Packet ack;
+    s.fill_ack(ack);
+    EXPECT_TRUE(ack.ece);  // sticky
+  }
+  net::Packet cwr_pkt = data(net::Ecn::Ect);
+  cwr_pkt.cwr = true;
+  s.on_data(cwr_pkt);
+  net::Packet ack;
+  s.fill_ack(ack);
+  EXPECT_FALSE(ack.ece);
+}
+
+TEST(EcnCodecClassic, ReLatchesAfterCwr) {
+  EcnEchoState s{EcnCodec::Classic};
+  s.on_data(data(net::Ecn::Ce));
+  net::Packet cwr_pkt = data(net::Ecn::Ect);
+  cwr_pkt.cwr = true;
+  s.on_data(cwr_pkt);
+  s.on_data(data(net::Ecn::Ce));  // new congestion episode
+  net::Packet ack;
+  s.fill_ack(ack);
+  EXPECT_TRUE(ack.ece);
+}
+
+TEST(EcnCodecDctcp, StateChangeForcesImmediateAck) {
+  EcnEchoState s{EcnCodec::Dctcp};
+  EXPECT_FALSE(s.on_data(data(net::Ecn::Ect)));   // state stays 0
+  EXPECT_TRUE(s.on_data(data(net::Ecn::Ce)));     // 0 -> 1: flush
+  EXPECT_FALSE(s.on_data(data(net::Ecn::Ce)));    // stays 1
+  EXPECT_TRUE(s.on_data(data(net::Ecn::Ect)));    // 1 -> 0: flush
+}
+
+TEST(EcnCodecDctcp, FlushedAckCarriesOldState) {
+  EcnEchoState s{EcnCodec::Dctcp};
+  s.on_data(data(net::Ecn::Ect));
+  ASSERT_TRUE(s.on_data(data(net::Ecn::Ce)));  // state change 0 -> 1
+  net::Packet flushed;
+  s.fill_ack(flushed);
+  EXPECT_FALSE(flushed.ece);  // covers the pre-change segments
+  net::Packet next;
+  s.fill_ack(next);
+  EXPECT_TRUE(next.ece);  // subsequent acks carry the new state
+}
+
+TEST(EcnCodecDctcp, DropPendingChangeWhenNothingToFlush) {
+  EcnEchoState s{EcnCodec::Dctcp};
+  ASSERT_TRUE(s.on_data(data(net::Ecn::Ce)));
+  s.drop_pending_state_change();  // receiver had no pending ack to flush
+  net::Packet ack;
+  s.fill_ack(ack);
+  EXPECT_TRUE(ack.ece);  // must reflect the *current* CE state
+}
+
+TEST(EcnCodecDctcp, SteadyMarkingKeepsEceSet) {
+  EcnEchoState s{EcnCodec::Dctcp};
+  s.on_data(data(net::Ecn::Ce));
+  s.drop_pending_state_change();
+  for (int i = 0; i < 4; ++i) {
+    s.on_data(data(net::Ecn::Ce));
+    net::Packet ack;
+    s.fill_ack(ack);
+    EXPECT_TRUE(ack.ece);
+  }
+}
+
+}  // namespace
+}  // namespace xmp::transport

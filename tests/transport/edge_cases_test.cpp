@@ -1,0 +1,203 @@
+// Edge-case and failure-injection tests for the transport layer.
+
+#include <gtest/gtest.h>
+
+#include "transport/flow.hpp"
+#include "util/fixtures.hpp"
+
+namespace xmp::transport {
+namespace {
+
+using testutil::TwoHosts;
+
+constexpr std::int64_t kGbps = 1'000'000'000;
+
+Flow::Config bos_flow(net::FlowId id, std::int64_t bytes) {
+  Flow::Config fc;
+  fc.id = id;
+  fc.size_bytes = bytes;
+  fc.cc.kind = CcConfig::Kind::Bos;
+  return fc;
+}
+
+TEST(TransportLoss, FastRetransmitRecoversFromSingleDrop) {
+  // A queue of 1 packet beyond the in-service slot forces early drops
+  // during slow start; the flow must still complete without timeouts
+  // dominating (fast retransmit + limited transmit does the work).
+  TwoHosts t{kGbps, sim::Time::microseconds(100), testutil::droptail_queue(20)};
+  Flow::Config fc = bos_flow(1, 5'000'000);
+  fc.cc.kind = CcConfig::Kind::Reno;
+  Flow f{t.sched, *t.a, *t.b, fc};
+  f.start();
+  t.sched.run_until(sim::Time::seconds(5.0));
+  ASSERT_TRUE(f.complete());
+  EXPECT_GT(f.sender().fast_retransmits(), 0u);
+}
+
+TEST(TransportLoss, CompletesThroughTransientLinkOutage) {
+  TwoHosts t{kGbps, sim::Time::microseconds(100), testutil::ecn_queue(100, 10)};
+  Flow f{t.sched, *t.a, *t.b, bos_flow(1, 2'000'000)};
+  f.start();
+  // 100 ms blackout in the middle of the transfer.
+  t.sched.schedule_at(sim::Time::milliseconds(3), [&] { t.ab->set_down(true); });
+  t.sched.schedule_at(sim::Time::milliseconds(103), [&] { t.ab->set_down(false); });
+  t.sched.run_until(sim::Time::seconds(5.0));
+  ASSERT_TRUE(f.complete());
+  EXPECT_GT(f.sender().timeouts(), 0u);
+}
+
+TEST(TransportLoss, CompletesWhenAckPathBlacksOut) {
+  TwoHosts t{kGbps, sim::Time::microseconds(100), testutil::ecn_queue(100, 10)};
+  Flow f{t.sched, *t.a, *t.b, bos_flow(1, 2'000'000)};
+  f.start();
+  t.sched.schedule_at(sim::Time::milliseconds(3), [&] { t.ba->set_down(true); });
+  t.sched.schedule_at(sim::Time::milliseconds(103), [&] { t.ba->set_down(false); });
+  t.sched.run_until(sim::Time::seconds(5.0));
+  ASSERT_TRUE(f.complete());
+}
+
+TEST(TransportLoss, SurvivesRepeatedOutages) {
+  TwoHosts t{kGbps, sim::Time::microseconds(100), testutil::ecn_queue(100, 10)};
+  Flow f{t.sched, *t.a, *t.b, bos_flow(1, 1'000'000)};
+  f.start();
+  for (int i = 0; i < 5; ++i) {
+    t.sched.schedule_at(sim::Time::milliseconds(2 + i * 400), [&] { t.ab->set_down(true); });
+    t.sched.schedule_at(sim::Time::milliseconds(52 + i * 400), [&] { t.ab->set_down(false); });
+  }
+  t.sched.run_until(sim::Time::seconds(10.0));
+  EXPECT_TRUE(f.complete());
+}
+
+TEST(TransportLoss, RtoBackoffBoundedByRtoMax) {
+  TwoHosts t{kGbps, sim::Time::microseconds(100), testutil::ecn_queue(100, 10)};
+  Flow::Config fc = bos_flow(1, 1'000'000);
+  fc.tune_sender = [](SenderConfig& sc) {
+    sc.rto_min = sim::Time::milliseconds(10);
+    sc.rto_max = sim::Time::milliseconds(50);
+  };
+  Flow f{t.sched, *t.a, *t.b, fc};
+  f.start();
+  t.sched.schedule_at(sim::Time::milliseconds(1), [&] { t.ab->set_down(true); });
+  t.sched.run_until(sim::Time::seconds(2.0));
+  // With RTO capped at 50 ms, a 2 s blackout yields >= 2000/50 - slack
+  // timer fires; exponential growth would have produced only ~8.
+  EXPECT_GT(f.sender().timeouts(), 20u);
+}
+
+TEST(TransportSmallFlows, DelackTimeoutBoundsSingleSegmentLatency) {
+  TwoHosts t{kGbps, sim::Time::microseconds(10), testutil::ecn_queue(100, 10)};
+  Flow::Config fc = bos_flow(1, 100);  // single segment
+  fc.tune_receiver = [](ReceiverConfig& rc) {
+    rc.delack_timeout = sim::Time::microseconds(400);
+  };
+  Flow f{t.sched, *t.a, *t.b, fc};
+  f.start();
+  t.sched.run_until(sim::Time::seconds(1.0));
+  ASSERT_TRUE(f.complete());
+  // Completion = RTT (~50 us) + delack timeout (400 us) + slack.
+  EXPECT_LT((f.finish_time() - f.start_time()).us(), 600.0);
+}
+
+TEST(TransportSmallFlows, EvenSegmentCountAvoidsDelackTimeout) {
+  TwoHosts t{kGbps, sim::Time::microseconds(10), testutil::ecn_queue(100, 10)};
+  Flow f{t.sched, *t.a, *t.b, bos_flow(1, 2 * net::kMssBytes)};
+  f.start();
+  t.sched.run_until(sim::Time::seconds(1.0));
+  ASSERT_TRUE(f.complete());
+  EXPECT_LT((f.finish_time() - f.start_time()).us(), 200.0);
+}
+
+TEST(TransportEcn, RenoWithEcnReactsWithoutLoss) {
+  // Reno-ECN (RFC 3168 mode) is supported even though the paper's TCP is
+  // not ECN-capable: enable it explicitly and verify no drops occur on an
+  // ECN queue with ample capacity.
+  TwoHosts t{kGbps, sim::Time::microseconds(100), testutil::ecn_queue(200, 10)};
+  Flow::Config fc;
+  fc.id = 1;
+  fc.size_bytes = 10'000'000;
+  fc.cc.kind = CcConfig::Kind::Reno;
+  fc.tune_sender = [](SenderConfig& sc) { sc.ecn_capable = true; };
+  fc.tune_receiver = [](ReceiverConfig& rc) { rc.codec = EcnCodec::Classic; };
+  Flow f{t.sched, *t.a, *t.b, fc};
+  f.start();
+  t.sched.run_until(sim::Time::seconds(2.0));
+  ASSERT_TRUE(f.complete());
+  EXPECT_EQ(t.ab->queue().counters().dropped, 0u);
+  EXPECT_GT(f.sender().ce_echoes(), 0u);
+}
+
+TEST(TransportEcn, NonEctFlowIsDroppedNotMarked) {
+  TwoHosts t{kGbps, sim::Time::microseconds(100), testutil::ecn_queue(30, 5)};
+  Flow::Config fc;
+  fc.id = 1;
+  fc.size_bytes = 10'000'000;
+  fc.cc.kind = CcConfig::Kind::Reno;  // non-ECT
+  Flow f{t.sched, *t.a, *t.b, fc};
+  f.start();
+  t.sched.run_until(sim::Time::seconds(2.0));
+  ASSERT_TRUE(f.complete());
+  EXPECT_GT(t.ab->queue().counters().dropped, 0u);
+  EXPECT_EQ(t.ab->queue().counters().marked, 0u);
+  EXPECT_EQ(f.sender().ce_echoes(), 0u);
+}
+
+TEST(TransportTiming, SrttConvergesUnderStableRtt) {
+  TwoHosts t{kGbps, sim::Time::microseconds(200), testutil::ecn_queue(1000, 900)};
+  Flow::Config fc = bos_flow(1, 5'000'000);
+  Flow f{t.sched, *t.a, *t.b, fc};
+  f.start();
+  t.sched.run_until(sim::Time::seconds(2.0));
+  ASSERT_TRUE(f.complete());
+  // Base RTT 400 us + serialization + self-queueing (K=900 never marks,
+  // but cwnd is bounded by flow completion); srtt must sit in a sane band.
+  EXPECT_GT(f.sender().srtt().us(), 400.0);
+  EXPECT_LT(f.sender().srtt().ms(), 20.0);
+}
+
+TEST(TransportConcurrency, ManyFlowsOnOneBottleneckAllComplete) {
+  TwoHosts t{kGbps, sim::Time::microseconds(100), testutil::ecn_queue(100, 10)};
+  std::vector<std::unique_ptr<Flow>> flows;
+  for (int i = 0; i < 30; ++i) {
+    flows.push_back(
+        std::make_unique<Flow>(t.sched, *t.a, *t.b, bos_flow(static_cast<net::FlowId>(i + 1),
+                                                             500'000)));
+    flows.back()->start();
+  }
+  t.sched.run_until(sim::Time::seconds(10.0));
+  for (const auto& f : flows) EXPECT_TRUE(f->complete()) << f->id();
+}
+
+TEST(TransportConcurrency, BidirectionalFlowsShareBothDirections) {
+  TwoHosts t{kGbps, sim::Time::microseconds(100), testutil::ecn_queue(100, 10)};
+  Flow ab{t.sched, *t.a, *t.b, bos_flow(1, 5'000'000)};
+  Flow ba{t.sched, *t.b, *t.a, bos_flow(2, 5'000'000)};
+  ab.start();
+  ba.start();
+  t.sched.run_until(sim::Time::seconds(2.0));
+  ASSERT_TRUE(ab.complete());
+  ASSERT_TRUE(ba.complete());
+  // Each direction has its own capacity, but the reverse acks share the
+  // packet-counting ECN queue with the other flow's data, lowering the
+  // effective marking threshold — both directions still get well past a
+  // half-duplex share, and symmetrically.
+  EXPECT_GT(ab.goodput_bps(), 0.55e9);
+  EXPECT_GT(ba.goodput_bps(), 0.55e9);
+  EXPECT_NEAR(ab.goodput_bps() / ba.goodput_bps(), 1.0, 0.1);
+}
+
+TEST(TransportZombie, SenderDestructionCancelsTimers) {
+  TwoHosts t{kGbps, sim::Time::microseconds(100), testutil::ecn_queue(100, 10)};
+  {
+    Flow f{t.sched, *t.a, *t.b, bos_flow(1, 10'000'000)};
+    f.start();
+    t.sched.run_until(sim::Time::milliseconds(1));
+    // Flow destroyed mid-transfer here.
+  }
+  // No use-after-free: pending events (acks in flight, timers) must be
+  // safely absorbed.
+  t.sched.run_until(sim::Time::seconds(1.0));
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace xmp::transport

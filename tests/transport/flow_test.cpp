@@ -1,0 +1,119 @@
+#include "transport/flow.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/fixtures.hpp"
+
+namespace xmp::transport {
+namespace {
+
+using testutil::TwoHosts;
+
+constexpr std::int64_t kGbps = 1'000'000'000;
+
+transport::Flow::Config flow_cfg(net::FlowId id, std::int64_t bytes, CcConfig::Kind kind) {
+  Flow::Config fc;
+  fc.id = id;
+  fc.size_bytes = bytes;
+  fc.cc.kind = kind;
+  return fc;
+}
+
+class FlowEndToEnd : public ::testing::TestWithParam<CcConfig::Kind> {};
+
+TEST_P(FlowEndToEnd, TransferCompletes) {
+  TwoHosts t{kGbps, sim::Time::microseconds(50), testutil::ecn_queue(100, 10)};
+  Flow f{t.sched, *t.a, *t.b, flow_cfg(1, 1'000'000, GetParam())};
+  f.start();
+  t.sched.run_until(sim::Time::seconds(2.0));
+  ASSERT_TRUE(f.complete());
+  EXPECT_GT(f.goodput_bps(), 0.0);
+}
+
+TEST_P(FlowEndToEnd, GoodputApproachesLineRate) {
+  TwoHosts t{kGbps, sim::Time::microseconds(50), testutil::ecn_queue(100, 10)};
+  Flow f{t.sched, *t.a, *t.b, flow_cfg(1, 20'000'000, GetParam())};
+  f.start();
+  t.sched.run_until(sim::Time::seconds(2.0));
+  ASSERT_TRUE(f.complete());
+  // A single unconstrained flow should reach most of 1 Gbps (header
+  // overhead alone costs ~2.7%).
+  EXPECT_GT(f.goodput_bps(), 0.75e9);
+  EXPECT_LT(f.goodput_bps(), 1.0e9);
+}
+
+TEST_P(FlowEndToEnd, SmallFlowCompletesQuickly) {
+  TwoHosts t{kGbps, sim::Time::microseconds(50), testutil::ecn_queue(100, 10)};
+  Flow f{t.sched, *t.a, *t.b, flow_cfg(1, 2'000, GetParam())};
+  f.start();
+  t.sched.run_until(sim::Time::seconds(1.0));
+  ASSERT_TRUE(f.complete());
+  // 2 segments, one RTT plus serialization; allow the delayed-ack timeout.
+  EXPECT_LT((f.finish_time() - f.start_time()).ms(), 2.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchemes, FlowEndToEnd,
+                         ::testing::Values(CcConfig::Kind::Reno, CcConfig::Kind::Dctcp,
+                                           CcConfig::Kind::Bos),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case CcConfig::Kind::Reno:
+                               return "Reno";
+                             case CcConfig::Kind::Dctcp:
+                               return "Dctcp";
+                             case CcConfig::Kind::Bos:
+                               return "Bos";
+                           }
+                           return "?";
+                         });
+
+TEST(Flow, CompletionCallbackFires) {
+  TwoHosts t{kGbps, sim::Time::microseconds(50), testutil::ecn_queue(100, 10)};
+  Flow f{t.sched, *t.a, *t.b, flow_cfg(1, 100'000, CcConfig::Kind::Reno)};
+  bool fired = false;
+  f.set_on_complete([&] { fired = true; });
+  f.start();
+  t.sched.run_until(sim::Time::seconds(1.0));
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(f.finish_time(), f.sender().idle() ? f.finish_time() : sim::Time::zero());
+}
+
+TEST(Flow, SingleSegmentFlow) {
+  TwoHosts t{kGbps, sim::Time::microseconds(50), testutil::ecn_queue(100, 10)};
+  Flow f{t.sched, *t.a, *t.b, flow_cfg(1, 1, CcConfig::Kind::Reno)};
+  f.start();
+  t.sched.run_until(sim::Time::seconds(1.0));
+  ASSERT_TRUE(f.complete());
+  // One segment: delivery is gated by the receiver's delayed-ack timeout.
+  EXPECT_LT((f.finish_time() - f.start_time()).ms(), 1.5);
+}
+
+TEST(Flow, TwoConcurrentFlowsShareBottleneckRoughlyFairly) {
+  TwoHosts t{kGbps, sim::Time::microseconds(50), testutil::ecn_queue(100, 10)};
+  Flow f1{t.sched, *t.a, *t.b, flow_cfg(1, 10'000'000, CcConfig::Kind::Bos)};
+  Flow f2{t.sched, *t.a, *t.b, flow_cfg(2, 10'000'000, CcConfig::Kind::Bos)};
+  f1.start();
+  f2.start();
+  t.sched.run_until(sim::Time::seconds(2.0));
+  ASSERT_TRUE(f1.complete());
+  ASSERT_TRUE(f2.complete());
+  const double ratio = f1.goodput_bps() / f2.goodput_bps();
+  EXPECT_GT(ratio, 0.5);
+  EXPECT_LT(ratio, 2.0);
+}
+
+TEST(Flow, RttMeasuredMatchesPathDelay) {
+  TwoHosts t{kGbps, sim::Time::microseconds(100), testutil::ecn_queue(1000, 999)};
+  Flow f{t.sched, *t.a, *t.b, flow_cfg(1, 400'000, CcConfig::Kind::Reno)};
+  f.start();
+  t.sched.run_until(sim::Time::seconds(1.0));
+  ASSERT_TRUE(f.complete());
+  ASSERT_TRUE(f.sender().has_rtt_sample());
+  // Base RTT = 200 us propagation + serialization; queueing and delack push
+  // the smoothed value up but it must stay in the right regime.
+  EXPECT_GT(f.sender().srtt().us(), 200.0);
+  EXPECT_LT(f.sender().srtt().us(), 3000.0);
+}
+
+}  // namespace
+}  // namespace xmp::transport

@@ -1,0 +1,92 @@
+// Delayed-ack configuration variants and their visible effects.
+
+#include <gtest/gtest.h>
+
+#include "transport/flow.hpp"
+#include "util/fixtures.hpp"
+
+namespace xmp::transport {
+namespace {
+
+using testutil::TwoHosts;
+
+TEST(DelackConfig, FactorOneAcksEverySegment) {
+  TwoHosts t{1'000'000'000, sim::Time::microseconds(50), testutil::ecn_queue(1000, 900)};
+  Flow::Config fc;
+  fc.id = 1;
+  fc.size_bytes = 100 * net::kMssBytes;
+  fc.cc.kind = CcConfig::Kind::Bos;
+  fc.tune_receiver = [](ReceiverConfig& rc) { rc.delack_segments = 1; };
+  Flow f{t.sched, *t.a, *t.b, fc};
+  f.start();
+  t.sched.run_until(sim::Time::seconds(1.0));
+  ASSERT_TRUE(f.complete());
+  // One ack per segment (plus possibly a timer-flushed tail).
+  EXPECT_GE(f.receiver().acks_sent(), 100u);
+}
+
+TEST(DelackConfig, FactorTwoHalvesAckCount) {
+  TwoHosts t{1'000'000'000, sim::Time::microseconds(50), testutil::ecn_queue(1000, 900)};
+  Flow::Config fc;
+  fc.id = 1;
+  fc.size_bytes = 100 * net::kMssBytes;
+  fc.cc.kind = CcConfig::Kind::Bos;
+  Flow f{t.sched, *t.a, *t.b, fc};  // default delack_segments = 2
+  f.start();
+  t.sched.run_until(sim::Time::seconds(1.0));
+  ASSERT_TRUE(f.complete());
+  EXPECT_LT(f.receiver().acks_sent(), 80u);
+  EXPECT_GE(f.receiver().acks_sent(), 50u);
+}
+
+TEST(DelackConfig, LargeFactorStillDrainsViaTimer) {
+  TwoHosts t{1'000'000'000, sim::Time::microseconds(50), testutil::ecn_queue(1000, 900)};
+  Flow::Config fc;
+  fc.id = 1;
+  fc.size_bytes = 31 * net::kMssBytes;  // not a multiple of the factor
+  fc.cc.kind = CcConfig::Kind::Bos;
+  fc.tune_receiver = [](ReceiverConfig& rc) {
+    rc.delack_segments = 8;
+    rc.delack_timeout = sim::Time::microseconds(300);
+  };
+  Flow f{t.sched, *t.a, *t.b, fc};
+  f.start();
+  t.sched.run_until(sim::Time::seconds(2.0));
+  EXPECT_TRUE(f.complete());
+}
+
+TEST(SenderConfig, InitialCwndControlsFirstBurst) {
+  TwoHosts t{1'000'000'000, sim::Time::milliseconds(5), testutil::ecn_queue(1000, 900)};
+  Flow::Config fc;
+  fc.id = 1;
+  fc.size_bytes = 1'000'000;
+  fc.cc.kind = CcConfig::Kind::Bos;
+  fc.tune_sender = [](SenderConfig& sc) { sc.initial_cwnd = 4.0; };
+  Flow f{t.sched, *t.a, *t.b, fc};
+  f.start();
+  // Before the first ack returns (RTT = 10 ms), exactly IW segments leave.
+  t.sched.run_until(sim::Time::milliseconds(2));
+  EXPECT_EQ(f.sender().segments_sent(), 4u);
+}
+
+TEST(SenderConfig, InitialRtoGovernsFirstTimeout) {
+  TwoHosts t{1'000'000'000, sim::Time::microseconds(50), testutil::ecn_queue(100, 10)};
+  Flow::Config fc;
+  fc.id = 1;
+  fc.size_bytes = 1'000'000;
+  fc.cc.kind = CcConfig::Kind::Bos;
+  fc.tune_sender = [](SenderConfig& sc) {
+    sc.initial_rto = sim::Time::milliseconds(50);
+    sc.rto_min = sim::Time::milliseconds(50);
+  };
+  Flow f{t.sched, *t.a, *t.b, fc};
+  t.ab->set_down(true);  // nothing ever arrives
+  f.start();
+  t.sched.run_until(sim::Time::milliseconds(49));
+  EXPECT_EQ(f.sender().timeouts(), 0u);
+  t.sched.run_until(sim::Time::milliseconds(60));
+  EXPECT_EQ(f.sender().timeouts(), 1u);
+}
+
+}  // namespace
+}  // namespace xmp::transport

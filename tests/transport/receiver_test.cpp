@@ -1,0 +1,154 @@
+#include "transport/receiver.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/fixtures.hpp"
+
+namespace xmp::transport {
+namespace {
+
+using testutil::TwoHosts;
+
+/// Captures acks arriving back at the sender-side host.
+class AckCapture final : public net::Host::Endpoint {
+ public:
+  void handle(net::Packet p) override { acks.push_back(std::move(p)); }
+  std::vector<net::Packet> acks;
+};
+
+struct ReceiverHarness {
+  TwoHosts t{1'000'000'000, sim::Time::microseconds(10), testutil::droptail_queue(1000)};
+  AckCapture acks;
+  ReceiverConfig cfg;
+
+  explicit ReceiverHarness(EcnCodec codec = EcnCodec::None) {
+    cfg.codec = codec;
+    t.a->register_endpoint(1, 0, net::PacketType::Ack, acks);
+  }
+
+  TcpReceiver make() { return TcpReceiver{t.sched, *t.b, t.a->id(), 1, 0, 0, cfg}; }
+
+  /// Inject a data packet directly at the receiving host.
+  static net::Packet data(std::int64_t seq, net::Ecn ecn = net::Ecn::Ect) {
+    net::Packet p;
+    p.flow = 1;
+    p.type = net::PacketType::Data;
+    p.seq = seq;
+    p.ecn = ecn;
+    p.ts = sim::Time::microseconds(1);  // non-zero so RTT echo is visible
+    return p;
+  }
+};
+
+TEST(Receiver, DelayedAckCoalescesTwoSegments) {
+  ReceiverHarness h;
+  TcpReceiver r = h.make();
+  r.handle(ReceiverHarness::data(0));
+  r.handle(ReceiverHarness::data(1));
+  h.t.sched.run_until(sim::Time::microseconds(100));
+  ASSERT_EQ(h.acks.acks.size(), 1u);
+  EXPECT_EQ(h.acks.acks[0].ack, 2);
+}
+
+TEST(Receiver, DelackTimerFlushesOddSegment) {
+  ReceiverHarness h;
+  TcpReceiver r = h.make();
+  r.handle(ReceiverHarness::data(0));
+  h.t.sched.run_until(sim::Time::microseconds(100));
+  EXPECT_TRUE(h.acks.acks.empty());  // still waiting for a second segment
+  h.t.sched.run_until(sim::Time::milliseconds(2));
+  ASSERT_EQ(h.acks.acks.size(), 1u);  // delack timeout fired
+  EXPECT_EQ(h.acks.acks[0].ack, 1);
+}
+
+TEST(Receiver, OutOfOrderTriggersImmediateDupack) {
+  ReceiverHarness h;
+  TcpReceiver r = h.make();
+  r.handle(ReceiverHarness::data(0));
+  r.handle(ReceiverHarness::data(1));  // ack 2 sent
+  r.handle(ReceiverHarness::data(3));  // hole at 2 -> immediate dupack
+  r.handle(ReceiverHarness::data(4));  // still a hole -> another dupack
+  h.t.sched.run_until(sim::Time::microseconds(200));
+  ASSERT_EQ(h.acks.acks.size(), 3u);
+  EXPECT_EQ(h.acks.acks[1].ack, 2);
+  EXPECT_EQ(h.acks.acks[2].ack, 2);
+}
+
+TEST(Receiver, FillingHoleAcksImmediatelyPastBuffered) {
+  ReceiverHarness h;
+  TcpReceiver r = h.make();
+  r.handle(ReceiverHarness::data(1));  // dupack(0)
+  r.handle(ReceiverHarness::data(2));  // dupack(0)
+  r.handle(ReceiverHarness::data(0));  // fills the hole -> ack 3 immediately
+  h.t.sched.run_until(sim::Time::microseconds(200));
+  ASSERT_EQ(h.acks.acks.size(), 3u);
+  EXPECT_EQ(h.acks.acks.back().ack, 3);
+  EXPECT_EQ(r.rcv_nxt(), 3);
+}
+
+TEST(Receiver, OldDuplicateReacked) {
+  ReceiverHarness h;
+  TcpReceiver r = h.make();
+  r.handle(ReceiverHarness::data(0));
+  r.handle(ReceiverHarness::data(1));
+  r.handle(ReceiverHarness::data(0));  // spurious retransmission
+  h.t.sched.run_until(sim::Time::microseconds(200));
+  ASSERT_EQ(h.acks.acks.size(), 2u);
+  EXPECT_EQ(h.acks.acks[1].ack, 2);
+  EXPECT_EQ(r.duplicates_seen(), 1u);
+}
+
+TEST(Receiver, XmpCodecEchoesCeCountOnAck) {
+  ReceiverHarness h{EcnCodec::XmpCounter};
+  TcpReceiver r = h.make();
+  r.handle(ReceiverHarness::data(0, net::Ecn::Ce));
+  r.handle(ReceiverHarness::data(1, net::Ecn::Ce));
+  h.t.sched.run_until(sim::Time::microseconds(200));
+  ASSERT_EQ(h.acks.acks.size(), 1u);
+  EXPECT_EQ(h.acks.acks[0].ce_echo, 2);
+  EXPECT_EQ(h.acks.acks[0].ack, 2);
+}
+
+TEST(Receiver, DctcpStateChangeFlushesPendingAck) {
+  ReceiverHarness h{EcnCodec::Dctcp};
+  TcpReceiver r = h.make();
+  r.handle(ReceiverHarness::data(0, net::Ecn::Ect));  // pending (delack)
+  r.handle(ReceiverHarness::data(1, net::Ecn::Ce));   // state change
+  h.t.sched.run_until(sim::Time::microseconds(200));
+  // The state change flushed segment 0 with ece=0, then segment 1 went
+  // pending; the delack timer eventually acks it with ece=1.
+  ASSERT_GE(h.acks.acks.size(), 1u);
+  EXPECT_EQ(h.acks.acks[0].ack, 1);
+  EXPECT_FALSE(h.acks.acks[0].ece);
+  h.t.sched.run_until(sim::Time::milliseconds(3));
+  ASSERT_EQ(h.acks.acks.size(), 2u);
+  EXPECT_EQ(h.acks.acks[1].ack, 2);
+  EXPECT_TRUE(h.acks.acks[1].ece);
+}
+
+TEST(Receiver, AcksEchoTimestampOfEarliestPendingSegment) {
+  ReceiverHarness h;
+  TcpReceiver r = h.make();
+  net::Packet p0 = ReceiverHarness::data(0);
+  p0.ts = sim::Time::microseconds(111);
+  net::Packet p1 = ReceiverHarness::data(1);
+  p1.ts = sim::Time::microseconds(222);
+  r.handle(std::move(p0));
+  r.handle(std::move(p1));
+  h.t.sched.run_until(sim::Time::microseconds(200));
+  ASSERT_EQ(h.acks.acks.size(), 1u);
+  EXPECT_EQ(h.acks.acks[0].ts, sim::Time::microseconds(111));
+}
+
+TEST(Receiver, DeliveredSegmentsCountsInOrderOnly) {
+  ReceiverHarness h;
+  TcpReceiver r = h.make();
+  r.handle(ReceiverHarness::data(0));
+  r.handle(ReceiverHarness::data(5));
+  EXPECT_EQ(r.delivered_segments(), 1);
+}
+
+}  // namespace
+}  // namespace xmp::transport

@@ -1,0 +1,45 @@
+#pragma once
+
+#include "net/network.hpp"
+#include "sim/scheduler.hpp"
+
+namespace xmp::testutil {
+
+/// Two hosts wired back-to-back with a symmetric pair of links — the
+/// minimal end-to-end transport fixture. The A->B link is the data path
+/// (and the congestion point when several flows share it).
+struct TwoHosts {
+  sim::Scheduler sched;
+  net::Network net{sched};
+  net::Host* a = nullptr;
+  net::Host* b = nullptr;
+  net::Link* ab = nullptr;
+  net::Link* ba = nullptr;
+
+  TwoHosts(std::int64_t rate_bps, sim::Time delay, const net::QueueConfig& qcfg) {
+    a = &net.add_host();
+    b = &net.add_host();
+    ab = &net.add_link(*b, rate_bps, delay, qcfg);
+    ba = &net.add_link(*a, rate_bps, delay, qcfg);
+    a->attach_uplink(*ab);
+    b->attach_uplink(*ba);
+  }
+};
+
+/// Default ECN-threshold queue config used across transport tests.
+inline net::QueueConfig ecn_queue(std::size_t capacity, std::size_t k) {
+  net::QueueConfig q;
+  q.kind = net::QueueConfig::Kind::EcnThreshold;
+  q.capacity_packets = capacity;
+  q.mark_threshold = k;
+  return q;
+}
+
+inline net::QueueConfig droptail_queue(std::size_t capacity) {
+  net::QueueConfig q;
+  q.kind = net::QueueConfig::Kind::DropTail;
+  q.capacity_packets = capacity;
+  return q;
+}
+
+}  // namespace xmp::testutil

@@ -1,0 +1,136 @@
+#include "workload/trace_replay.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "topo/fattree.hpp"
+#include "util/fixtures.hpp"
+
+namespace xmp::workload {
+namespace {
+
+struct TempFile {
+  std::string path;
+  explicit TempFile(const char* name) : path{std::string{"/tmp/xmp_trace_"} + name} {}
+  ~TempFile() { std::remove(path.c_str()); }
+};
+
+struct TreeFixture {
+  sim::Scheduler sched;
+  net::Network net{sched};
+  std::unique_ptr<topo::FatTree> tree;
+
+  TreeFixture() {
+    topo::FatTree::Config tc;
+    tc.k = 4;
+    tc.queue = testutil::ecn_queue(100, 10);
+    tree = std::make_unique<topo::FatTree>(net, tc);
+  }
+};
+
+TEST(TraceCsv, RoundTrip) {
+  TempFile f{"roundtrip.csv"};
+  std::vector<TraceEntry> in = {
+      {0.0, 0, 5, 100'000, false},
+      {0.010, 3, 9, 2'000, true},
+      {0.25, 15, 1, 5'000'000, false},
+  };
+  save_trace_csv(f.path, in);
+  std::vector<TraceEntry> out;
+  ASSERT_TRUE(load_trace_csv(f.path, out));
+  ASSERT_EQ(out.size(), in.size());
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    EXPECT_DOUBLE_EQ(out[i].start_s, in[i].start_s);
+    EXPECT_EQ(out[i].src, in[i].src);
+    EXPECT_EQ(out[i].dst, in[i].dst);
+    EXPECT_EQ(out[i].bytes, in[i].bytes);
+    EXPECT_EQ(out[i].small, in[i].small);
+  }
+}
+
+TEST(TraceCsv, HeaderlessAndNoSmallColumn) {
+  TempFile f{"plain.csv"};
+  {
+    std::FILE* fp = std::fopen(f.path.c_str(), "w");
+    std::fputs("0.5,1,2,1000\n", fp);
+    std::fclose(fp);
+  }
+  std::vector<TraceEntry> out;
+  ASSERT_TRUE(load_trace_csv(f.path, out));
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_FALSE(out[0].small);
+  EXPECT_EQ(out[0].bytes, 1000);
+}
+
+TEST(TraceCsv, RejectsMalformedInput) {
+  TempFile f{"bad.csv"};
+  {
+    std::FILE* fp = std::fopen(f.path.c_str(), "w");
+    std::fputs("0.5,1,banana,1000\n", fp);
+    std::fclose(fp);
+  }
+  std::vector<TraceEntry> out;
+  EXPECT_FALSE(load_trace_csv(f.path, out));
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(TraceCsv, RejectsNegativeStartOrZeroBytes) {
+  TempFile f{"neg.csv"};
+  {
+    std::FILE* fp = std::fopen(f.path.c_str(), "w");
+    std::fputs("-1,0,1,1000\n", fp);
+    std::fclose(fp);
+  }
+  std::vector<TraceEntry> out;
+  EXPECT_FALSE(load_trace_csv(f.path, out));
+}
+
+TEST(TraceCsv, MissingFileFails) {
+  std::vector<TraceEntry> out;
+  EXPECT_FALSE(load_trace_csv("/tmp/definitely_not_there_123.csv", out));
+}
+
+TEST(TraceReplay, RunsEntriesAtScheduledTimes) {
+  TreeFixture f;
+  SchemeSpec spec;
+  spec.kind = SchemeSpec::Kind::Xmp;
+  spec.subflows = 2;
+  FlowManager fm{f.sched, spec};
+  std::vector<TraceEntry> entries = {
+      {0.000, 0, 8, 50'000, false},
+      {0.020, 1, 9, 2'000, true},
+      {0.040, 2, 10, 50'000, false},
+  };
+  TraceReplay replay{f.sched, *f.tree, fm, entries};
+  replay.start();
+  f.sched.run_until(sim::Time::milliseconds(10));
+  EXPECT_EQ(fm.records().size(), 1u);
+  f.sched.run_until(sim::Time::milliseconds(30));
+  EXPECT_EQ(fm.records().size(), 2u);
+  EXPECT_FALSE(fm.records()[1].large);
+  f.sched.run_until(sim::Time::seconds(2.0));
+  EXPECT_EQ(fm.records().size(), 3u);
+  for (const auto& r : fm.records()) EXPECT_TRUE(r.completed);
+  EXPECT_NEAR(fm.records()[1].start.sec(), 0.020, 1e-9);
+}
+
+TEST(TraceReplay, SkipsInvalidEndpoints) {
+  TreeFixture f;
+  SchemeSpec spec;
+  spec.kind = SchemeSpec::Kind::Dctcp;
+  FlowManager fm{f.sched, spec};
+  std::vector<TraceEntry> entries = {
+      {0.0, 0, 99, 1000, false},  // dst out of range
+      {0.0, 5, 5, 1000, false},   // self-flow
+      {0.0, 0, 1, 1000, false},   // valid
+  };
+  TraceReplay replay{f.sched, *f.tree, fm, entries};
+  replay.start();
+  f.sched.run_until(sim::Time::seconds(1.0));
+  EXPECT_EQ(replay.skipped_invalid(), 2u);
+  EXPECT_EQ(fm.records().size(), 1u);
+}
+
+}  // namespace
+}  // namespace xmp::workload

@@ -1,0 +1,263 @@
+#include <gtest/gtest.h>
+
+#include "topo/fattree.hpp"
+#include "util/fixtures.hpp"
+#include "workload/flow_manager.hpp"
+#include "workload/incast.hpp"
+#include "workload/permutation.hpp"
+#include "workload/random_traffic.hpp"
+#include "workload/scheme.hpp"
+
+namespace xmp::workload {
+namespace {
+
+struct TreeFixture {
+  sim::Scheduler sched;
+  net::Network net{sched};
+  std::unique_ptr<topo::FatTree> tree;
+
+  explicit TreeFixture(int k = 4) {
+    topo::FatTree::Config tc;
+    tc.k = k;
+    tc.queue = testutil::ecn_queue(100, 10);
+    tree = std::make_unique<topo::FatTree>(net, tc);
+  }
+};
+
+SchemeSpec xmp2() {
+  SchemeSpec s;
+  s.kind = SchemeSpec::Kind::Xmp;
+  s.subflows = 2;
+  return s;
+}
+
+TEST(SchemeSpec, NamesMatchPaper) {
+  SchemeSpec s;
+  s.kind = SchemeSpec::Kind::Dctcp;
+  EXPECT_EQ(s.name(), "DCTCP");
+  s.kind = SchemeSpec::Kind::Tcp;
+  EXPECT_EQ(s.name(), "TCP");
+  s.kind = SchemeSpec::Kind::Xmp;
+  s.subflows = 4;
+  EXPECT_EQ(s.name(), "XMP-4");
+  s.kind = SchemeSpec::Kind::Lia;
+  s.subflows = 2;
+  EXPECT_EQ(s.name(), "LIA-2");
+  EXPECT_TRUE(s.multipath());
+  s.kind = SchemeSpec::Kind::Dctcp;
+  EXPECT_FALSE(s.multipath());
+}
+
+TEST(FlowManager, RecordsLargeFlowLifecycle) {
+  TreeFixture f;
+  FlowManager fm{f.sched, xmp2()};
+  bool done = false;
+  fm.start_large_flow(f.tree->host(0), f.tree->host(5), 0, 5, 500'000, [&] { done = true; });
+  EXPECT_EQ(fm.active_large_flows(), 1u);
+  f.sched.run_until(sim::Time::seconds(2.0));
+  EXPECT_TRUE(done);
+  ASSERT_EQ(fm.records().size(), 1u);
+  const FlowRecord& rec = fm.records()[0];
+  EXPECT_TRUE(rec.completed);
+  EXPECT_TRUE(rec.large);
+  EXPECT_EQ(rec.src_host, 0);
+  EXPECT_EQ(rec.dst_host, 5);
+  EXPECT_GT(rec.goodput_bps(), 0.0);
+  EXPECT_EQ(fm.active_large_flows(), 0u);
+}
+
+TEST(FlowManager, SmallFlowsAlwaysTcp) {
+  TreeFixture f;
+  FlowManager fm{f.sched, xmp2()};
+  fm.start_small_flow(f.tree->host(0), f.tree->host(5), 0, 5, 2'000);
+  f.sched.run_until(sim::Time::seconds(1.0));
+  ASSERT_EQ(fm.records().size(), 1u);
+  EXPECT_FALSE(fm.records()[0].large);
+  EXPECT_TRUE(fm.records()[0].completed);
+}
+
+TEST(FlowManager, SchemeSelectsSingleOrMultipath) {
+  TreeFixture f;
+  SchemeSpec dctcp;
+  dctcp.kind = SchemeSpec::Kind::Dctcp;
+  FlowManager fm_d{f.sched, dctcp};
+  FlowManager fm_x{f.sched, xmp2()};
+  fm_d.start_large_flow(f.tree->host(0), f.tree->host(8), 0, 8, 200'000);
+  fm_x.start_large_flow(f.tree->host(1), f.tree->host(9), 1, 9, 200'000);
+
+  int dctcp_senders = 0;
+  fm_d.for_each_active_large_sender(
+      [&](const FlowRecord&, const transport::TcpSender&) { ++dctcp_senders; });
+  int xmp_senders = 0;
+  fm_x.for_each_active_large_sender(
+      [&](const FlowRecord&, const transport::TcpSender&) { ++xmp_senders; });
+  EXPECT_EQ(dctcp_senders, 1);
+  EXPECT_EQ(xmp_senders, 2);  // one per subflow
+}
+
+TEST(Permutation, EveryHostSendsAndReceivesOncePerRound) {
+  TreeFixture f;
+  FlowManager fm{f.sched, xmp2()};
+  PermutationTraffic::Config pc;
+  pc.min_bytes = 20'000;
+  pc.max_bytes = 50'000;
+  pc.rounds = 1;
+  PermutationTraffic perm{f.sched, *f.tree, fm, sim::Rng{7}, pc};
+  perm.start();
+  f.sched.run_until(sim::Time::seconds(5.0));
+  EXPECT_TRUE(perm.done());
+
+  const int n = f.tree->n_hosts();
+  std::vector<int> sent(n, 0), received(n, 0);
+  for (const auto& rec : fm.records()) {
+    ++sent[rec.src_host];
+    ++received[rec.dst_host];
+    EXPECT_NE(rec.src_host, rec.dst_host);
+    EXPECT_TRUE(rec.completed);
+    EXPECT_GE(rec.bytes, pc.min_bytes);
+    EXPECT_LE(rec.bytes, pc.max_bytes);
+  }
+  for (int h = 0; h < n; ++h) {
+    EXPECT_EQ(sent[h], 1) << h;
+    EXPECT_EQ(received[h], 1) << h;
+  }
+}
+
+TEST(Permutation, RoundsFollowEachOther) {
+  TreeFixture f;
+  FlowManager fm{f.sched, xmp2()};
+  PermutationTraffic::Config pc;
+  pc.min_bytes = 20'000;
+  pc.max_bytes = 20'000;
+  pc.rounds = 3;
+  PermutationTraffic perm{f.sched, *f.tree, fm, sim::Rng{9}, pc};
+  bool done_cb = false;
+  perm.set_on_done([&] { done_cb = true; });
+  perm.start();
+  f.sched.run_until(sim::Time::seconds(10.0));
+  EXPECT_EQ(perm.completed_rounds(), 3);
+  EXPECT_TRUE(done_cb);
+  EXPECT_EQ(fm.records().size(), static_cast<std::size_t>(3 * f.tree->n_hosts()));
+}
+
+TEST(RandomTraffic, RespectsInboundCapAndReissues) {
+  TreeFixture f;
+  FlowManager fm{f.sched, xmp2()};
+  RandomTraffic::Config rc;
+  rc.min_bytes = 30'000;
+  rc.max_bytes = 60'000;
+  rc.max_inbound_per_host = 4;
+  RandomTraffic rnd{f.sched, *f.tree, fm, sim::Rng{11}, rc};
+  rnd.start();
+  f.sched.run_until(sim::Time::milliseconds(300));
+  rnd.stop();
+  f.sched.run_until(sim::Time::milliseconds(800));
+
+  EXPECT_GT(rnd.flows_issued(), static_cast<std::uint64_t>(f.tree->n_hosts()));
+  // Verify the <= 4 inbound constraint held at every point: replay records.
+  // (Flows are serialized per sender, so checking per-destination overlap.)
+  std::vector<std::vector<std::pair<sim::Time, sim::Time>>> spans(f.tree->n_hosts());
+  for (const auto& rec : fm.records()) {
+    const sim::Time end = rec.completed ? rec.finish : sim::Time::infinity();
+    spans[rec.dst_host].emplace_back(rec.start, end);
+  }
+  for (const auto& per_host : spans) {
+    for (const auto& [s1, e1] : per_host) {
+      int overlap = 0;
+      for (const auto& [s2, e2] : per_host) {
+        if (s2 <= s1 && s1 < e2) ++overlap;
+      }
+      EXPECT_LE(overlap, 4);
+    }
+  }
+}
+
+TEST(RandomTraffic, ExcludeSameRackHonoured) {
+  TreeFixture f;
+  FlowManager fm{f.sched, xmp2()};
+  RandomTraffic::Config rc;
+  rc.min_bytes = 10'000;
+  rc.max_bytes = 20'000;
+  rc.exclude_same_rack = true;
+  RandomTraffic rnd{f.sched, *f.tree, fm, sim::Rng{13}, rc};
+  rnd.start();
+  f.sched.run_until(sim::Time::milliseconds(200));
+  rnd.stop();
+  for (const auto& rec : fm.records()) {
+    EXPECT_NE(f.tree->edge_of(rec.src_host), f.tree->edge_of(rec.dst_host));
+  }
+}
+
+TEST(RandomTraffic, SendersSubsetRestrictsSources) {
+  TreeFixture f;
+  FlowManager fm{f.sched, xmp2()};
+  RandomTraffic::Config rc;
+  rc.min_bytes = 10'000;
+  rc.max_bytes = 20'000;
+  rc.senders = {0, 2, 4};
+  RandomTraffic rnd{f.sched, *f.tree, fm, sim::Rng{17}, rc};
+  rnd.start();
+  f.sched.run_until(sim::Time::milliseconds(100));
+  rnd.stop();
+  for (const auto& rec : fm.records()) {
+    EXPECT_TRUE(rec.src_host == 0 || rec.src_host == 2 || rec.src_host == 4);
+  }
+}
+
+TEST(Incast, JobLifecycle) {
+  TreeFixture f;
+  SchemeSpec tcp;
+  tcp.kind = SchemeSpec::Kind::Tcp;
+  FlowManager fm{f.sched, tcp};
+  IncastTraffic::Config ic;
+  ic.n_jobs = 2;
+  ic.servers_per_job = 4;
+  ic.max_jobs = 6;
+  IncastTraffic incast{f.sched, *f.tree, fm, sim::Rng{19}, ic};
+  incast.start();
+  f.sched.run_until(sim::Time::seconds(5.0));
+
+  EXPECT_EQ(incast.jobs_started(), 6u);
+  ASSERT_GE(incast.jobs().size(), 6u);
+  for (const auto& job : incast.jobs()) {
+    EXPECT_TRUE(job.completed);
+    EXPECT_GT(job.completion_time(), sim::Time::zero());
+  }
+  // Each job creates servers_per_job requests + responses (all small).
+  std::size_t smalls = 0;
+  for (const auto& rec : fm.records()) {
+    if (!rec.large) ++smalls;
+  }
+  EXPECT_EQ(smalls, 6u * 2u * 4u);
+}
+
+TEST(Incast, RequestsPrecedeResponses) {
+  TreeFixture f;
+  SchemeSpec tcp;
+  tcp.kind = SchemeSpec::Kind::Tcp;
+  FlowManager fm{f.sched, tcp};
+  IncastTraffic::Config ic;
+  ic.n_jobs = 1;
+  ic.servers_per_job = 3;
+  ic.max_jobs = 1;
+  IncastTraffic incast{f.sched, *f.tree, fm, sim::Rng{23}, ic};
+  incast.start();
+  f.sched.run_until(sim::Time::seconds(2.0));
+
+  ASSERT_EQ(fm.records().size(), 6u);  // 3 requests + 3 responses
+  // Requests: client -> server with request_bytes; responses reversed.
+  const auto& recs = fm.records();
+  const int client = recs[0].src_host;
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(recs[i].src_host, client);
+    EXPECT_EQ(recs[i].bytes, 2'000);
+  }
+  for (std::size_t i = 3; i < 6; ++i) {
+    EXPECT_EQ(recs[i].dst_host, client);
+    EXPECT_EQ(recs[i].bytes, 64'000);
+    EXPECT_GE(recs[i].start, recs[0].finish);  // response after some request
+  }
+}
+
+}  // namespace
+}  // namespace xmp::workload
