@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xmpsim.dir/xmpsim.cpp.o"
+  "CMakeFiles/xmpsim.dir/xmpsim.cpp.o.d"
+  "xmpsim"
+  "xmpsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xmpsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/apps
+# Build directory: /root/repo/build/apps
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(xmpsim_topo "/root/repo/build/apps/xmpsim" "topo" "--k=4")
+set_tests_properties(xmpsim_topo PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/apps/CMakeLists.txt;5;add_test;/root/repo/apps/CMakeLists.txt;0;")
+add_test(xmpsim_fluid "/root/repo/build/apps/xmpsim" "fluid" "--flows=2" "--beta=4")
+set_tests_properties(xmpsim_fluid PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/apps/CMakeLists.txt;6;add_test;/root/repo/apps/CMakeLists.txt;0;")
+add_test(xmpsim_run "/root/repo/build/apps/xmpsim" "run" "--pattern=random" "--scheme=dctcp" "--k=4" "--duration=0.05")
+set_tests_properties(xmpsim_run PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/apps/CMakeLists.txt;7;add_test;/root/repo/apps/CMakeLists.txt;0;")
+add_test(xmpsim_sweep "/root/repo/build/apps/xmpsim" "sweep" "--param=beta" "--values=3,5" "--pattern=random" "--scheme=xmp" "--k=4" "--duration=0.03")
+set_tests_properties(xmpsim_sweep PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/apps/CMakeLists.txt;8;add_test;/root/repo/apps/CMakeLists.txt;0;")
+add_test(xmpsim_bad_args "/root/repo/build/apps/xmpsim" "run" "--pattern=bogus")
+set_tests_properties(xmpsim_bad_args PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/apps/CMakeLists.txt;9;add_test;/root/repo/apps/CMakeLists.txt;0;")

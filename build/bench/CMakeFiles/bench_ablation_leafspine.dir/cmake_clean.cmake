@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_leafspine.dir/bench_ablation_leafspine.cpp.o"
+  "CMakeFiles/bench_ablation_leafspine.dir/bench_ablation_leafspine.cpp.o.d"
+  "bench_ablation_leafspine"
+  "bench_ablation_leafspine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_leafspine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

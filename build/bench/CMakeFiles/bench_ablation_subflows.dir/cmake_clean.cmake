@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_subflows.dir/bench_ablation_subflows.cpp.o"
+  "CMakeFiles/bench_ablation_subflows.dir/bench_ablation_subflows.cpp.o.d"
+  "bench_ablation_subflows"
+  "bench_ablation_subflows.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_subflows.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_traffic_shifting.dir/bench_fig4_traffic_shifting.cpp.o"
+  "CMakeFiles/bench_fig4_traffic_shifting.dir/bench_fig4_traffic_shifting.cpp.o.d"
+  "bench_fig4_traffic_shifting"
+  "bench_fig4_traffic_shifting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_traffic_shifting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

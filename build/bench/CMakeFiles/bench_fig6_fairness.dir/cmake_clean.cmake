@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_fairness.dir/bench_fig6_fairness.cpp.o"
+  "CMakeFiles/bench_fig6_fairness.dir/bench_fig6_fairness.cpp.o.d"
+  "bench_fig6_fairness"
+  "bench_fig6_fairness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_fairness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

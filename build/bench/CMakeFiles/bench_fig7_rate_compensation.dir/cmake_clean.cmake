@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_rate_compensation.dir/bench_fig7_rate_compensation.cpp.o"
+  "CMakeFiles/bench_fig7_rate_compensation.dir/bench_fig7_rate_compensation.cpp.o.d"
+  "bench_fig7_rate_compensation"
+  "bench_fig7_rate_compensation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_rate_compensation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

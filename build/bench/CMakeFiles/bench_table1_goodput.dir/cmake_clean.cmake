@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_goodput.dir/bench_table1_goodput.cpp.o"
+  "CMakeFiles/bench_table1_goodput.dir/bench_table1_goodput.cpp.o.d"
+  "bench_table1_goodput"
+  "bench_table1_goodput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_goodput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_coexistence.dir/bench_table2_coexistence.cpp.o"
+  "CMakeFiles/bench_table2_coexistence.dir/bench_table2_coexistence.cpp.o.d"
+  "bench_table2_coexistence"
+  "bench_table2_coexistence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_coexistence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_jobs.dir/bench_table3_jobs.cpp.o"
+  "CMakeFiles/bench_table3_jobs.dir/bench_table3_jobs.cpp.o.d"
+  "bench_table3_jobs"
+  "bench_table3_jobs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_jobs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/quickstart.cpp" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o" "gcc" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/xmp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/xmp_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/mptcp/CMakeFiles/xmp_mptcp.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/xmp_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/xmp_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/xmp_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/xmp_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/xmp_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/xmp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/xmp_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/subflow_trace.dir/subflow_trace.cpp.o"
+  "CMakeFiles/subflow_trace.dir/subflow_trace.cpp.o.d"
+  "subflow_trace"
+  "subflow_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/subflow_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xmp_core.dir/experiment.cpp.o"
+  "CMakeFiles/xmp_core.dir/experiment.cpp.o.d"
+  "CMakeFiles/xmp_core.dir/export.cpp.o"
+  "CMakeFiles/xmp_core.dir/export.cpp.o.d"
+  "libxmp_core.a"
+  "libxmp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xmp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xmp_model.dir/fluid.cpp.o"
+  "CMakeFiles/xmp_model.dir/fluid.cpp.o.d"
+  "libxmp_model.a"
+  "libxmp_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xmp_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mptcp/connection.cpp" "src/mptcp/CMakeFiles/xmp_mptcp.dir/connection.cpp.o" "gcc" "src/mptcp/CMakeFiles/xmp_mptcp.dir/connection.cpp.o.d"
+  "/root/repo/src/mptcp/lia_cc.cpp" "src/mptcp/CMakeFiles/xmp_mptcp.dir/lia_cc.cpp.o" "gcc" "src/mptcp/CMakeFiles/xmp_mptcp.dir/lia_cc.cpp.o.d"
+  "/root/repo/src/mptcp/olia_cc.cpp" "src/mptcp/CMakeFiles/xmp_mptcp.dir/olia_cc.cpp.o" "gcc" "src/mptcp/CMakeFiles/xmp_mptcp.dir/olia_cc.cpp.o.d"
+  "/root/repo/src/mptcp/xmp_cc.cpp" "src/mptcp/CMakeFiles/xmp_mptcp.dir/xmp_cc.cpp.o" "gcc" "src/mptcp/CMakeFiles/xmp_mptcp.dir/xmp_cc.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/transport/CMakeFiles/xmp_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/xmp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/xmp_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

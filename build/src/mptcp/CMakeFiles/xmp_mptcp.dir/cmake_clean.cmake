@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xmp_mptcp.dir/connection.cpp.o"
+  "CMakeFiles/xmp_mptcp.dir/connection.cpp.o.d"
+  "CMakeFiles/xmp_mptcp.dir/lia_cc.cpp.o"
+  "CMakeFiles/xmp_mptcp.dir/lia_cc.cpp.o.d"
+  "CMakeFiles/xmp_mptcp.dir/olia_cc.cpp.o"
+  "CMakeFiles/xmp_mptcp.dir/olia_cc.cpp.o.d"
+  "CMakeFiles/xmp_mptcp.dir/xmp_cc.cpp.o"
+  "CMakeFiles/xmp_mptcp.dir/xmp_cc.cpp.o.d"
+  "libxmp_mptcp.a"
+  "libxmp_mptcp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xmp_mptcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

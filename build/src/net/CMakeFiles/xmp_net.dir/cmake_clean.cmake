@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xmp_net.dir/link.cpp.o"
+  "CMakeFiles/xmp_net.dir/link.cpp.o.d"
+  "CMakeFiles/xmp_net.dir/network.cpp.o"
+  "CMakeFiles/xmp_net.dir/network.cpp.o.d"
+  "CMakeFiles/xmp_net.dir/node.cpp.o"
+  "CMakeFiles/xmp_net.dir/node.cpp.o.d"
+  "CMakeFiles/xmp_net.dir/queue.cpp.o"
+  "CMakeFiles/xmp_net.dir/queue.cpp.o.d"
+  "libxmp_net.a"
+  "libxmp_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xmp_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

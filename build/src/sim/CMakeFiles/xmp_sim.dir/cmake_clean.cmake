@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xmp_sim.dir/random.cpp.o"
+  "CMakeFiles/xmp_sim.dir/random.cpp.o.d"
+  "CMakeFiles/xmp_sim.dir/scheduler.cpp.o"
+  "CMakeFiles/xmp_sim.dir/scheduler.cpp.o.d"
+  "CMakeFiles/xmp_sim.dir/time.cpp.o"
+  "CMakeFiles/xmp_sim.dir/time.cpp.o.d"
+  "libxmp_sim.a"
+  "libxmp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xmp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/ascii_chart.cpp" "src/stats/CMakeFiles/xmp_stats.dir/ascii_chart.cpp.o" "gcc" "src/stats/CMakeFiles/xmp_stats.dir/ascii_chart.cpp.o.d"
+  "/root/repo/src/stats/distribution.cpp" "src/stats/CMakeFiles/xmp_stats.dir/distribution.cpp.o" "gcc" "src/stats/CMakeFiles/xmp_stats.dir/distribution.cpp.o.d"
+  "/root/repo/src/stats/probes.cpp" "src/stats/CMakeFiles/xmp_stats.dir/probes.cpp.o" "gcc" "src/stats/CMakeFiles/xmp_stats.dir/probes.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/xmp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/xmp_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

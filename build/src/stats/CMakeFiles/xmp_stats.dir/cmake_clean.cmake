@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xmp_stats.dir/ascii_chart.cpp.o"
+  "CMakeFiles/xmp_stats.dir/ascii_chart.cpp.o.d"
+  "CMakeFiles/xmp_stats.dir/distribution.cpp.o"
+  "CMakeFiles/xmp_stats.dir/distribution.cpp.o.d"
+  "CMakeFiles/xmp_stats.dir/probes.cpp.o"
+  "CMakeFiles/xmp_stats.dir/probes.cpp.o.d"
+  "libxmp_stats.a"
+  "libxmp_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xmp_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

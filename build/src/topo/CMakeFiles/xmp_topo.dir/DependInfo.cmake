@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/topo/fattree.cpp" "src/topo/CMakeFiles/xmp_topo.dir/fattree.cpp.o" "gcc" "src/topo/CMakeFiles/xmp_topo.dir/fattree.cpp.o.d"
+  "/root/repo/src/topo/leafspine.cpp" "src/topo/CMakeFiles/xmp_topo.dir/leafspine.cpp.o" "gcc" "src/topo/CMakeFiles/xmp_topo.dir/leafspine.cpp.o.d"
+  "/root/repo/src/topo/pinned.cpp" "src/topo/CMakeFiles/xmp_topo.dir/pinned.cpp.o" "gcc" "src/topo/CMakeFiles/xmp_topo.dir/pinned.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/xmp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/xmp_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

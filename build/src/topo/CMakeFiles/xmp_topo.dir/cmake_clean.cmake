@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xmp_topo.dir/fattree.cpp.o"
+  "CMakeFiles/xmp_topo.dir/fattree.cpp.o.d"
+  "CMakeFiles/xmp_topo.dir/leafspine.cpp.o"
+  "CMakeFiles/xmp_topo.dir/leafspine.cpp.o.d"
+  "CMakeFiles/xmp_topo.dir/pinned.cpp.o"
+  "CMakeFiles/xmp_topo.dir/pinned.cpp.o.d"
+  "libxmp_topo.a"
+  "libxmp_topo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xmp_topo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

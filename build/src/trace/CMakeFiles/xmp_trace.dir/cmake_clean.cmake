@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xmp_trace.dir/writers.cpp.o"
+  "CMakeFiles/xmp_trace.dir/writers.cpp.o.d"
+  "libxmp_trace.a"
+  "libxmp_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xmp_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/transport/cc/bos.cpp" "src/transport/CMakeFiles/xmp_transport.dir/cc/bos.cpp.o" "gcc" "src/transport/CMakeFiles/xmp_transport.dir/cc/bos.cpp.o.d"
+  "/root/repo/src/transport/cc/d2tcp.cpp" "src/transport/CMakeFiles/xmp_transport.dir/cc/d2tcp.cpp.o" "gcc" "src/transport/CMakeFiles/xmp_transport.dir/cc/d2tcp.cpp.o.d"
+  "/root/repo/src/transport/cc/dctcp.cpp" "src/transport/CMakeFiles/xmp_transport.dir/cc/dctcp.cpp.o" "gcc" "src/transport/CMakeFiles/xmp_transport.dir/cc/dctcp.cpp.o.d"
+  "/root/repo/src/transport/cc/reno.cpp" "src/transport/CMakeFiles/xmp_transport.dir/cc/reno.cpp.o" "gcc" "src/transport/CMakeFiles/xmp_transport.dir/cc/reno.cpp.o.d"
+  "/root/repo/src/transport/flow.cpp" "src/transport/CMakeFiles/xmp_transport.dir/flow.cpp.o" "gcc" "src/transport/CMakeFiles/xmp_transport.dir/flow.cpp.o.d"
+  "/root/repo/src/transport/receiver.cpp" "src/transport/CMakeFiles/xmp_transport.dir/receiver.cpp.o" "gcc" "src/transport/CMakeFiles/xmp_transport.dir/receiver.cpp.o.d"
+  "/root/repo/src/transport/sender.cpp" "src/transport/CMakeFiles/xmp_transport.dir/sender.cpp.o" "gcc" "src/transport/CMakeFiles/xmp_transport.dir/sender.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/xmp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/xmp_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

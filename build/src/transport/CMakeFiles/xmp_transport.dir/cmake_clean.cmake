@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xmp_transport.dir/cc/bos.cpp.o"
+  "CMakeFiles/xmp_transport.dir/cc/bos.cpp.o.d"
+  "CMakeFiles/xmp_transport.dir/cc/d2tcp.cpp.o"
+  "CMakeFiles/xmp_transport.dir/cc/d2tcp.cpp.o.d"
+  "CMakeFiles/xmp_transport.dir/cc/dctcp.cpp.o"
+  "CMakeFiles/xmp_transport.dir/cc/dctcp.cpp.o.d"
+  "CMakeFiles/xmp_transport.dir/cc/reno.cpp.o"
+  "CMakeFiles/xmp_transport.dir/cc/reno.cpp.o.d"
+  "CMakeFiles/xmp_transport.dir/flow.cpp.o"
+  "CMakeFiles/xmp_transport.dir/flow.cpp.o.d"
+  "CMakeFiles/xmp_transport.dir/receiver.cpp.o"
+  "CMakeFiles/xmp_transport.dir/receiver.cpp.o.d"
+  "CMakeFiles/xmp_transport.dir/sender.cpp.o"
+  "CMakeFiles/xmp_transport.dir/sender.cpp.o.d"
+  "libxmp_transport.a"
+  "libxmp_transport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xmp_transport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

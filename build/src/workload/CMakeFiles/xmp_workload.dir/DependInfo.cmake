@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/flow_manager.cpp" "src/workload/CMakeFiles/xmp_workload.dir/flow_manager.cpp.o" "gcc" "src/workload/CMakeFiles/xmp_workload.dir/flow_manager.cpp.o.d"
+  "/root/repo/src/workload/incast.cpp" "src/workload/CMakeFiles/xmp_workload.dir/incast.cpp.o" "gcc" "src/workload/CMakeFiles/xmp_workload.dir/incast.cpp.o.d"
+  "/root/repo/src/workload/permutation.cpp" "src/workload/CMakeFiles/xmp_workload.dir/permutation.cpp.o" "gcc" "src/workload/CMakeFiles/xmp_workload.dir/permutation.cpp.o.d"
+  "/root/repo/src/workload/random_traffic.cpp" "src/workload/CMakeFiles/xmp_workload.dir/random_traffic.cpp.o" "gcc" "src/workload/CMakeFiles/xmp_workload.dir/random_traffic.cpp.o.d"
+  "/root/repo/src/workload/trace_replay.cpp" "src/workload/CMakeFiles/xmp_workload.dir/trace_replay.cpp.o" "gcc" "src/workload/CMakeFiles/xmp_workload.dir/trace_replay.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mptcp/CMakeFiles/xmp_mptcp.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/xmp_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/xmp_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/xmp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/xmp_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xmp_workload.dir/flow_manager.cpp.o"
+  "CMakeFiles/xmp_workload.dir/flow_manager.cpp.o.d"
+  "CMakeFiles/xmp_workload.dir/incast.cpp.o"
+  "CMakeFiles/xmp_workload.dir/incast.cpp.o.d"
+  "CMakeFiles/xmp_workload.dir/permutation.cpp.o"
+  "CMakeFiles/xmp_workload.dir/permutation.cpp.o.d"
+  "CMakeFiles/xmp_workload.dir/random_traffic.cpp.o"
+  "CMakeFiles/xmp_workload.dir/random_traffic.cpp.o.d"
+  "CMakeFiles/xmp_workload.dir/trace_replay.cpp.o"
+  "CMakeFiles/xmp_workload.dir/trace_replay.cpp.o.d"
+  "libxmp_workload.a"
+  "libxmp_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xmp_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mptcp.dir/mptcp/connection_test.cpp.o"
+  "CMakeFiles/test_mptcp.dir/mptcp/connection_test.cpp.o.d"
+  "CMakeFiles/test_mptcp.dir/mptcp/coupling_test.cpp.o"
+  "CMakeFiles/test_mptcp.dir/mptcp/coupling_test.cpp.o.d"
+  "CMakeFiles/test_mptcp.dir/mptcp/olia_quality_test.cpp.o"
+  "CMakeFiles/test_mptcp.dir/mptcp/olia_quality_test.cpp.o.d"
+  "CMakeFiles/test_mptcp.dir/mptcp/oversubscribed_subflows_test.cpp.o"
+  "CMakeFiles/test_mptcp.dir/mptcp/oversubscribed_subflows_test.cpp.o.d"
+  "CMakeFiles/test_mptcp.dir/mptcp/reinjection_test.cpp.o"
+  "CMakeFiles/test_mptcp.dir/mptcp/reinjection_test.cpp.o.d"
+  "test_mptcp"
+  "test_mptcp.pdb"
+  "test_mptcp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mptcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/transport/cc_test.cpp" "tests/CMakeFiles/test_transport.dir/transport/cc_test.cpp.o" "gcc" "tests/CMakeFiles/test_transport.dir/transport/cc_test.cpp.o.d"
+  "/root/repo/tests/transport/d2tcp_test.cpp" "tests/CMakeFiles/test_transport.dir/transport/d2tcp_test.cpp.o" "gcc" "tests/CMakeFiles/test_transport.dir/transport/d2tcp_test.cpp.o.d"
+  "/root/repo/tests/transport/ecn_codec_test.cpp" "tests/CMakeFiles/test_transport.dir/transport/ecn_codec_test.cpp.o" "gcc" "tests/CMakeFiles/test_transport.dir/transport/ecn_codec_test.cpp.o.d"
+  "/root/repo/tests/transport/edge_cases_test.cpp" "tests/CMakeFiles/test_transport.dir/transport/edge_cases_test.cpp.o" "gcc" "tests/CMakeFiles/test_transport.dir/transport/edge_cases_test.cpp.o.d"
+  "/root/repo/tests/transport/flow_test.cpp" "tests/CMakeFiles/test_transport.dir/transport/flow_test.cpp.o" "gcc" "tests/CMakeFiles/test_transport.dir/transport/flow_test.cpp.o.d"
+  "/root/repo/tests/transport/receiver_config_test.cpp" "tests/CMakeFiles/test_transport.dir/transport/receiver_config_test.cpp.o" "gcc" "tests/CMakeFiles/test_transport.dir/transport/receiver_config_test.cpp.o.d"
+  "/root/repo/tests/transport/receiver_test.cpp" "tests/CMakeFiles/test_transport.dir/transport/receiver_test.cpp.o" "gcc" "tests/CMakeFiles/test_transport.dir/transport/receiver_test.cpp.o.d"
+  "/root/repo/tests/transport/sender_test.cpp" "tests/CMakeFiles/test_transport.dir/transport/sender_test.cpp.o" "gcc" "tests/CMakeFiles/test_transport.dir/transport/sender_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/xmp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/xmp_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/mptcp/CMakeFiles/xmp_mptcp.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/xmp_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/xmp_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/xmp_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/xmp_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/xmp_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/xmp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/xmp_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_transport.dir/transport/cc_test.cpp.o"
+  "CMakeFiles/test_transport.dir/transport/cc_test.cpp.o.d"
+  "CMakeFiles/test_transport.dir/transport/d2tcp_test.cpp.o"
+  "CMakeFiles/test_transport.dir/transport/d2tcp_test.cpp.o.d"
+  "CMakeFiles/test_transport.dir/transport/ecn_codec_test.cpp.o"
+  "CMakeFiles/test_transport.dir/transport/ecn_codec_test.cpp.o.d"
+  "CMakeFiles/test_transport.dir/transport/edge_cases_test.cpp.o"
+  "CMakeFiles/test_transport.dir/transport/edge_cases_test.cpp.o.d"
+  "CMakeFiles/test_transport.dir/transport/flow_test.cpp.o"
+  "CMakeFiles/test_transport.dir/transport/flow_test.cpp.o.d"
+  "CMakeFiles/test_transport.dir/transport/receiver_config_test.cpp.o"
+  "CMakeFiles/test_transport.dir/transport/receiver_config_test.cpp.o.d"
+  "CMakeFiles/test_transport.dir/transport/receiver_test.cpp.o"
+  "CMakeFiles/test_transport.dir/transport/receiver_test.cpp.o.d"
+  "CMakeFiles/test_transport.dir/transport/sender_test.cpp.o"
+  "CMakeFiles/test_transport.dir/transport/sender_test.cpp.o.d"
+  "test_transport"
+  "test_transport.pdb"
+  "test_transport[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_transport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
