@@ -9,8 +9,11 @@
 //   xmpsim fluid  --capacity-gbps=1 --flows=3 [--beta=4] [--rtt-us=300]
 //       Closed-form BOS equilibrium on a single bottleneck (paper §2.1).
 //
-//   xmpsim sweep  --param={mark-k|beta|subflows} --values=a,b,c ...
-//       Re-run `run` for each value and tabulate average goodput.
+//   xmpsim sweep  --param={mark-k|beta|subflows|queue|seed} --values=a,b,c
+//                 [--jobs=N] ...
+//       Re-run `run` for each value and tabulate average goodput. Points
+//       run concurrently on N worker threads (default: hardware cores);
+//       results are identical to a serial sweep, in the order given.
 //
 //   xmpsim topo   [--k=8]
 //       Print Fat-Tree dimensions and delay budget for a given k.
@@ -212,7 +215,10 @@ int cmd_sweep(const Args& args) {
     std::fprintf(stderr, "need --values=a,b,c\n");
     return 2;
   }
-  std::printf("%-12s %16s %16s\n", param.c_str(), "goodput (Mbps)", "events");
+  // Build the whole grid up front, then fan it across worker threads; the
+  // runner returns results in submission order, bit-identical to a serial
+  // sweep.
+  std::vector<core::ExperimentConfig> grid;
   for (double v : values) {
     bool ok = true;
     auto cfg = config_from(args, ok);
@@ -225,13 +231,26 @@ int cmd_sweep(const Args& args) {
       cfg.scheme.subflows = static_cast<int>(v);
     } else if (param == "queue") {
       cfg.queue_capacity = static_cast<std::size_t>(v);
+    } else if (param == "seed") {
+      cfg.seed = static_cast<std::uint64_t>(v);
     } else {
       std::fprintf(stderr, "unknown --param=%s\n", param.c_str());
       return 2;
     }
-    const auto res = core::run_experiment(cfg);
-    std::printf("%-12g %16.1f %16llu\n", v, res.avg_goodput_mbps(),
-                static_cast<unsigned long long>(res.events_dispatched));
+    grid.push_back(cfg);
+  }
+
+  const std::int64_t jobs = args.get_i("jobs", 0);  // <= 0 means "hardware cores"
+  const core::ParallelRunner runner{jobs > 0 ? static_cast<unsigned>(jobs) : 0U};
+  std::fprintf(stderr, "sweeping %zu points on %u workers\n", grid.size(), runner.workers());
+  const auto results = runner.run(grid, [](std::size_t, std::size_t done, std::size_t total) {
+    std::fprintf(stderr, "  [%zu/%zu] done\n", done, total);
+  });
+
+  std::printf("%-12s %16s %16s\n", param.c_str(), "goodput (Mbps)", "events");
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    std::printf("%-12g %16.1f %16llu\n", values[i], results[i].avg_goodput_mbps(),
+                static_cast<unsigned long long>(results[i].events_dispatched));
   }
   return 0;
 }

@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Run the google-benchmark microbenchmarks and record machine-readable
+# results for regression tracking.
+#
+#   bench/run_benches.sh [build-dir] [output.json]
+#
+# Defaults: build-dir = build, output = BENCH_micro.json (repo root).
+# BM_SchedulerScheduleDispatch and BM_EndToEndTransfer are the regression
+# guards for the event engine — compare items_per_second / events_per_second
+# against the committed BENCH_micro.json before merging scheduler changes.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+build_dir="${1:-build}"
+out="${2:-BENCH_micro.json}"
+bin="$build_dir/bench/bench_micro_sim"
+
+if [[ ! -x "$bin" ]]; then
+  echo "error: $bin not found; build first: cmake -B $build_dir -S . && cmake --build $build_dir -j" >&2
+  exit 1
+fi
+
+echo "running $bin -> $out" >&2
+"$bin" --benchmark_format=json --benchmark_out="$out" --benchmark_out_format=json \
+       --benchmark_repetitions="${BENCH_REPS:-1}" > /dev/null
+
+# Human-readable digest of the headline counters.
+python3 - "$out" <<'EOF' || true
+import json, sys
+with open(sys.argv[1]) as f:
+    data = json.load(f)
+for b in data.get("benchmarks", []):
+    rate = b.get("items_per_second") or b.get("events/s")
+    if rate:
+        print(f"  {b['name']:<45} {rate / 1e6:10.2f} M/s")
+EOF

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Tier-1 verification: configure, build, run the full test suite.
+#
+#   scripts/check.sh            # default RelWithDebInfo build + ctest
+#   scripts/check.sh asan       # AddressSanitizer + UBSan build + ctest
+#   scripts/check.sh tsan       # ThreadSanitizer build + ParallelRunner tests
+#   scripts/check.sh all        # default, then asan, then tsan
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+jobs="${JOBS:-$(nproc)}"
+
+run_preset() {
+  local preset="$1"
+  echo "== preset: $preset =="
+  cmake --preset "$preset"
+  cmake --build --preset "$preset" -j "$jobs"
+  ctest --preset "$preset" -j "$jobs"
+}
+
+case "${1:-default}" in
+  default) run_preset default ;;
+  asan)    run_preset asan-ubsan ;;
+  tsan)    run_preset tsan ;;
+  all)     run_preset default; run_preset asan-ubsan; run_preset tsan ;;
+  *) echo "usage: $0 [default|asan|tsan|all]" >&2; exit 2 ;;
+esac
+echo "OK"

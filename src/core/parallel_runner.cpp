@@ -1,0 +1,71 @@
+#include "core/parallel_runner.hpp"
+
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+namespace xmp::core {
+
+ParallelRunner::ParallelRunner(unsigned workers) : workers_{workers} {
+  if (workers_ == 0) {
+    workers_ = std::thread::hardware_concurrency();
+    if (workers_ == 0) workers_ = 1;
+  }
+}
+
+std::vector<ExperimentResults> ParallelRunner::run(const std::vector<ExperimentConfig>& configs,
+                                                   const Progress& progress) const {
+  std::vector<ExperimentResults> results(configs.size());
+  if (configs.empty()) return results;
+
+  const std::size_t total = configs.size();
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> done{0};
+  std::mutex mu;  // guards progress invocation and first_error
+  std::exception_ptr first_error;
+
+  auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= total) return;
+      try {
+        results[i] = run_experiment(configs[i]);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock{mu};
+        if (!first_error) first_error = std::current_exception();
+        continue;
+      }
+      const std::size_t n = done.fetch_add(1, std::memory_order_relaxed) + 1;
+      if (progress) {
+        const std::lock_guard<std::mutex> lock{mu};
+        progress(i, n, total);
+      }
+    }
+  };
+
+  const unsigned n_threads = workers_ < total ? workers_ : static_cast<unsigned>(total);
+  if (n_threads <= 1) {
+    worker();  // serial fallback: no thread-spawn overhead for one config
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(n_threads);
+    for (unsigned w = 0; w < n_threads; ++w) pool.emplace_back(worker);
+    for (auto& th : pool) th.join();
+  }
+  if (first_error) std::rethrow_exception(first_error);
+  return results;
+}
+
+std::vector<ExperimentConfig> seed_sweep(const ExperimentConfig& base,
+                                         const std::vector<std::uint64_t>& seeds) {
+  std::vector<ExperimentConfig> out;
+  out.reserve(seeds.size());
+  for (const std::uint64_t s : seeds) {
+    out.push_back(base);
+    out.back().seed = s;
+  }
+  return out;
+}
+
+}  // namespace xmp::core

@@ -1,0 +1,51 @@
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "core/experiment.hpp"
+
+namespace xmp::core {
+
+/// Fans independent experiment configs across a pool of worker threads.
+///
+/// Table/Figure-scale evaluations are embarrassingly parallel: every
+/// `ExperimentConfig` (seed sweep, scheme comparison, ablation grid point)
+/// owns its whole world — `run_experiment` builds a private Scheduler,
+/// Network and Rng per call, and nothing in the simulation core touches
+/// shared mutable state. The runner therefore guarantees:
+///
+///  - **Determinism**: results are bit-identical to running the same
+///    configs through a serial loop, regardless of worker count or
+///    completion order.
+///  - **Submission order**: results[i] always corresponds to configs[i].
+///
+/// Workers pull the next un-run config from a shared counter, so uneven
+/// run times load-balance automatically.
+class ParallelRunner {
+ public:
+  /// `workers == 0` picks std::thread::hardware_concurrency() (at least 1).
+  explicit ParallelRunner(unsigned workers = 0);
+
+  [[nodiscard]] unsigned workers() const { return workers_; }
+
+  /// Called after each config finishes: (index into configs, done so far,
+  /// total). Invoked under an internal mutex, so it may print.
+  using Progress = std::function<void(std::size_t index, std::size_t done, std::size_t total)>;
+
+  /// Run every config to completion; blocks until all are done. The first
+  /// exception thrown by a worker (if any) is rethrown after the pool
+  /// joins.
+  [[nodiscard]] std::vector<ExperimentResults> run(const std::vector<ExperimentConfig>& configs,
+                                                   const Progress& progress = {}) const;
+
+ private:
+  unsigned workers_;
+};
+
+/// Expand `base` into one config per seed (convenience for seed sweeps).
+[[nodiscard]] std::vector<ExperimentConfig> seed_sweep(const ExperimentConfig& base,
+                                                       const std::vector<std::uint64_t>& seeds);
+
+}  // namespace xmp::core

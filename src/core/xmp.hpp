@@ -15,6 +15,7 @@
 /// Quickstart: see examples/quickstart.cpp.
 
 #include "core/experiment.hpp"
+#include "core/parallel_runner.hpp"
 #include "mptcp/connection.hpp"
 #include "net/network.hpp"
 #include "sim/random.hpp"

@@ -1,13 +1,49 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <memory>
+#include <vector>
 
 #include "net/packet.hpp"
 #include "sim/time.hpp"
 
 namespace xmp::net {
+
+/// Fixed-capacity packet FIFO backed by a flat ring buffer.
+///
+/// Queues are bounded by construction (capacity in packets), so the ring
+/// is sized once on first use and enqueue/dequeue never allocate — unlike
+/// std::deque, which allocates a block every few packets on the busiest
+/// links of a run.
+class PacketRing {
+ public:
+  explicit PacketRing(std::size_t capacity) : capacity_{capacity} {}
+
+  [[nodiscard]] std::size_t size() const { return count_; }
+  [[nodiscard]] bool empty() const { return count_ == 0; }
+
+  [[nodiscard]] Packet& front() { return buf_[head_]; }
+
+  void push_back(Packet&& p) {
+    if (buf_.empty()) buf_.resize(capacity_);  // deferred: idle queues stay small
+    std::size_t tail = head_ + count_;
+    if (tail >= capacity_) tail -= capacity_;
+    buf_[tail] = std::move(p);
+    ++count_;
+  }
+
+  void pop_front() {
+    ++head_;
+    if (head_ == capacity_) head_ = 0;
+    --count_;
+  }
+
+ private:
+  std::size_t capacity_;
+  std::size_t head_ = 0;
+  std::size_t count_ = 0;
+  std::vector<Packet> buf_;
+};
 
 /// Counters shared by every queue discipline.
 struct QueueCounters {
@@ -23,7 +59,8 @@ struct QueueCounters {
 /// expressed in packets, matching the paper ("queue size of 100 packets").
 class Queue {
  public:
-  explicit Queue(std::size_t capacity_packets) : capacity_{capacity_packets} {}
+  explicit Queue(std::size_t capacity_packets)
+      : capacity_{capacity_packets}, fifo_{capacity_packets} {}
   virtual ~Queue() = default;
 
   Queue(const Queue&) = delete;
@@ -54,7 +91,7 @@ class Queue {
   virtual void on_dequeue(const Packet& /*p*/, sim::Time /*now*/) {}
 
   std::size_t capacity_;
-  std::deque<Packet> fifo_;
+  PacketRing fifo_;
   std::size_t bytes_ = 0;
   QueueCounters counters_;
 

@@ -1,16 +1,18 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_set>
 #include <vector>
 
+#include "sim/event_callback.hpp"
 #include "sim/time.hpp"
 
 namespace xmp::sim {
 
 /// Identifier of a scheduled event; used for cancellation.
+///
+/// Encodes a slab slot plus a per-slot generation, so an id for an event
+/// that already fired (or was cancelled) stays invalid even after its slot
+/// is reused by a later event.
 using EventId = std::uint64_t;
 inline constexpr EventId kInvalidEventId = 0;
 
@@ -18,11 +20,26 @@ inline constexpr EventId kInvalidEventId = 0;
 ///
 /// Events scheduled for the same instant fire in FIFO order, which together
 /// with the deterministic Rng makes every simulation run reproducible.
-/// Cancellation is lazy: a cancelled event stays in the heap and is skipped
-/// when popped, which keeps schedule/cancel O(log n) / O(1).
+///
+/// The hot path is allocation-free in steady state and built from three
+/// pieces:
+///  - a slab of callback slots (EventCallback small-buffer storage, no
+///    heap allocation per event) recycled through a free list;
+///  - an indexed 4-ary min-heap of 16-byte (time, sequence|slot) keys;
+///    per-slot positions live in a dense side array, so cancel() and
+///    reschedule() are O(log n) in place — no tombstones, no
+///    skip-on-pop hash lookups;
+///  - a monotone tail: while the heap is empty, events scheduled in
+///    non-decreasing time order append to a sorted vector and pop from
+///    its front, making the common schedule-ahead / drain pattern O(1)
+///    per event instead of O(log n).
+///
+/// Dispatch order is defined purely by the (time, sequence) key, so the
+/// tail is invisible to results: any run dispatches identically to a
+/// pure-heap engine.
 class Scheduler {
  public:
-  using Callback = std::function<void()>;
+  using Callback = EventCallback;
 
   /// Current virtual time.
   [[nodiscard]] Time now() const { return now_; }
@@ -36,6 +53,12 @@ class Scheduler {
   /// Cancel a pending event. Cancelling an already-fired or invalid id is a no-op.
   void cancel(EventId id);
 
+  /// Move a pending event to a new deadline, keeping its callback and id.
+  /// Equivalent to cancel + schedule_at (the event re-enters the FIFO order
+  /// at its new timestamp as if freshly scheduled). Returns false — and
+  /// does nothing — if the id is no longer pending.
+  bool reschedule(EventId id, Time t);
+
   /// Run until no events remain or stop() is called.
   void run();
 
@@ -48,31 +71,78 @@ class Scheduler {
   void stop() { stopped_ = true; }
 
   /// Number of live (not yet fired, not cancelled) events.
-  [[nodiscard]] std::size_t pending() const { return heap_.size() - cancelled_.size(); }
+  [[nodiscard]] std::size_t pending() const { return heap_.size() + tail_live_; }
 
   /// Total events dispatched so far (for micro-benchmarks and tests).
   [[nodiscard]] std::uint64_t dispatched() const { return dispatched_; }
 
  private:
-  struct Item {
-    Time t;
-    EventId id;
-    Callback cb;
-  };
-  struct Later {
-    bool operator()(const Item& a, const Item& b) const {
-      if (a.t != b.t) return a.t > b.t;
-      return a.id > b.id;  // FIFO among equal timestamps
-    }
+  static constexpr std::uint32_t kNullPos = 0xffffffffu;
+  /// pos_ values >= kTailFlag locate the event inside tail_ instead of heap_.
+  static constexpr std::uint32_t kTailFlag = 0x80000000u;
+  static constexpr std::size_t kArity = 4;
+  /// Heap keys pack (sequence << kSlotBits) | slot into one word: the
+  /// monotone sequence makes FIFO ties exact, the slot rides along for
+  /// free. 2^24 concurrent events and 2^40 total schedules are orders of
+  /// magnitude beyond any run we do; both are asserted.
+  static constexpr std::uint32_t kSlotBits = 24;
+  static constexpr std::uint64_t kSlotMask = (1u << kSlotBits) - 1;
+
+  /// Slab slot: callback storage plus the generation that validates ids.
+  struct Slot {
+    EventCallback cb;
+    std::uint32_t gen = 0;
   };
 
-  /// Pop the earliest live event, skipping cancelled ones. Returns false if empty.
-  bool pop_next(Item& out);
+  struct HeapEntry {
+    std::int64_t t_ns;
+    std::uint64_t key;  ///< (seq << kSlotBits) | slot
 
-  std::priority_queue<Item, std::vector<Item>, Later> heap_;
-  std::unordered_set<EventId> cancelled_;
+    [[nodiscard]] std::uint32_t slot() const { return static_cast<std::uint32_t>(key & kSlotMask); }
+  };
+
+  [[nodiscard]] static bool earlier(const HeapEntry& a, const HeapEntry& b) {
+    if (a.t_ns != b.t_ns) return a.t_ns < b.t_ns;
+    return a.key < b.key;  // seq occupies the high bits: FIFO among equal times
+  }
+
+  /// Decode an EventId; returns the slot index if it names a pending event,
+  /// kNullPos otherwise.
+  [[nodiscard]] std::uint32_t pending_slot_of(EventId id) const;
+
+  std::uint32_t acquire_slot();
+  void release_slot(std::uint32_t idx);
+  void place(const HeapEntry& e, std::size_t pos) {
+    heap_[pos] = e;
+    pos_[e.slot()] = static_cast<std::uint32_t>(pos);
+  }
+  void sift_up(std::size_t pos);
+  void sift_down(std::size_t pos);
+  void restore(std::size_t pos);
+  void heap_erase(std::size_t pos);
+  void push_entry(const HeapEntry& e);
+
+  /// Route a freshly keyed entry for `idx` at time `t` to the tail (O(1)
+  /// monotone fast path) or the heap.
+  void insert_entry(std::uint32_t idx, Time t);
+
+  /// Drop dead (cancelled) and consumed entries from the tail front; resets
+  /// the tail when it empties so indices stay small.
+  void trim_tail();
+
+  /// Remove the earliest event with time <= `bound_ns`, moving its deadline
+  /// and callback out. Returns false when no such event exists.
+  bool pop_next(std::int64_t bound_ns, Time& t, EventCallback& cb);
+
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> pos_;  ///< per-slot location (heap pos or tail index)
+  std::vector<HeapEntry> heap_;
+  std::vector<HeapEntry> tail_;  ///< sorted ascending; consumed from tail_head_
+  std::size_t tail_head_ = 0;
+  std::size_t tail_live_ = 0;  ///< tail entries not yet cancelled
+  std::vector<std::uint32_t> free_;
   Time now_ = Time::zero();
-  EventId next_id_ = 1;
+  std::uint64_t next_seq_ = 1;
   std::uint64_t dispatched_ = 0;
   bool stopped_ = false;
 };

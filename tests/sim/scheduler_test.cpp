@@ -111,6 +111,86 @@ TEST(Scheduler, PendingCountsLiveEventsOnly) {
   EXPECT_EQ(s.pending(), 1u);
 }
 
+TEST(Scheduler, CancelThenRescheduleReusesSlotSafely) {
+  Scheduler s;
+  bool stale_ran = false;
+  bool fresh_ran = false;
+  const EventId stale = s.schedule_at(Time::microseconds(10), [&] { stale_ran = true; });
+  s.cancel(stale);
+  // The freed slot is recycled for the next schedule; the stale id must not
+  // alias it.
+  const EventId fresh = s.schedule_at(Time::microseconds(20), [&] { fresh_ran = true; });
+  s.cancel(stale);  // stale id, possibly same slot: must be a no-op
+  EXPECT_EQ(s.pending(), 1u);
+  s.run();
+  EXPECT_FALSE(stale_ran);
+  EXPECT_TRUE(fresh_ran);
+  EXPECT_NE(stale, fresh);
+}
+
+TEST(Scheduler, StaleIdAfterDispatchIsNoop) {
+  Scheduler s;
+  int fired = 0;
+  const EventId a = s.schedule_at(Time::microseconds(1), [&] { ++fired; });
+  s.run();
+  // `a` was dispatched; its slot may now host a new event.
+  bool ran = false;
+  s.schedule_at(Time::microseconds(2), [&] { ran = true; });
+  s.cancel(a);
+  s.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(ran);
+}
+
+TEST(Scheduler, RescheduleMovesEventAndKeepsId) {
+  Scheduler s;
+  std::vector<int> order;
+  const EventId a = s.schedule_at(Time::microseconds(10), [&] { order.push_back(1); });
+  s.schedule_at(Time::microseconds(20), [&] { order.push_back(2); });
+  EXPECT_TRUE(s.reschedule(a, Time::microseconds(30)));  // push later
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{2, 1}));
+  EXPECT_FALSE(s.reschedule(a, Time::microseconds(40)));  // already dispatched
+}
+
+TEST(Scheduler, RescheduleToEqualTimestampGoesLast) {
+  // A rescheduled event re-enters the FIFO of its new timestamp at the
+  // back, exactly as if it had been cancelled and scheduled afresh.
+  Scheduler s;
+  std::vector<int> order;
+  const EventId a = s.schedule_at(Time::microseconds(5), [&] { order.push_back(0); });
+  for (int i = 1; i <= 3; ++i) {
+    s.schedule_at(Time::microseconds(10), [&order, i] { order.push_back(i); });
+  }
+  EXPECT_TRUE(s.reschedule(a, Time::microseconds(10)));
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 0}));
+}
+
+TEST(Scheduler, RescheduleEarlierDispatchesFirst) {
+  Scheduler s;
+  std::vector<int> order;
+  s.schedule_at(Time::microseconds(10), [&] { order.push_back(1); });
+  const EventId b = s.schedule_at(Time::microseconds(20), [&] { order.push_back(2); });
+  EXPECT_TRUE(s.reschedule(b, Time::microseconds(5)));
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{2, 1}));
+}
+
+TEST(Scheduler, StopAtHorizonFreezesClock) {
+  Scheduler s;
+  s.schedule_at(Time::microseconds(10), [&] { s.stop(); });
+  s.schedule_at(Time::microseconds(20), [] {});
+  s.run_until(Time::microseconds(50));
+  // stop() freezes the clock at the stopping event, not the horizon.
+  EXPECT_EQ(s.now(), Time::microseconds(10));
+  EXPECT_EQ(s.pending(), 1u);
+  // Resuming is allowed and picks up the remaining event.
+  s.run_until(Time::microseconds(50));
+  EXPECT_EQ(s.pending(), 0u);
+  EXPECT_EQ(s.now(), Time::microseconds(50));
+}
+
 TEST(Scheduler, CancelledHeadDoesNotBlockRunUntil) {
   Scheduler s;
   bool ran = false;
