@@ -4,7 +4,14 @@
 //                 [--duration=0.5] [--queue=100] [--mark-k=10] [--beta=4]
 //                 [--seed=1] [--coexist=dctcp] [--csv=flows.csv]
 //                 [--json=summary.json]
+//                 [--faults="down,link=3,at=0.1; loss,link=5,at=0,p=0.01"]
+//                 [--fault-seed=1] [--dead-after=3] [--invariants]
+//                 [--drops-csv=drops.csv]
 //       Run one Fat-Tree evaluation and print the paper's summary metrics.
+//       With --faults, the plan's events are injected on the simulation
+//       clock (see src/faults/fault_plan.hpp for the grammar); --dead-after
+//       defaults to 3 when faults are given (0 = failover disabled
+//       otherwise); --invariants runs the runtime invariant probe.
 //
 //   xmpsim fluid  --capacity-gbps=1 --flows=3 [--beta=4] [--rtt-us=300]
 //       Closed-form BOS equilibrium on a single bottleneck (paper §2.1).
@@ -44,6 +51,15 @@ class Args {
       if (a.rfind(prefix, 0) == 0) return a.substr(prefix.size());
     }
     return fallback;
+  }
+
+  /// Bare boolean flag (`--invariants`, no value).
+  [[nodiscard]] bool has(const std::string& key) const {
+    const std::string flag = "--" + key;
+    for (const auto& a : args_) {
+      if (a == flag) return true;
+    }
+    return false;
   }
 
   [[nodiscard]] double get_d(const std::string& key, double fallback) const {
@@ -129,6 +145,23 @@ core::ExperimentConfig config_from(const Args& args, bool& ok) {
   cfg.mark_threshold = static_cast<std::size_t>(args.get_i("mark-k", 10));
   cfg.permutation_rounds = static_cast<int>(args.get_i("rounds", 2));
   cfg.seed = static_cast<std::uint64_t>(args.get_i("seed", 1));
+
+  const std::string faults = args.get("faults", "");
+  if (!faults.empty()) {
+    std::string error;
+    if (!faults::FaultPlan::parse(faults, cfg.fault_plan, &error)) {
+      std::fprintf(stderr, "bad --faults: %s\n", error.c_str());
+      ok = false;
+    }
+  }
+  cfg.fault_seed = static_cast<std::uint64_t>(args.get_i("fault-seed", 1));
+  // Subflow failover is on by default only under fault injection, so that
+  // fault-free runs stay bit-identical to builds without the fault layer.
+  cfg.scheme.dead_after_rtos =
+      static_cast<int>(args.get_i("dead-after", cfg.fault_plan.empty() ? 0 : 3));
+  if (cfg.scheme_b) cfg.scheme_b->dead_after_rtos = cfg.scheme.dead_after_rtos;
+  cfg.check_invariants = args.has("invariants") || !args.get("invariants", "").empty();
+
   const auto scale = args.get_i("scale", 1);
   cfg.perm_min_bytes *= scale;
   cfg.perm_max_bytes *= scale;
@@ -166,6 +199,26 @@ void print_summary(const core::ExperimentConfig& cfg, const core::ExperimentResu
                 topo::FatTree::layer_name(static_cast<topo::FatTree::Layer>(l)), d.mean(),
                 d.percentile(90));
   }
+  if (!cfg.fault_plan.empty() || res.drops.total_drops() > 0) {
+    std::printf("drops: queue %llu, admin-down %llu, fault %llu, corrupt %llu "
+                "(offered %llu, delivered %llu)\n",
+                static_cast<unsigned long long>(res.drops.queue),
+                static_cast<unsigned long long>(res.drops.admin_down),
+                static_cast<unsigned long long>(res.drops.fault),
+                static_cast<unsigned long long>(res.drops.corrupt),
+                static_cast<unsigned long long>(res.drops.offered),
+                static_cast<unsigned long long>(res.drops.delivered));
+  }
+  if (res.aborted_flows > 0) {
+    std::printf("aborted flows (all subflows dead): %llu\n",
+                static_cast<unsigned long long>(res.aborted_flows));
+  }
+  if (cfg.check_invariants) {
+    std::printf("invariants: %llu checks, %zu violations\n",
+                static_cast<unsigned long long>(res.invariant_checks),
+                res.invariant_violations.size());
+    for (const auto& v : res.invariant_violations) std::printf("  VIOLATION %s\n", v.c_str());
+  }
 }
 
 int cmd_run(const Args& args) {
@@ -184,7 +237,14 @@ int cmd_run(const Args& args) {
     core::export_summary_json(cfg, res, json);
     std::printf("wrote %s\n", json.c_str());
   }
-  return 0;
+  const std::string drops_csv = args.get("drops-csv", "");
+  if (!drops_csv.empty()) {
+    core::export_link_drops_csv(res, drops_csv);
+    std::printf("wrote %s\n", drops_csv.c_str());
+  }
+  // Surface invariant violations in the exit code so scripted chaos runs
+  // fail loudly instead of silently shipping a broken summary.
+  return res.invariant_violations.empty() ? 0 : 3;
 }
 
 int cmd_fluid(const Args& args) {

@@ -21,15 +21,23 @@ if [[ ! -x "$bin" ]]; then
 fi
 
 echo "running $bin -> $out" >&2
-"$bin" --benchmark_format=json --benchmark_out="$out" --benchmark_out_format=json \
-       --benchmark_repetitions="${BENCH_REPS:-1}" > /dev/null
+if ! "$bin" --benchmark_format=json --benchmark_out="$out" --benchmark_out_format=json \
+            --benchmark_repetitions="${BENCH_REPS:-1}" > /dev/null; then
+  echo "error: $bin exited non-zero; $out is not trustworthy" >&2
+  exit 1
+fi
 
-# Human-readable digest of the headline counters.
-python3 - "$out" <<'EOF' || true
+# Human-readable digest of the headline counters. Fails (and fails the
+# script) if the output parsed to zero benchmarks — an empty results file
+# must never pass for a successful run.
+python3 - "$out" <<'EOF'
 import json, sys
 with open(sys.argv[1]) as f:
     data = json.load(f)
-for b in data.get("benchmarks", []):
+benches = data.get("benchmarks", [])
+if not benches:
+    sys.exit(f"error: no benchmarks recorded in {sys.argv[1]}")
+for b in benches:
     rate = b.get("items_per_second") or b.get("events/s")
     if rate:
         print(f"  {b['name']:<45} {rate / 1e6:10.2f} M/s")

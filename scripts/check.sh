@@ -4,6 +4,9 @@
 #   scripts/check.sh            # default RelWithDebInfo build + ctest
 #   scripts/check.sh asan       # AddressSanitizer + UBSan build + ctest
 #   scripts/check.sh tsan       # ThreadSanitizer build + ParallelRunner tests
+#
+# Every mode finishes with a chaos soak (tests/faults/chaos_soak_test.cpp)
+# at a CHAOS_RUNS volume sized to the preset's sanitizer overhead.
 #   scripts/check.sh all        # default, then asan, then tsan
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -15,14 +18,27 @@ run_preset() {
   echo "== preset: $preset =="
   cmake --preset "$preset"
   cmake --build --preset "$preset" -j "$jobs"
-  ctest --preset "$preset" -j "$jobs"
+  # The chaos soak (hundreds of randomized fault-injection runs, ctest
+  # label "chaos") is excluded from the fast suite and run separately with
+  # a volume matched to the preset's sanitizer overhead.
+  ctest --preset "$preset" -j "$jobs" -LE chaos
+}
+
+run_chaos() {
+  local build_dir="$1" runs="$2"
+  echo "== chaos soak: $build_dir (CHAOS_RUNS=$runs) =="
+  CHAOS_RUNS="$runs" "$build_dir/tests/test_chaos"
 }
 
 case "${1:-default}" in
-  default) run_preset default ;;
-  asan)    run_preset asan-ubsan ;;
-  tsan)    run_preset tsan ;;
-  all)     run_preset default; run_preset asan-ubsan; run_preset tsan ;;
+  default) run_preset default; run_chaos build 210 ;;
+  asan)    run_preset asan-ubsan; run_chaos build-asan 42 ;;
+  tsan)    run_preset tsan; run_chaos build-tsan 14 ;;
+  all)
+    run_preset default; run_chaos build 210
+    run_preset asan-ubsan; run_chaos build-asan 42
+    run_preset tsan; run_chaos build-tsan 14
+    ;;
   *) echo "usage: $0 [default|asan|tsan|all]" >&2; exit 2 ;;
 esac
 echo "OK"

@@ -2,6 +2,8 @@
 
 #include <memory>
 
+#include "faults/fault_controller.hpp"
+#include "faults/invariant_checker.hpp"
 #include "net/network.hpp"
 #include "sim/random.hpp"
 #include "sim/scheduler.hpp"
@@ -62,6 +64,41 @@ ExperimentResults run_experiment(const ExperimentConfig& cfg) {
     // Disjoint id space: flow ids are endpoint demux keys at the hosts.
     flows_b = std::make_unique<workload::FlowManager>(sched, *cfg.scheme_b,
                                                       net::FlowId{1} << 24);
+  }
+
+  // --- fault injection (no-op when the plan is empty) ---
+  std::unique_ptr<faults::FaultController> fault_ctl;
+  if (!cfg.fault_plan.empty()) {
+    faults::FaultController::Config fcc;
+    fcc.seed = cfg.fault_seed;
+    fault_ctl = std::make_unique<faults::FaultController>(sched, netw, cfg.fault_plan, fcc);
+    fault_ctl->arm();
+  }
+
+  std::unique_ptr<faults::InvariantChecker> inv;
+  if (cfg.check_invariants) {
+    inv = std::make_unique<faults::InvariantChecker>(sched);
+    inv->watch_network(netw);
+    inv->add_sender_enumerator([&flows_a](const faults::InvariantChecker::SenderVisitor& v) {
+      flows_a.for_each_active_large_sender(
+          [&v](const workload::FlowRecord&, const transport::TcpSender& s) { v(s); });
+    });
+    inv->add_connection_enumerator(
+        [&flows_a](const faults::InvariantChecker::ConnectionVisitor& v) {
+          flows_a.for_each_active_connection([&v](mptcp::MptcpConnection& c) { v(c); });
+        });
+    if (flows_b) {
+      workload::FlowManager* fb = flows_b.get();
+      inv->add_sender_enumerator([fb](const faults::InvariantChecker::SenderVisitor& v) {
+        fb->for_each_active_large_sender(
+            [&v](const workload::FlowRecord&, const transport::TcpSender& s) { v(s); });
+      });
+      inv->add_connection_enumerator(
+          [fb](const faults::InvariantChecker::ConnectionVisitor& v) {
+            fb->for_each_active_connection([&v](mptcp::MptcpConnection& c) { v(c); });
+          });
+    }
+    inv->start();
   }
 
   // --- workload ---
@@ -199,6 +236,27 @@ ExperimentResults run_experiment(const ExperimentConfig& cfg) {
   if (incast) res.jobs = incast->jobs();
   res.sim_duration = sched.now();
   res.events_dispatched = sched.dispatched();
+
+  res.drops = stats::collect_drops(netw);
+  for (const auto& l : netw.links()) {
+    if (l->offered() == 0) continue;
+    ExperimentResults::LinkDropRow row;
+    row.link = l->id();
+    row.offered = l->offered();
+    row.delivered = l->delivered();
+    row.drops = l->drops();
+    res.link_drops.push_back(row);
+  }
+  res.aborted_flows = flows_a.aborted_large_flows();
+  if (flows_b) res.aborted_flows += flows_b->aborted_large_flows();
+  if (inv) {
+    inv->stop();
+    inv->check_now();  // final sweep at the horizon
+    res.invariant_checks = inv->checks_run();
+    for (const auto& v : inv->violations()) {
+      res.invariant_violations.push_back("[t=" + std::to_string(v.at.sec()) + "s] " + v.what);
+    }
+  }
   return res;
 }
 

@@ -5,8 +5,10 @@
 #include <optional>
 #include <vector>
 
+#include "faults/fault_plan.hpp"
 #include "sim/time.hpp"
 #include "stats/distribution.hpp"
+#include "stats/probes.hpp"
 #include "topo/fattree.hpp"
 #include "workload/flow_manager.hpp"
 #include "workload/incast.hpp"
@@ -50,6 +52,14 @@ struct ExperimentConfig {
 
   std::uint64_t seed = 1;
   sim::Time rtt_sample_interval = sim::Time::milliseconds(5);
+
+  /// Fault injection (empty plan = fault-free, bit-identical to builds
+  /// without the fault subsystem). The fault seed is independent of the
+  /// workload seed so the same faults can be replayed across workloads.
+  faults::FaultPlan fault_plan;
+  std::uint64_t fault_seed = 1;
+  /// Run the opt-in InvariantChecker probe alongside the experiment.
+  bool check_invariants = false;
 };
 
 /// Everything the paper reports from one run.
@@ -80,6 +90,25 @@ struct ExperimentResults {
 
   sim::Time sim_duration = sim::Time::zero();
   std::uint64_t events_dispatched = 0;
+
+  /// Fleet-wide per-cause drop accounting (all links).
+  stats::DropBreakdown drops;
+  /// Per-link drop rows for CSV export; only links that saw traffic.
+  struct LinkDropRow {
+    net::LinkId link = 0;
+    std::uint64_t offered = 0;
+    std::uint64_t delivered = 0;
+    net::LinkDropCounters drops;
+  };
+  std::vector<LinkDropRow> link_drops;
+
+  /// Multipath transfers that lost every subflow (requires a SchemeSpec
+  /// with dead_after_rtos > 0 and a hostile enough FaultPlan).
+  std::uint64_t aborted_flows = 0;
+
+  /// InvariantChecker findings (empty unless cfg.check_invariants).
+  std::uint64_t invariant_checks = 0;
+  std::vector<std::string> invariant_violations;
 
   [[nodiscard]] double avg_goodput_mbps() const { return goodput.mean(); }
   [[nodiscard]] double avg_goodput_b_mbps() const { return goodput_b.mean(); }

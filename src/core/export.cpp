@@ -44,6 +44,22 @@ void export_flows_csv(const ExperimentResults& results, const std::string& path)
   }
 }
 
+void export_link_drops_csv(const ExperimentResults& results, const std::string& path) {
+  trace::CsvWriter csv{path};
+  csv.header({"link", "offered", "delivered", "drops_queue", "drops_admin_down", "drops_fault",
+              "drops_corrupt"});
+  for (const auto& row : results.link_drops) {
+    csv.field(static_cast<std::uint64_t>(row.link))
+        .field(row.offered)
+        .field(row.delivered)
+        .field(row.drops.queue)
+        .field(row.drops.admin_down)
+        .field(row.drops.fault)
+        .field(row.drops.corrupt);
+    csv.end_row();
+  }
+}
+
 void export_summary_json(const ExperimentConfig& cfg, const ExperimentResults& results,
                          const std::string& path) {
   trace::JsonWriter json{path};
@@ -73,6 +89,22 @@ void export_summary_json(const ExperimentConfig& cfg, const ExperimentResults& r
     json.kv("avg_job_completion_ms", results.avg_job_completion_ms());
     json.kv("jobs_over_300ms", results.job_completion_over_ms(300.0));
   }
+  json.kv("aborted_flows", results.aborted_flows);
+  if (results.invariant_checks > 0) {
+    json.kv("invariant_checks", results.invariant_checks);
+    json.kv("invariant_violations",
+            static_cast<std::uint64_t>(results.invariant_violations.size()));
+  }
+  json.end_object();
+
+  json.key("drops");
+  json.begin_object();
+  json.kv("offered", results.drops.offered);
+  json.kv("delivered", results.drops.delivered);
+  json.kv("queue", results.drops.queue);
+  json.kv("admin_down", results.drops.admin_down);
+  json.kv("fault", results.drops.fault);
+  json.kv("corrupt", results.drops.corrupt);
   json.end_object();
 
   json.key("goodput_mbps");

@@ -11,8 +11,13 @@ namespace xmp::core {
 void export_flows_csv(const ExperimentResults& results, const std::string& path);
 
 /// Write the experiment configuration and summary metrics (goodput,
-/// job-completion, RTT and utilization distributions) as a JSON document.
+/// job-completion, RTT and utilization distributions, drop breakdown) as a
+/// JSON document.
 void export_summary_json(const ExperimentConfig& cfg, const ExperimentResults& results,
                          const std::string& path);
+
+/// Write one row per link that saw traffic, with per-cause drop counters:
+/// link,offered,delivered,drops_queue,drops_admin_down,drops_fault,drops_corrupt
+void export_link_drops_csv(const ExperimentResults& results, const std::string& path);
 
 }  // namespace xmp::core

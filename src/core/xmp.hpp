@@ -10,12 +10,16 @@
 ///   - mptcp:     MPTCP connections + XMP (BOS+TraSh) / LIA / OLIA coupling
 ///   - workload:  the paper's Permutation / Random / Incast patterns
 ///   - stats:     distributions, rate/gauge probes, utilization windows
+///   - faults:    deterministic fault injection + runtime invariant probe
 ///   - core:      one-call experiment runner for the paper's evaluation
 ///
 /// Quickstart: see examples/quickstart.cpp.
 
 #include "core/experiment.hpp"
 #include "core/parallel_runner.hpp"
+#include "faults/fault_controller.hpp"
+#include "faults/fault_plan.hpp"
+#include "faults/invariant_checker.hpp"
 #include "mptcp/connection.hpp"
 #include "net/network.hpp"
 #include "sim/random.hpp"

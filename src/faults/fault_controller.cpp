@@ -1,0 +1,117 @@
+#include "faults/fault_controller.hpp"
+
+#include <cassert>
+
+#include "net/types.hpp"
+
+namespace xmp::faults {
+
+LossProcess::LossProcess(const LossModel& model, std::uint64_t seed, net::LinkId link)
+    : model_{model}, rng_{net::mix64(seed ^ (0x9e3779b97f4a7c15ULL + link))} {}
+
+net::Link::FaultAction LossProcess::on_send(const net::Packet& /*p*/) {
+  double p_loss = 0.0;
+  if (model_.kind == LossModel::Kind::Bernoulli) {
+    p_loss = model_.p_loss;
+  } else {
+    // Advance the two-state channel first, then draw the loss verdict from
+    // the state the packet observes.
+    if (bad_state_) {
+      if (rng_.uniform01() < model_.p_bad_good) bad_state_ = false;
+    } else {
+      if (rng_.uniform01() < model_.p_good_bad) bad_state_ = true;
+    }
+    p_loss = bad_state_ ? model_.loss_bad : model_.loss_good;
+  }
+  if (p_loss > 0.0 && rng_.uniform01() < p_loss) return net::Link::FaultAction::Drop;
+  if (model_.p_corrupt > 0.0 && rng_.uniform01() < model_.p_corrupt) {
+    return net::Link::FaultAction::Corrupt;
+  }
+  return net::Link::FaultAction::Pass;
+}
+
+FaultController::FaultController(sim::Scheduler& sched, net::Network& net, FaultPlan plan,
+                                 Config cfg)
+    : sched_{sched}, net_{net}, plan_{std::move(plan)}, cfg_{cfg} {}
+
+void FaultController::arm() {
+  for (std::size_t i = 0; i < plan_.events.size(); ++i) {
+    // Capture the index, not the event: the plan vector is stable for the
+    // controller's lifetime and the capture stays pointer-sized.
+    sched_.schedule_at(plan_.events[i].at, [this, i] { apply(plan_.events[i]); });
+  }
+}
+
+void FaultController::apply(const FaultEvent& e) {
+  ++events_applied_;
+  switch (e.kind) {
+    case FaultEvent::Kind::LinkDown:
+      net_.link(static_cast<net::LinkId>(e.target)).set_down(true);
+      break;
+    case FaultEvent::Kind::LinkUp:
+      net_.link(static_cast<net::LinkId>(e.target)).set_down(false);
+      break;
+    case FaultEvent::Kind::SwitchDown:
+      set_switch_down(e.target, true);
+      break;
+    case FaultEvent::Kind::SwitchUp:
+      set_switch_down(e.target, false);
+      break;
+    case FaultEvent::Kind::HostDown:
+      set_host_down(e.target, true);
+      break;
+    case FaultEvent::Kind::HostUp:
+      set_host_down(e.target, false);
+      break;
+    case FaultEvent::Kind::LossStart:
+      start_loss(static_cast<net::LinkId>(e.target), e.loss);
+      break;
+    case FaultEvent::Kind::LossStop:
+      stop_loss(static_cast<net::LinkId>(e.target));
+      break;
+    case FaultEvent::Kind::EcnBlackholeStart:
+      set_blackhole(e.target, true);
+      break;
+    case FaultEvent::Kind::EcnBlackholeStop:
+      set_blackhole(e.target, false);
+      break;
+  }
+}
+
+void FaultController::set_switch_down(int idx, bool down) {
+  net::Switch& sw = *net_.switches().at(static_cast<std::size_t>(idx));
+  for (std::size_t p = 0; p < sw.port_count(); ++p) {
+    sw.port(p).set_down(down);
+  }
+  for (net::Link* l : net_.links_into(sw)) {
+    l->set_down(down);
+  }
+}
+
+void FaultController::set_host_down(int idx, bool down) {
+  net::Host& h = net_.host(static_cast<std::size_t>(idx));
+  if (h.uplink() != nullptr) h.uplink()->set_down(down);
+  for (net::Link* l : net_.links_into(h)) {
+    l->set_down(down);
+  }
+}
+
+void FaultController::set_blackhole(int idx, bool blackholed) {
+  net::Switch& sw = *net_.switches().at(static_cast<std::size_t>(idx));
+  for (std::size_t p = 0; p < sw.port_count(); ++p) {
+    sw.port(p).queue().set_marking_enabled(!blackholed);
+  }
+}
+
+void FaultController::start_loss(net::LinkId link, const LossModel& m) {
+  auto proc = std::make_unique<LossProcess>(m, cfg_.seed, link);
+  net_.link(link).set_fault_hook(proc.get());
+  losses_[link] = std::move(proc);  // replaces (and frees) any prior model
+}
+
+void FaultController::stop_loss(net::LinkId link) {
+  net_.link(link).set_fault_hook(nullptr);
+  losses_.erase(link);
+}
+
+}  // namespace xmp::faults

@@ -1,0 +1,86 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "faults/fault_plan.hpp"
+#include "net/link.hpp"
+#include "net/network.hpp"
+#include "sim/random.hpp"
+#include "sim/scheduler.hpp"
+
+namespace xmp::faults {
+
+/// Per-link stochastic loss/corruption channel installed as the link's
+/// fault hook. Draws from its own xoshiro stream seeded by
+/// (fault seed, link id), so the sequence of verdicts on one link depends
+/// only on how many packets traversed *that* link — loss on link A can
+/// never perturb the draws on link B.
+class LossProcess final : public net::Link::FaultHook {
+ public:
+  LossProcess(const LossModel& model, std::uint64_t seed, net::LinkId link);
+
+  [[nodiscard]] net::Link::FaultAction on_send(const net::Packet& p) override;
+
+  [[nodiscard]] const LossModel& model() const { return model_; }
+
+ private:
+  LossModel model_;
+  sim::Rng rng_;
+  bool bad_state_ = false;  ///< Gilbert–Elliott channel state
+};
+
+/// Executes a FaultPlan against a live network: schedules every event on
+/// the simulation clock and applies it via the net-layer primitives
+/// (Link::set_down, Link::set_fault_hook, Queue::set_marking_enabled).
+///
+/// Composite semantics:
+///  - SwitchDown downs every egress port of the switch *and* every link
+///    delivering into it (so the failure is visible from both directions);
+///    SwitchUp reverses exactly that set.
+///  - HostDown downs the host's uplink and its ingress links.
+///  - EcnBlackhole disables CE-marking on all egress-port queues of the
+///    switch; forwarding continues (the failure mode of a misconfigured
+///    or buggy switch that silently stops marking).
+///
+/// Lifetime: must outlive the scheduler run (it owns the LossProcess hooks
+/// installed on links). arm() is idempotent-hostile: call it exactly once.
+class FaultController {
+ public:
+  struct Config {
+    std::uint64_t seed = 1;  ///< fault-stream seed (independent of workload)
+  };
+
+  FaultController(sim::Scheduler& sched, net::Network& net, FaultPlan plan, Config cfg);
+  FaultController(sim::Scheduler& sched, net::Network& net, FaultPlan plan)
+      : FaultController(sched, net, std::move(plan), Config{}) {}
+
+  FaultController(const FaultController&) = delete;
+  FaultController& operator=(const FaultController&) = delete;
+
+  /// Schedule every plan event. Call once, before (or during) the run.
+  void arm();
+
+  [[nodiscard]] std::size_t events_applied() const { return events_applied_; }
+  [[nodiscard]] const FaultPlan& plan() const { return plan_; }
+
+ private:
+  void apply(const FaultEvent& e);
+  void set_switch_down(int idx, bool down);
+  void set_host_down(int idx, bool down);
+  void set_blackhole(int idx, bool blackholed);
+  void start_loss(net::LinkId link, const LossModel& m);
+  void stop_loss(net::LinkId link);
+
+  sim::Scheduler& sched_;
+  net::Network& net_;
+  FaultPlan plan_;
+  Config cfg_;
+  std::size_t events_applied_ = 0;
+  std::unordered_map<net::LinkId, std::unique_ptr<LossProcess>> losses_;
+};
+
+}  // namespace xmp::faults

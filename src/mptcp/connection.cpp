@@ -35,7 +35,7 @@ class MptcpConnection::Context final : public CouplingContext {
   double total_cwnd() const override {
     double sum = 0.0;
     for (const auto& sf : conn_.subflows_) {
-      if (sf.started) sum += sf.sender->cwnd();
+      if (sf.started && !sf.dead) sum += sf.sender->cwnd();
     }
     return sum;
   }
@@ -58,7 +58,7 @@ class MptcpConnection::Context final : public CouplingContext {
   int subflow_count() const override {
     int n = 0;
     for (const auto& sf : conn_.subflows_) {
-      if (sf.started) ++n;
+      if (sf.started && !sf.dead) ++n;
     }
     return n;
   }
@@ -101,10 +101,13 @@ class MptcpConnection::Context final : public CouplingContext {
   }
 
  private:
+  /// Dead subflows are excluded so their stale cwnd/rate never pollutes
+  /// the TraSh y_s / T_s aggregates (a dead path must not attract shifted
+  /// traffic nor depress the survivors' δ).
   template <typename Fn>
   void for_each_measured(Fn&& fn) const {
     for (const auto& sf : conn_.subflows_) {
-      if (sf.started && sf.sender->has_rtt_sample()) fn(*sf.sender);
+      if (sf.started && !sf.dead && sf.sender->has_rtt_sample()) fn(*sf.sender);
     }
   }
 
@@ -143,7 +146,8 @@ MptcpConnection::MptcpConnection(sim::Scheduler& sched, net::Host& src, net::Hos
     sf.sender = std::make_unique<transport::TcpSender>(
         sched_, src_, dst_.id(), cfg_.id, static_cast<std::uint16_t>(i), tag, *source_,
         make_subflow_cc(), sc);
-    if (cfg_.n_subflows > 1) sf.sender->set_observer(this);  // reinjection hook
+    // Reinjection needs siblings; death detection works even solo.
+    if (cfg_.n_subflows > 1 || cfg_.dead_after_rtos > 0) sf.sender->set_observer(this);
     subflows_.push_back(std::move(sf));
   }
 }
@@ -186,9 +190,9 @@ void MptcpConnection::start() {
 }
 
 void MptcpConnection::start_subflow(int idx) {
-  if (finished_) return;  // transfer already completed before this subflow came up
+  if (finished_ || aborted_) return;  // transfer already completed or torn down
   Subflow& sf = subflows_.at(idx);
-  if (sf.started) return;
+  if (sf.started || sf.dead) return;
   sf.started = true;
   sf.sender->start();
 }
@@ -197,20 +201,61 @@ void MptcpConnection::on_sender_delivered(const transport::TcpSender& /*s*/,
                                           std::int64_t /*segments*/) {}
 
 void MptcpConnection::on_sender_timeout(const transport::TcpSender& s) {
+  if (finished_ || aborted_) return;
   // Opportunistic reinjection: on the *first* timeout of a stall, put the
   // stalled subflow's outstanding segments back into the pool and wake the
-  // siblings. Further backoffs of the same stall must not refund again.
-  if (finished_) return;
-  if (s.rto_backoff() != 1) return;
-  const std::int64_t stuck = s.inflight();
-  if (stuck <= 0) return;
-  source_->refund(stuck);
-  for (auto& sf : subflows_) {
-    if (sf.started && sf.sender.get() != &s) sf.sender->pump();
+  // siblings. Further backoffs of the same stall must not refund again;
+  // go-back-N blocks new grants for the stalled subflow, so this single
+  // refund covers everything it will ever have outstanding.
+  if (subflows_.size() > 1 && s.rto_backoff() == 1) {
+    const std::int64_t stuck = s.inflight();
+    if (stuck > 0) {
+      source_->refund(stuck);
+      for (auto& sf : subflows_) {
+        if (sf.started && !sf.dead && sf.sender.get() != &s) sf.sender->pump();
+      }
+    }
+  }
+  if (cfg_.dead_after_rtos > 0 && s.rto_backoff() >= cfg_.dead_after_rtos) {
+    for (int i = 0; i < static_cast<int>(subflows_.size()); ++i) {
+      if (subflows_[i].sender.get() == &s) {
+        kill_subflow(i);
+        break;
+      }
+    }
   }
 }
 
+void MptcpConnection::kill_subflow(int idx) {
+  Subflow& sf = subflows_.at(idx);
+  if (sf.dead || finished_ || aborted_) return;
+  sf.dead = true;
+  sf.sender->halt();
+  if (live_subflows() == 0) {
+    // Nothing left to carry the data: tear the connection down instead of
+    // retrying into the void forever.
+    aborted_ = true;
+    finish_time_ = sched_.now();
+    if (on_abort_) on_abort_();
+    return;
+  }
+  // Wake the survivors: the first-backoff refund already returned this
+  // subflow's unacked segments to the pool, they just need takers.
+  for (auto& other : subflows_) {
+    if (other.started && !other.dead) other.sender->pump();
+  }
+}
+
+int MptcpConnection::live_subflows() const {
+  int n = 0;
+  for (const auto& sf : subflows_) {
+    if (!sf.dead) ++n;
+  }
+  return n;
+}
+
 void MptcpConnection::on_source_done() {
+  if (aborted_) return;
   finished_ = true;
   finish_time_ = sched_.now();
   if (on_complete_) on_complete_();

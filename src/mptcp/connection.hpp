@@ -49,6 +49,12 @@ class MptcpConnection : private transport::SenderObserver {
     std::function<std::uint16_t(int)> path_tag_fn;
     /// Optional extra tuning applied to every subflow's sender config.
     std::function<void(transport::SenderConfig&)> tune_sender;
+    /// Declare a subflow dead after this many consecutive RTOs without
+    /// forward progress: its unacked data is reinjected onto the surviving
+    /// subflows and it is excluded from the coupling aggregates. 0 disables
+    /// failover (the pre-fault-injection behavior, and the default so that
+    /// fault-free runs are bit-identical to older builds).
+    int dead_after_rtos = 0;
   };
 
   MptcpConnection(sim::Scheduler& sched, net::Host& src, net::Host& dst, const Config& cfg);
@@ -61,8 +67,12 @@ class MptcpConnection : private transport::SenderObserver {
   void start();
 
   void set_on_complete(std::function<void()> fn) { on_complete_ = std::move(fn); }
+  /// Fired once if every subflow dies before the transfer completes.
+  void set_on_abort(std::function<void()> fn) { on_abort_ = std::move(fn); }
 
   [[nodiscard]] bool complete() const { return finished_; }
+  /// True once all subflows are dead with data still undelivered.
+  [[nodiscard]] bool aborted() const { return aborted_; }
   [[nodiscard]] sim::Time start_time() const { return start_time_; }
   [[nodiscard]] sim::Time finish_time() const { return finish_time_; }
   [[nodiscard]] double goodput_bps() const;
@@ -76,6 +86,15 @@ class MptcpConnection : private transport::SenderObserver {
   [[nodiscard]] const transport::TcpSender& subflow_sender(int i) const {
     return *subflows_.at(i).sender;
   }
+  [[nodiscard]] transport::TcpReceiver& subflow_receiver(int i) {
+    return *subflows_.at(i).receiver;
+  }
+  [[nodiscard]] const transport::TcpReceiver& subflow_receiver(int i) const {
+    return *subflows_.at(i).receiver;
+  }
+  [[nodiscard]] bool subflow_dead(int i) const { return subflows_.at(i).dead; }
+  /// Subflows not (yet) declared dead, whether or not they have started.
+  [[nodiscard]] int live_subflows() const;
 
   [[nodiscard]] const CouplingContext& context() const;
 
@@ -84,6 +103,7 @@ class MptcpConnection : private transport::SenderObserver {
     std::unique_ptr<transport::TcpSender> sender;
     std::unique_ptr<transport::TcpReceiver> receiver;
     bool started = false;
+    bool dead = false;  ///< declared failed; excluded from coupling aggregates
   };
 
   class Context;  // CouplingContext over this connection's subflows
@@ -93,6 +113,7 @@ class MptcpConnection : private transport::SenderObserver {
   void on_sender_timeout(const transport::TcpSender& s) override;
 
   void start_subflow(int idx);
+  void kill_subflow(int idx);
   void on_source_done();
   [[nodiscard]] std::unique_ptr<transport::CongestionControl> make_subflow_cc();
 
@@ -107,7 +128,9 @@ class MptcpConnection : private transport::SenderObserver {
   sim::Time finish_time_ = sim::Time::zero();
   bool started_ = false;
   bool finished_ = false;
+  bool aborted_ = false;
   std::function<void()> on_complete_;
+  std::function<void()> on_abort_;
 };
 
 }  // namespace xmp::mptcp

@@ -17,8 +17,27 @@ Link::Link(sim::Scheduler& sched, LinkId id, std::int64_t rate_bps, sim::Time pr
 }
 
 void Link::send(Packet p) {
-  if (down_) return;  // administratively closed: silently dropped
-  if (!queue_->enqueue(std::move(p), sched_.now())) return;  // tail drop
+  ++offered_;
+  if (down_) {  // administratively closed
+    ++drops_.admin_down;
+    return;
+  }
+  if (fault_hook_ != nullptr) {
+    switch (fault_hook_->on_send(p)) {
+      case FaultAction::Pass:
+        break;
+      case FaultAction::Drop:
+        ++drops_.fault;
+        return;
+      case FaultAction::Corrupt:
+        p.corrupt = true;  // rides the wire, discarded at the sink end
+        break;
+    }
+  }
+  if (!queue_->enqueue(std::move(p), sched_.now())) {  // tail drop
+    ++drops_.queue;
+    return;
+  }
   if (!transmitting_) start_transmission();
 }
 
@@ -46,7 +65,13 @@ void Link::deliver_head() {
   assert(!in_flight_.empty());
   InFlight head = std::move(in_flight_.front());
   in_flight_.pop_front();
-  if (head.epoch == epoch_) sink_.receive(std::move(head.pkt));
+  if (head.epoch != epoch_) return;  // lost to set_down; counted there
+  if (head.pkt.corrupt) {
+    ++drops_.corrupt;  // failed checksum at the receiving end
+    return;
+  }
+  ++delivered_;
+  sink_.receive(std::move(head.pkt));
 }
 
 void Link::on_transmit_complete() {
@@ -58,13 +83,25 @@ void Link::set_down(bool down) {
   if (down == down_) return;
   down_ = down;
   if (down_) {
+    // Everything currently propagating with the live epoch is lost; count
+    // it now so conservation holds at any probe instant (the stale pops in
+    // deliver_head must not count again).
+    for (const InFlight& f : in_flight_) {
+      if (f.epoch == epoch_) ++drops_.admin_down;
+    }
     ++epoch_;  // cancels in-flight deliveries and the pending tx-complete
     transmitting_ = false;
     Packet discard;
-    while (queue_->dequeue(discard, sched_.now())) {
-      // flushed on closure
-    }
+    while (queue_->dequeue(discard, sched_.now())) ++drops_.admin_down;  // flushed on closure
   }
+}
+
+std::size_t Link::live_in_flight() const {
+  std::size_t n = 0;
+  for (const InFlight& f : in_flight_) {
+    if (f.epoch == epoch_) ++n;
+  }
+  return n;
 }
 
 }  // namespace xmp::net

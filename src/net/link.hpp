@@ -18,6 +18,19 @@ class PacketSink {
   virtual void receive(Packet p) = 0;
 };
 
+/// Per-cause drop accounting of one link. Every packet offered to the link
+/// ends up in exactly one of {delivered, one of these counters, still
+/// queued/in flight}, which the InvariantChecker verifies as a conservation
+/// law.
+struct LinkDropCounters {
+  std::uint64_t queue = 0;       ///< egress queue rejected the packet
+  std::uint64_t admin_down = 0;  ///< link administratively closed (incl. flushes)
+  std::uint64_t fault = 0;       ///< injected loss process dropped it at entry
+  std::uint64_t corrupt = 0;     ///< corrupted in flight, discarded at the sink end
+
+  [[nodiscard]] std::uint64_t total() const { return queue + admin_down + fault + corrupt; }
+};
+
 /// Unidirectional point-to-point link: an egress queue, a serializing
 /// transmitter of fixed rate, and a propagation delay to the peer sink.
 ///
@@ -26,6 +39,21 @@ class PacketSink {
 /// statistics (busy time, bytes) used for the paper's Figure 11.
 class Link final {
  public:
+  /// Verdict of a fault hook on one packet offered to the link.
+  enum class FaultAction : std::uint8_t {
+    Pass,     ///< forward normally
+    Drop,     ///< lose the packet at link entry (counted as drops().fault)
+    Corrupt,  ///< transmit, but discard at the sink end (drops().corrupt)
+  };
+
+  /// Injected per-link loss/corruption process (see faults::FaultController).
+  /// A null hook — the default — costs one predictable branch per send.
+  class FaultHook {
+   public:
+    virtual ~FaultHook() = default;
+    [[nodiscard]] virtual FaultAction on_send(const Packet& p) = 0;
+  };
+
   Link(sim::Scheduler& sched, LinkId id, std::int64_t rate_bps, sim::Time prop_delay,
        std::unique_ptr<Queue> queue, PacketSink& sink);
 
@@ -33,7 +61,7 @@ class Link final {
   Link& operator=(const Link&) = delete;
 
   /// Enqueue a packet for transmission (dropped if the queue rejects it,
-  /// or if the link is administratively down).
+  /// if the link is administratively down, or if the fault hook says so).
   void send(Packet p);
 
   /// Administratively close / reopen the link (paper Fig.7: "L3 is closed").
@@ -41,16 +69,32 @@ class Link final {
   void set_down(bool down);
   [[nodiscard]] bool is_down() const { return down_; }
 
+  /// Install / remove (nullptr) the fault-injection hook. Not owned.
+  void set_fault_hook(FaultHook* hook) { fault_hook_ = hook; }
+  [[nodiscard]] FaultHook* fault_hook() const { return fault_hook_; }
+
   [[nodiscard]] LinkId id() const { return id_; }
   [[nodiscard]] std::int64_t rate_bps() const { return rate_bps_; }
   [[nodiscard]] sim::Time prop_delay() const { return prop_delay_; }
   [[nodiscard]] const Queue& queue() const { return *queue_; }
   [[nodiscard]] Queue& queue() { return *queue_; }
+  [[nodiscard]] PacketSink& sink() { return sink_; }
+  [[nodiscard]] const PacketSink& sink() const { return sink_; }
 
   /// Total bytes fully transmitted onto the wire.
   [[nodiscard]] std::uint64_t bytes_sent() const { return bytes_sent_; }
   /// Cumulative time the transmitter was busy.
   [[nodiscard]] sim::Time busy_time() const { return busy_; }
+
+  // --- conservation accounting (stats::probes, faults::InvariantChecker) ---
+  /// Packets ever offered via send().
+  [[nodiscard]] std::uint64_t offered() const { return offered_; }
+  /// Packets handed to the sink (excludes corrupt discards).
+  [[nodiscard]] std::uint64_t delivered() const { return delivered_; }
+  [[nodiscard]] const LinkDropCounters& drops() const { return drops_; }
+  /// In-flight packets that will still reach the sink (stale-epoch entries
+  /// were already counted as admin_down when the link went down).
+  [[nodiscard]] std::size_t live_in_flight() const;
 
  private:
   void start_transmission();
@@ -63,6 +107,7 @@ class Link final {
   sim::Time prop_delay_;
   std::unique_ptr<Queue> queue_;
   PacketSink& sink_;
+  FaultHook* fault_hook_ = nullptr;
 
   /// Packets serialized onto the wire, awaiting delivery at the sink.
   /// Propagation delay is constant, so deliveries are FIFO; each scheduled
@@ -81,6 +126,9 @@ class Link final {
   std::uint64_t bytes_sent_ = 0;
   sim::Time busy_ = sim::Time::zero();
   std::uint64_t epoch_ = 0;  ///< invalidates in-flight deliveries on set_down
+  std::uint64_t offered_ = 0;
+  std::uint64_t delivered_ = 0;
+  LinkDropCounters drops_;
 };
 
 }  // namespace xmp::net

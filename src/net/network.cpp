@@ -36,6 +36,14 @@ void Network::attach_host(Host& h, Switch& sw, std::int64_t rate_bps, sim::Time 
   sw.set_host_route(h.id(), port);
 }
 
+std::vector<Link*> Network::links_into(const PacketSink& sink) {
+  std::vector<Link*> out;
+  for (const auto& l : links_) {
+    if (&l->sink() == &sink) out.push_back(l.get());
+  }
+  return out;
+}
+
 Network::PortPair Network::connect_switches(Switch& a, Switch& b, std::int64_t rate_bps,
                                             sim::Time prop_delay, const QueueConfig& qcfg) {
   Link& a_to_b = add_link(b, rate_bps, prop_delay, qcfg);

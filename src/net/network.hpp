@@ -46,10 +46,15 @@ class Network {
   [[nodiscard]] const std::vector<std::unique_ptr<Node>>& nodes() const { return nodes_; }
   [[nodiscard]] const std::vector<std::unique_ptr<Link>>& links() const { return links_; }
   [[nodiscard]] std::vector<std::unique_ptr<Link>>& links() { return links_; }
+  [[nodiscard]] Link& link(LinkId id) { return *links_.at(id); }
   [[nodiscard]] std::size_t host_count() const { return hosts_.size(); }
   [[nodiscard]] Host& host(std::size_t i) { return *hosts_.at(i); }
   [[nodiscard]] const std::vector<Host*>& hosts() const { return hosts_; }
   [[nodiscard]] const std::vector<Switch*>& switches() const { return switches_; }
+
+  /// Every link whose receiving end is `sink` (a node's ingress links).
+  /// Used by fault injection: failing a node downs all attached links.
+  [[nodiscard]] std::vector<Link*> links_into(const PacketSink& sink);
 
  private:
   sim::Scheduler& sched_;

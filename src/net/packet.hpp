@@ -39,6 +39,10 @@ struct Packet {
   bool ece = false;          ///< classic / DCTCP echo flag
   bool cwr = false;          ///< Data: sender reduced its window (RFC 3168)
   bool retransmit = false;   ///< Data: this is a retransmission
+  /// Payload corrupted by an injected fault: the packet still occupies the
+  /// wire but fails its checksum at the receiving end of the link and is
+  /// discarded there (counted separately from queue drops).
+  bool corrupt = false;
 
   /// Timestamp option: Data carries send time, Ack echoes it back so the
   /// sender can take microsecond-granularity RTT samples.

@@ -52,7 +52,7 @@ bool EcnThresholdQueue::enqueue(Packet&& p, sim::Time now) {
   // Paper §2.1 rule 1: mark the *arriving* packet when the instantaneous
   // queue length is larger than K. The length seen by the arriving packet
   // is the number of packets already queued.
-  if (fifo_.size() > k_ && p.ecn == Ecn::Ect) {
+  if (fifo_.size() > k_ && p.ecn == Ecn::Ect && marking_enabled_) {
     p.ecn = Ecn::Ce;
     ++counters_.marked;
   }
@@ -92,7 +92,8 @@ bool RedQueue::enqueue(Packet&& p, sim::Time now) {
 
   if (congested) {
     count_since_mark_ = 0;
-    if (p_.ecn && p.ecn == Ecn::Ect) {
+    // An ECN blackhole (marking disabled) degrades RED to its drop mode.
+    if (p_.ecn && p.ecn == Ecn::Ect && marking_enabled_) {
       p.ecn = Ecn::Ce;
       ++counters_.marked;
     } else {

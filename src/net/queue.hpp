@@ -84,6 +84,11 @@ class Queue {
   /// Largest instantaneous occupancy ever observed.
   [[nodiscard]] std::size_t peak_occupancy() const { return peak_; }
 
+  /// Fault injection: an "ECN blackhole" switch keeps forwarding but stops
+  /// CE-marking (non-ECN hardware). Marking disciplines must honour this.
+  void set_marking_enabled(bool on) { marking_enabled_ = on; }
+  [[nodiscard]] bool marking_enabled() const { return marking_enabled_; }
+
  protected:
   /// FIFO admission used by subclasses after their drop/mark decision.
   /// `now` feeds the occupancy integral.
@@ -94,6 +99,7 @@ class Queue {
   PacketRing fifo_;
   std::size_t bytes_ = 0;
   QueueCounters counters_;
+  bool marking_enabled_ = true;
 
  private:
   void advance_occupancy_clock(sim::Time now);

@@ -4,6 +4,27 @@
 
 namespace xmp::stats {
 
+void DropBreakdown::add(const net::Link& l) {
+  offered += l.offered();
+  delivered += l.delivered();
+  queue += l.drops().queue;
+  admin_down += l.drops().admin_down;
+  fault += l.drops().fault;
+  corrupt += l.drops().corrupt;
+}
+
+DropBreakdown collect_drops(const std::vector<net::Link*>& links) {
+  DropBreakdown d;
+  for (const net::Link* l : links) d.add(*l);
+  return d;
+}
+
+DropBreakdown collect_drops(const net::Network& net) {
+  DropBreakdown d;
+  for (const auto& l : net.links()) d.add(*l);
+  return d;
+}
+
 RateProbe::RateProbe(sim::Scheduler& sched, sim::Time interval, std::function<double()> cumulative)
     : sched_{sched}, interval_{interval}, cumulative_{std::move(cumulative)} {
   assert(interval_ > sim::Time::zero());

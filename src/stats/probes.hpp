@@ -5,10 +5,34 @@
 #include <vector>
 
 #include "net/link.hpp"
+#include "net/network.hpp"
 #include "sim/scheduler.hpp"
 #include "sim/time.hpp"
 
 namespace xmp::stats {
+
+/// Aggregate of the per-cause Link drop counters over a set of links —
+/// the fleet-wide view of where packets died during a (possibly faulty)
+/// run. `offered == delivered + total_drops()` only once the network has
+/// drained; mid-run the difference is packets queued or in flight.
+struct DropBreakdown {
+  std::uint64_t offered = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t queue = 0;       ///< egress queue overflow
+  std::uint64_t admin_down = 0;  ///< link administratively down
+  std::uint64_t fault = 0;       ///< injected loss process
+  std::uint64_t corrupt = 0;     ///< corrupted in flight, discarded at sink
+
+  [[nodiscard]] std::uint64_t total_drops() const {
+    return queue + admin_down + fault + corrupt;
+  }
+
+  void add(const net::Link& l);
+};
+
+/// Sum the drop counters of every given link / every link of the network.
+[[nodiscard]] DropBreakdown collect_drops(const std::vector<net::Link*>& links);
+[[nodiscard]] DropBreakdown collect_drops(const net::Network& net);
 
 /// Periodically differentiates a cumulative counter into a per-interval
 /// rate series (the "Normalized Rate" time series of Figures 1/4/6/7).

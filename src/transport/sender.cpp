@@ -55,8 +55,13 @@ std::int64_t TcpSender::effective_window() const {
   return base + std::min<std::int64_t>(dupacks_, 2);
 }
 
+void TcpSender::halt() {
+  halted_ = true;
+  cancel_rto();
+}
+
 void TcpSender::pump() {
-  if (!started_) return;
+  if (!started_ || halted_) return;
   // Phase 1: go-back-N retransmissions after a timeout. The "pipe" during
   // this phase is what we have re-sent beyond the cumulative ack.
   while (gbn_next_ < gbn_high_ && gbn_next_ - snd_una_ < effective_window()) {
@@ -97,6 +102,7 @@ void TcpSender::transmit_segment(std::int64_t seq, bool retransmit) {
 
 void TcpSender::handle(net::Packet p) {
   assert(p.type == net::PacketType::Ack);
+  if (halted_) return;  // dead subflow: late acks are noise
   if (p.ack > snd_una_) {
     on_new_ack(p);
   } else if (inflight() > 0) {

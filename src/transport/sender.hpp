@@ -60,6 +60,13 @@ class TcpSender final : public net::Host::Endpoint {
   /// this one when connection-level data becomes available.
   void pump();
 
+  /// Permanently stop this sender: cancel the retransmission timer and
+  /// ignore any further acks and pump() calls. Used when MPTCP declares the
+  /// subflow dead — the sender object stays alive (stats remain readable)
+  /// but generates no more events. Irreversible.
+  void halt();
+  [[nodiscard]] bool halted() const { return halted_; }
+
   // --- congestion-control facing state ---
   [[nodiscard]] double cwnd() const { return cwnd_; }
   void set_cwnd(double w);
@@ -152,6 +159,7 @@ class TcpSender final : public net::Host::Endpoint {
   sim::Time rto_deadline_ = sim::Time::zero();  ///< lazy-timer true deadline
 
   bool started_ = false;
+  bool halted_ = false;
   bool cwr_pending_ = false;
 
   // stats

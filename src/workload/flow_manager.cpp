@@ -52,6 +52,7 @@ void FlowManager::start_large_flow(net::Host& src, net::Host& dst, int src_idx, 
   mc.size_bytes = bytes;
   mc.n_subflows = spec_.subflows;
   mc.bos.beta = spec_.beta;
+  mc.dead_after_rtos = spec_.dead_after_rtos;
   switch (spec_.kind) {
     case SchemeSpec::Kind::Xmp:
       mc.coupling = mptcp::Coupling::Xmp;
@@ -66,10 +67,26 @@ void FlowManager::start_large_flow(net::Host& src, net::Host& dst, int src_idx, 
       assert(false && "unexpected multipath scheme");
   }
   auto conn = std::make_unique<mptcp::MptcpConnection>(sched_, src, dst, mc);
-  conn->set_on_complete(
-      [this, rec, done = std::move(on_done)]() mutable { finish_record(rec, done); });
-  conn->start();
-  multis_.push_back(LargeMulti{rec, std::move(conn)});
+  const std::size_t slot = multis_.size();  // stable: multis_ never shrinks
+  multis_.push_back(LargeMulti{rec, std::move(conn), std::move(on_done)});
+  mptcp::MptcpConnection& c = *multis_[slot].conn;
+  c.set_on_complete([this, slot] { finish_multi(slot, /*aborted=*/false); });
+  c.set_on_abort([this, slot] { finish_multi(slot, /*aborted=*/true); });
+  c.start();
+}
+
+void FlowManager::finish_multi(std::size_t slot, bool aborted) {
+  LargeMulti& m = multis_.at(slot);
+  FlowRecord& rec = records_[m.record];
+  rec.finish = sched_.now();
+  rec.completed = !aborted;
+  rec.aborted = aborted;
+  assert(active_large_ > 0);
+  --active_large_;
+  if (aborted) ++aborted_large_;
+  // The caller's completion hook fires for aborts too: an aborted transfer
+  // is *over* (workload round-robins must not wait for it forever).
+  if (m.on_done) m.on_done();
 }
 
 void FlowManager::start_small_flow(net::Host& src, net::Host& dst, int src_idx, int dst_idx,
@@ -103,10 +120,17 @@ void FlowManager::for_each_active_large_sender(
     if (!records_[s.record].completed) fn(records_[s.record], s.flow->sender());
   }
   for (const auto& m : multis_) {
-    if (records_[m.record].completed) continue;
+    if (records_[m.record].completed || records_[m.record].aborted) continue;
     for (int i = 0; i < m.conn->n_subflows(); ++i) {
-      fn(records_[m.record], m.conn->subflow_sender(i));
+      if (!m.conn->subflow_dead(i)) fn(records_[m.record], m.conn->subflow_sender(i));
     }
+  }
+}
+
+void FlowManager::for_each_active_connection(
+    const std::function<void(mptcp::MptcpConnection&)>& fn) const {
+  for (const auto& m : multis_) {
+    if (!records_[m.record].completed && !records_[m.record].aborted) fn(*m.conn);
   }
 }
 

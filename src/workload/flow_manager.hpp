@@ -22,6 +22,7 @@ struct FlowRecord {
   sim::Time start = sim::Time::zero();
   sim::Time finish = sim::Time::zero();
   bool completed = false;
+  bool aborted = false;  ///< every subflow died with data undelivered
 
   [[nodiscard]] double goodput_bps() const {
     if (!completed || finish <= start) return 0.0;
@@ -54,6 +55,11 @@ class FlowManager {
   [[nodiscard]] const std::vector<FlowRecord>& records() const { return records_; }
   [[nodiscard]] const SchemeSpec& scheme() const { return spec_; }
   [[nodiscard]] std::size_t active_large_flows() const { return active_large_; }
+  [[nodiscard]] std::size_t aborted_large_flows() const { return aborted_large_; }
+
+  /// Visit every in-progress multipath connection (invariant probing).
+  void for_each_active_connection(
+      const std::function<void(mptcp::MptcpConnection&)>& fn) const;
 
   /// Visit every in-progress large flow's subflow senders (RTT probing).
   void for_each_active_large_sender(
@@ -68,11 +74,13 @@ class FlowManager {
  private:
   std::size_t new_record(int src_idx, int dst_idx, std::int64_t bytes, bool large);
   void finish_record(std::size_t idx, std::function<void()>& on_done);
+  void finish_multi(std::size_t slot, bool aborted);
 
   sim::Scheduler& sched_;
   SchemeSpec spec_;
   net::FlowId next_id_;
   std::size_t active_large_ = 0;
+  std::size_t aborted_large_ = 0;
 
   struct LargeSingle {
     std::size_t record;
@@ -81,6 +89,7 @@ class FlowManager {
   struct LargeMulti {
     std::size_t record;
     std::unique_ptr<mptcp::MptcpConnection> conn;
+    std::function<void()> on_done;
   };
   std::vector<LargeSingle> singles_;
   std::vector<LargeMulti> multis_;

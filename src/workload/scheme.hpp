@@ -13,6 +13,10 @@ struct SchemeSpec {
   Kind kind = Kind::Xmp;
   int subflows = 2;  ///< ignored for Tcp/Dctcp
   int beta = 4;      ///< XMP window-reduction factor 1/β
+  /// Declare a multipath subflow dead after this many consecutive RTOs
+  /// (0 = never, the fault-free default — keeps fault-free runs
+  /// bit-identical to builds without the fault subsystem).
+  int dead_after_rtos = 0;
 
   [[nodiscard]] bool multipath() const {
     return kind == Kind::Xmp || kind == Kind::Lia || kind == Kind::Olia;

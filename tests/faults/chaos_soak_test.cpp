@@ -1,0 +1,240 @@
+// Chaos soak: randomized (workload x FaultPlan x seed) runs with the
+// InvariantChecker armed. Each run draws its scenario from a per-run seeded
+// Rng, so every iteration is reproducible in isolation by its index.
+//
+// The default volume (210 runs) satisfies the robustness acceptance bar;
+// CI sanitizer jobs scale it down via the CHAOS_RUNS environment variable
+// (total across both scenarios, split ~5:2 targeted:fleet).
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+#include "core/experiment.hpp"
+#include "faults/fault_controller.hpp"
+#include "faults/invariant_checker.hpp"
+#include "mptcp/connection.hpp"
+#include "sim/random.hpp"
+#include "topo/pinned.hpp"
+#include "util/fixtures.hpp"
+
+namespace xmp::faults {
+namespace {
+
+constexpr std::int64_t kGbps = 1'000'000'000;
+
+int total_runs() {
+  if (const char* env = std::getenv("CHAOS_RUNS")) {
+    const int n = std::atoi(env);
+    if (n > 0) return n;
+  }
+  return 210;
+}
+
+int targeted_runs() { return total_runs() * 5 / 7; }
+int fleet_runs() { return total_runs() - targeted_runs(); }
+
+// ---------------------------------------------------------------------------
+// Scenario A: targeted MPTCP failover on a two-path testbed.
+//
+// One path dies permanently at a random time; the survivor optionally runs
+// a random loss/corruption process. A connection with a surviving subflow
+// must complete; if the survivor also (legitimately) dies, the connection
+// must abort cleanly. Invariants must hold throughout either way.
+// ---------------------------------------------------------------------------
+
+TEST(ChaosSoak, TargetedFailover) {
+  const int runs = targeted_runs();
+  int completed = 0;
+  int aborted = 0;
+  for (int i = 0; i < runs; ++i) {
+    SCOPED_TRACE("run " + std::to_string(i));
+    sim::Rng rng{static_cast<std::uint64_t>(0xC0FFEE + i)};
+
+    sim::Scheduler sched;
+    net::Network net{sched};
+    topo::PinnedPaths::Config tc;
+    tc.bottlenecks = {{kGbps, sim::Time::microseconds(50)},
+                      {kGbps, sim::Time::microseconds(50)}};
+    tc.bottleneck_queue = testutil::ecn_queue(100, 10);
+    topo::PinnedPaths paths{net, tc};
+    auto pair = paths.add_pair({0, 1});
+
+    const std::int64_t bytes = rng.uniform_int(1, 8) * 1'000'000;
+    const int victim = static_cast<int>(rng.uniform_int(0, 1));
+    const bool survivor_loss = rng.uniform01() < 0.5;
+
+    mptcp::MptcpConnection::Config mc;
+    mc.id = 1;
+    mc.size_bytes = bytes;
+    mc.n_subflows = 2;
+    mc.coupling = mptcp::Coupling::Xmp;
+    mc.path_tag_fn = [](int k) { return static_cast<std::uint16_t>(k); };
+    mc.dead_after_rtos = 3;
+    mptcp::MptcpConnection conn{sched, *pair.src, *pair.dst, mc};
+
+    FaultPlan plan;
+    plan.link_down(paths.bottleneck(victim).id(),
+                   sim::Time::milliseconds(rng.uniform_int(5, 50)));
+    if (survivor_loss) {
+      plan.loss(paths.bottleneck(1 - victim).id(),
+                LossModel::bernoulli(rng.uniform_real(0.001, 0.02),
+                                     rng.uniform01() < 0.3 ? 0.002 : 0.0),
+                sim::Time::zero());
+    }
+    FaultController::Config fcc;
+    fcc.seed = static_cast<std::uint64_t>(i) + 1;
+    FaultController ctl{sched, net, plan, fcc};
+    ctl.arm();
+
+    InvariantChecker inv{sched};
+    inv.watch_network(net);
+    inv.watch_connection(conn);
+    inv.start();
+
+    conn.start();
+    sched.run_until(sim::Time::seconds(30));
+    inv.stop();
+    inv.check_now();
+
+    ASSERT_TRUE(inv.clean()) << inv.report();
+    // Exactly one terminal state, always reached within the horizon.
+    ASSERT_NE(conn.complete(), conn.aborted());
+    if (conn.complete()) {
+      ASSERT_EQ(conn.delivered_bytes(), bytes);
+      ++completed;
+    } else {
+      // An abort is only legal when *every* subflow is dead — possible here
+      // only when random loss starved the survivor through the same
+      // consecutive-RTO rule that killed the victim.
+      ASSERT_TRUE(survivor_loss);
+      ASSERT_EQ(conn.live_subflows(), 0);
+      ++aborted;
+    }
+    if (!survivor_loss) {
+      // A clean surviving path must always carry the transfer home.
+      ASSERT_TRUE(conn.complete());
+    }
+  }
+  // The soak must spend most of its runs on the property under test.
+  EXPECT_GT(completed, aborted * 10);
+}
+
+// ---------------------------------------------------------------------------
+// Scenario B: whole-fleet runs — random FaultPlans against run_experiment
+// on a k=4 Fat-Tree, alternating Permutation and Incast workloads.
+// ---------------------------------------------------------------------------
+
+FaultPlan random_fleet_plan(sim::Rng& rng, sim::Time horizon) {
+  // Targets are safe for any k=4 tree: >= 32 links, 20 switches, 16 hosts.
+  FaultPlan plan;
+  const int n = static_cast<int>(rng.uniform_int(1, 3));
+  for (int e = 0; e < n; ++e) {
+    const sim::Time at = sim::Time::seconds(rng.uniform_real(0.0, horizon.sec() * 0.5));
+    const sim::Time until =
+        at + sim::Time::seconds(rng.uniform_real(0.1, 0.9) * horizon.sec());
+    switch (rng.uniform_int(0, 5)) {
+      case 0:
+        plan.link_down(static_cast<net::LinkId>(rng.uniform_int(0, 23)), at);
+        break;
+      case 1: {
+        const auto link = static_cast<net::LinkId>(rng.uniform_int(0, 23));
+        plan.link_down(link, at).link_up(link, until);
+        break;
+      }
+      case 2:
+        plan.loss(static_cast<net::LinkId>(rng.uniform_int(0, 23)),
+                  LossModel::bernoulli(rng.uniform_real(0.005, 0.05),
+                                       rng.uniform01() < 0.3 ? 0.005 : 0.0),
+                  at);
+        break;
+      case 3:
+        plan.loss(static_cast<net::LinkId>(rng.uniform_int(0, 23)),
+                  LossModel::gilbert(0.01, 0.2, rng.uniform_real(0.2, 0.8)), at);
+        break;
+      case 4: {
+        const int sw = static_cast<int>(rng.uniform_int(0, 7));
+        plan.switch_down(sw, at).switch_up(sw, until);
+        break;
+      }
+      case 5:
+        plan.blackhole(static_cast<int>(rng.uniform_int(0, 7)), at);
+        break;
+    }
+  }
+  return plan;
+}
+
+TEST(ChaosSoak, FleetWideFaultPlans) {
+  const int runs = fleet_runs();
+  for (int i = 0; i < runs; ++i) {
+    SCOPED_TRACE("run " + std::to_string(i));
+    sim::Rng rng{static_cast<std::uint64_t>(0xFA117 + i)};
+
+    core::ExperimentConfig cfg;
+    cfg.scheme.kind = workload::SchemeSpec::Kind::Xmp;
+    cfg.scheme.subflows = 2;
+    cfg.scheme.dead_after_rtos = 3;
+    cfg.pattern = (i % 2 == 0) ? core::Pattern::Permutation : core::Pattern::Incast;
+    cfg.fat_tree_k = 4;
+    cfg.duration = sim::Time::milliseconds(20);
+    cfg.permutation_rounds = 1;
+    cfg.seed = static_cast<std::uint64_t>(i) + 1;
+    cfg.fault_seed = static_cast<std::uint64_t>(1000 + i);
+    cfg.fault_plan = random_fleet_plan(rng, cfg.duration);
+    cfg.check_invariants = true;
+
+    const auto res = core::run_experiment(cfg);
+    ASSERT_GT(res.invariant_checks, 0u);
+    ASSERT_TRUE(res.invariant_violations.empty())
+        << res.invariant_violations.front() << " (+" << res.invariant_violations.size() - 1
+        << " more)";
+    ASSERT_GT(res.events_dispatched, 0u);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Fault determinism: the same (plan, fault seed, workload seed) triple must
+// replay the whole experiment bit-identically.
+// ---------------------------------------------------------------------------
+
+TEST(ChaosSoak, FaultedExperimentReplaysBitIdentically) {
+  auto run = [] {
+    core::ExperimentConfig cfg;
+    cfg.scheme.kind = workload::SchemeSpec::Kind::Xmp;
+    cfg.scheme.subflows = 2;
+    cfg.scheme.dead_after_rtos = 3;
+    cfg.pattern = core::Pattern::Permutation;
+    cfg.fat_tree_k = 4;
+    cfg.duration = sim::Time::milliseconds(40);
+    cfg.permutation_rounds = 1;
+    cfg.seed = 7;
+    cfg.fault_seed = 1234;
+    FaultPlan plan;
+    plan.loss(2, LossModel::bernoulli(0.01, 0.002), sim::Time::zero());
+    plan.link_down(10, sim::Time::milliseconds(10));  // permanent
+    plan.blackhole(1, sim::Time::milliseconds(5));
+    cfg.fault_plan = plan;
+    cfg.check_invariants = true;
+    return core::run_experiment(cfg);
+  };
+  const auto a = run();
+  const auto b = run();
+  ASSERT_TRUE(a.invariant_violations.empty());
+  EXPECT_EQ(a.events_dispatched, b.events_dispatched);
+  EXPECT_EQ(a.drops.fault, b.drops.fault);
+  EXPECT_EQ(a.drops.corrupt, b.drops.corrupt);
+  EXPECT_EQ(a.drops.admin_down, b.drops.admin_down);
+  EXPECT_EQ(a.drops.queue, b.drops.queue);
+  EXPECT_EQ(a.drops.offered, b.drops.offered);
+  EXPECT_EQ(a.aborted_flows, b.aborted_flows);
+  EXPECT_EQ(a.goodput.count(), b.goodput.count());
+  if (a.goodput.count() > 0) {
+    EXPECT_DOUBLE_EQ(a.goodput.mean(), b.goodput.mean());
+  }
+}
+
+}  // namespace
+}  // namespace xmp::faults

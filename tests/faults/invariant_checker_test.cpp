@@ -1,0 +1,179 @@
+// The InvariantChecker must stay silent on healthy runs (even very faulty
+// ones) and must actually fire when a watched object violates its contract.
+
+#include "faults/invariant_checker.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "faults/fault_controller.hpp"
+#include "faults/fault_plan.hpp"
+#include "mptcp/connection.hpp"
+#include "topo/pinned.hpp"
+#include "transport/flow.hpp"
+#include "util/fixtures.hpp"
+
+namespace xmp::faults {
+namespace {
+
+using testutil::TwoHosts;
+
+constexpr std::int64_t kGbps = 1'000'000'000;
+
+TEST(InvariantChecker, CleanSinglePathRunHasNoViolations) {
+  TwoHosts t{kGbps, sim::Time::microseconds(50), testutil::ecn_queue(100, 10)};
+  transport::Flow::Config fc;
+  fc.id = 1;
+  fc.size_bytes = 2'000'000;
+  transport::Flow flow{t.sched, *t.a, *t.b, fc};
+
+  InvariantChecker inv{t.sched};
+  inv.watch_network(t.net);
+  inv.watch_sender(flow.sender());
+  inv.watch_receiver(flow.receiver());
+  inv.start();
+
+  flow.start();
+  t.sched.run_until(sim::Time::seconds(1));
+  inv.stop();
+  inv.check_now();
+
+  ASSERT_TRUE(flow.complete());
+  EXPECT_TRUE(inv.clean()) << inv.report();
+  EXPECT_GT(inv.checks_run(), 0u);
+}
+
+TEST(InvariantChecker, CleanUnderHeavyFaultInjection) {
+  // Loss, corruption, and a mid-run outage: the invariants must hold in
+  // every reachable state, not just the happy path.
+  TwoHosts t{kGbps, sim::Time::microseconds(50), testutil::droptail_queue(64)};
+  transport::Flow::Config fc;
+  fc.id = 1;
+  fc.size_bytes = 1'000'000;
+  transport::Flow flow{t.sched, *t.a, *t.b, fc};
+
+  FaultPlan plan;
+  plan.loss(0, LossModel::bernoulli(0.02, 0.01), sim::Time::zero());
+  plan.link_down(0, sim::Time::milliseconds(50));
+  plan.link_up(0, sim::Time::milliseconds(400));
+  FaultController ctl{t.sched, t.net, plan};
+  ctl.arm();
+
+  InvariantChecker inv{t.sched};
+  inv.watch_network(t.net);
+  inv.watch_sender(flow.sender());
+  inv.watch_receiver(flow.receiver());
+  inv.start();
+
+  flow.start();
+  t.sched.run_until(sim::Time::seconds(30));
+  inv.stop();
+  inv.check_now();
+
+  ASSERT_TRUE(flow.complete());
+  EXPECT_TRUE(inv.clean()) << inv.report();
+}
+
+TEST(InvariantChecker, CleanAcrossMptcpFailover) {
+  topo::PinnedPaths::Config tc;
+  tc.bottlenecks = {{kGbps, sim::Time::microseconds(50)},
+                    {kGbps, sim::Time::microseconds(50)}};
+  tc.bottleneck_queue = testutil::ecn_queue(100, 10);
+  sim::Scheduler sched;
+  net::Network net{sched};
+  topo::PinnedPaths paths{net, tc};
+
+  auto pair = paths.add_pair({0, 1});
+  mptcp::MptcpConnection::Config mc;
+  mc.id = 1;
+  mc.size_bytes = 10'000'000;
+  mc.n_subflows = 2;
+  mc.coupling = mptcp::Coupling::Xmp;
+  mc.path_tag_fn = [](int i) { return static_cast<std::uint16_t>(i); };
+  mc.dead_after_rtos = 3;
+  // Fast RTOs so the death verdict lands mid-transfer (see
+  // fault_controller_test.cpp's FailoverBed).
+  mc.tune_sender = [](transport::SenderConfig& c) {
+    c.rto_min = sim::Time::milliseconds(5);
+    c.initial_rto = sim::Time::milliseconds(5);
+  };
+  mptcp::MptcpConnection conn{sched, *pair.src, *pair.dst, mc};
+
+  InvariantChecker inv{sched};
+  inv.watch_network(net);
+  inv.watch_connection(conn);
+  inv.start();
+
+  conn.start();
+  sched.schedule_at(sim::Time::milliseconds(20), [&] { paths.bottleneck(0).set_down(true); });
+  sched.run_until(sim::Time::seconds(10));
+  inv.stop();
+  inv.check_now();
+
+  ASSERT_TRUE(conn.complete());
+  ASSERT_TRUE(conn.subflow_dead(0));
+  EXPECT_TRUE(inv.clean()) << inv.report();
+}
+
+TEST(InvariantChecker, DetectsOutOfRangeCwnd) {
+  TwoHosts t{kGbps, sim::Time::microseconds(50), testutil::ecn_queue(100, 10)};
+  transport::Flow::Config fc;
+  fc.id = 1;
+  fc.size_bytes = 1'000'000;
+  transport::Flow flow{t.sched, *t.a, *t.b, fc};
+  flow.start();
+  t.sched.run_until(sim::Time::milliseconds(1));
+
+  InvariantChecker inv{t.sched};
+  inv.watch_sender(flow.sender());
+  inv.check_now();
+  ASSERT_TRUE(inv.clean()) << inv.report();
+
+  flow.sender().set_cwnd(1e9);  // beyond any sane window (cwnd_max = 1e7)
+  inv.check_now();
+  ASSERT_FALSE(inv.clean());
+  EXPECT_NE(inv.report().find("cwnd out of range"), std::string::npos);
+  EXPECT_NE(inv.violations()[0].what.find("flow 1/0"), std::string::npos);
+}
+
+TEST(InvariantChecker, ViolationLogIsBounded) {
+  TwoHosts t{kGbps, sim::Time::microseconds(50), testutil::ecn_queue(100, 10)};
+  transport::Flow::Config fc;
+  fc.id = 1;
+  fc.size_bytes = 1'000'000;
+  transport::Flow flow{t.sched, *t.a, *t.b, fc};
+  flow.start();
+  flow.sender().set_cwnd(1e9);
+
+  InvariantChecker::Config cfg;
+  cfg.max_violations = 2;
+  InvariantChecker inv{t.sched, cfg};
+  inv.watch_sender(flow.sender());
+  for (int i = 0; i < 5; ++i) inv.check_now();  // would log 5 without the cap
+  EXPECT_EQ(inv.violations().size(), 2u);
+}
+
+TEST(InvariantChecker, EnumeratorsVisitDynamicSenders) {
+  TwoHosts t{kGbps, sim::Time::microseconds(50), testutil::ecn_queue(100, 10)};
+  transport::Flow::Config fc;
+  fc.id = 1;
+  fc.size_bytes = 1'000'000;
+  transport::Flow flow{t.sched, *t.a, *t.b, fc};
+  flow.start();
+
+  InvariantChecker inv{t.sched};
+  inv.add_sender_enumerator([&flow](const InvariantChecker::SenderVisitor& v) {
+    v(flow.sender());
+  });
+  inv.check_now();
+  const auto baseline = inv.checks_run();
+  EXPECT_GT(baseline, 0u);
+
+  flow.sender().set_cwnd(1e9);
+  inv.check_now();
+  EXPECT_FALSE(inv.clean());  // the enumerated sender was actually checked
+}
+
+}  // namespace
+}  // namespace xmp::faults

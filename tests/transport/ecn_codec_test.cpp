@@ -45,6 +45,41 @@ TEST(EcnCodecXmp, SaturatesAtThreeAndCarriesRemainder) {
   EXPECT_EQ(ack2.ce_echo, 2);  // remainder is not lost
 }
 
+TEST(EcnCodecXmp, LongBurstDrainsAcrossManyAcksWithoutLosingMarks) {
+  // A CE burst far beyond the 2-bit echo range must drain 3-at-a-time over
+  // successive acks until the counter is empty — no mark is ever dropped,
+  // no ack ever claims more than 3 (paper §2.1, the BOS echo contract).
+  EcnEchoState s{EcnCodec::XmpCounter};
+  for (int i = 0; i < 11; ++i) s.on_data(data(net::Ecn::Ce));
+  int total = 0;
+  const int expected[] = {3, 3, 3, 2, 0};
+  for (int i = 0; i < 5; ++i) {
+    net::Packet ack;
+    s.fill_ack(ack);
+    EXPECT_EQ(ack.ce_echo, expected[i]) << "ack " << i;
+    total += ack.ce_echo;
+  }
+  EXPECT_EQ(total, 11);
+}
+
+TEST(EcnCodecXmp, CarryOverSurvivesInterleavedUnmarkedData) {
+  // Saturated counter, then unmarked packets arrive before the next ack:
+  // the backlog must still drain; the clean packets add nothing.
+  EcnEchoState s{EcnCodec::XmpCounter};
+  for (int i = 0; i < 7; ++i) s.on_data(data(net::Ecn::Ce));
+  net::Packet ack;
+  s.fill_ack(ack);
+  EXPECT_EQ(ack.ce_echo, 3);
+  s.on_data(data(net::Ecn::Ect));
+  s.on_data(data(net::Ecn::Ect));
+  net::Packet ack2;
+  s.fill_ack(ack2);
+  EXPECT_EQ(ack2.ce_echo, 3);
+  net::Packet ack3;
+  s.fill_ack(ack3);
+  EXPECT_EQ(ack3.ce_echo, 1);
+}
+
 TEST(EcnCodecXmp, UnmarkedPacketsEchoZero) {
   EcnEchoState s{EcnCodec::XmpCounter};
   s.on_data(data(net::Ecn::Ect));

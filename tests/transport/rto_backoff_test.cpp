@@ -1,0 +1,127 @@
+// Retransmission-timer backoff regression tests: the exponential backoff
+// must clamp at rto_max and must reset on the first new ack (RFC 6298 §5).
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "transport/segment_source.hpp"
+#include "transport/sender.hpp"
+#include "util/fixtures.hpp"
+
+namespace xmp::transport {
+namespace {
+
+class NullCc final : public CongestionControl {
+ public:
+  void on_ack(TcpSender&, const AckEvent&) override {}
+  void on_round_end(TcpSender&) override {}
+  void on_congestion_signal(TcpSender&, const AckEvent&) override {}
+  void on_loss(TcpSender&, bool) override {}
+  const char* name() const override { return "null"; }
+};
+
+class TimeoutLog final : public SenderObserver {
+ public:
+  explicit TimeoutLog(sim::Scheduler& sched) : sched_{sched} {}
+  void on_sender_delivered(const TcpSender&, std::int64_t) override {}
+  void on_sender_timeout(const TcpSender&) override { at.push_back(sched_.now()); }
+  std::vector<sim::Time> at;
+
+ private:
+  sim::Scheduler& sched_;
+};
+
+/// Sender into a black hole: the data link is admin-down from the start, so
+/// every transmission is lost and the RTO chain runs undisturbed.
+struct BackoffHarness {
+  testutil::TwoHosts t{1'000'000'000, sim::Time::microseconds(10),
+                       testutil::droptail_queue(100)};
+  FixedSource source{1'000'000};
+  TimeoutLog log{t.sched};
+  std::unique_ptr<TcpSender> sender;
+
+  explicit BackoffHarness(SenderConfig cfg) {
+    t.ab->set_down(true);
+    sender = std::make_unique<TcpSender>(t.sched, *t.a, t.b->id(), 1, 0, 0, source,
+                                         std::make_unique<NullCc>(), cfg);
+    sender->set_observer(&log);
+    sender->start();
+  }
+
+  void ack(std::int64_t ackno) {
+    net::Packet p;
+    p.flow = 1;
+    p.type = net::PacketType::Ack;
+    p.ack = ackno;
+    sender->handle(std::move(p));
+  }
+};
+
+SenderConfig fast_rto_config() {
+  SenderConfig cfg;
+  cfg.initial_rto = sim::Time::milliseconds(200);
+  cfg.rto_min = sim::Time::milliseconds(200);
+  cfg.rto_max = sim::Time::seconds(1.0);  // small cap so the clamp is reachable
+  return cfg;
+}
+
+TEST(RtoBackoff, DoublesUntilClampedAtRtoMax) {
+  BackoffHarness h{fast_rto_config()};
+  h.t.sched.run_until(sim::Time::seconds(6));
+
+  // Without an RTT sample the base RTO is initial_rto = 200 ms; each
+  // consecutive timeout doubles it until the 1 s cap:
+  //   200, +400, +800, +1000, +1000, ...
+  ASSERT_GE(h.log.at.size(), 6u);
+  EXPECT_DOUBLE_EQ(h.log.at[0].ms(), 200.0);
+  EXPECT_DOUBLE_EQ(h.log.at[1].ms(), 600.0);
+  EXPECT_DOUBLE_EQ(h.log.at[2].ms(), 1400.0);
+  for (std::size_t i = 3; i < h.log.at.size(); ++i) {
+    EXPECT_DOUBLE_EQ((h.log.at[i] - h.log.at[i - 1]).ms(), 1000.0)
+        << "gap " << i << " escaped the rto_max clamp";
+  }
+  EXPECT_EQ(h.sender->rto_backoff(), static_cast<int>(h.log.at.size()));
+}
+
+TEST(RtoBackoff, SixtySecondDefaultCapHolds) {
+  // With the default config the backoff must never push one gap beyond the
+  // RFC's 60 s ceiling (and must reach it: 200ms << 9 > 60s).
+  SenderConfig cfg;  // defaults: initial 200 ms, max 60 s
+  BackoffHarness h{cfg};
+  h.t.sched.run_until(sim::Time::seconds(400));
+
+  ASSERT_GE(h.log.at.size(), 10u);
+  sim::Time prev = sim::Time::zero();
+  sim::Time max_gap = sim::Time::zero();
+  for (const sim::Time at : h.log.at) {
+    const sim::Time gap = at - prev;
+    EXPECT_LE(gap.sec(), 60.0);
+    if (gap > max_gap) max_gap = gap;
+    prev = at;
+  }
+  EXPECT_DOUBLE_EQ(max_gap.sec(), 60.0);  // the clamp is actually reached
+}
+
+TEST(RtoBackoff, FirstNewAckResetsTheBackoff) {
+  BackoffHarness h{fast_rto_config()};
+  h.t.sched.run_until(sim::Time::milliseconds(700));  // two timeouts in
+  ASSERT_EQ(h.log.at.size(), 2u);
+  ASSERT_EQ(h.sender->rto_backoff(), 2);
+
+  h.ack(1);  // first new ack after the stall
+  EXPECT_EQ(h.sender->rto_backoff(), 0);
+
+  // The backoff sequence restarts from the base RTO. The timer event
+  // pending from before the ack still fires at its old 1400 ms deadline
+  // (lazy timers never move earlier), but the *following* gap must be one
+  // doubling of the base (400 ms), not the continued chain (1000 ms cap).
+  h.t.sched.run_until(sim::Time::seconds(2));
+  ASSERT_GE(h.log.at.size(), 4u);
+  EXPECT_DOUBLE_EQ(h.log.at[2].ms(), 1400.0);
+  EXPECT_DOUBLE_EQ(h.log.at[3].ms(), 1800.0);
+}
+
+}  // namespace
+}  // namespace xmp::transport
