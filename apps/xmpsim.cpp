@@ -7,11 +7,18 @@
 //                 [--faults="down,link=3,at=0.1; loss,link=5,at=0,p=0.01"]
 //                 [--fault-seed=1] [--dead-after=3] [--invariants]
 //                 [--drops-csv=drops.csv]
+//                 [--trace=timeline.json] [--trace-csv=timeline.csv]
+//                 [--trace-filter=cwnd,gain,queue] [--trace-capacity=262144]
+//                 [--metrics=metrics.json]
 //       Run one Fat-Tree evaluation and print the paper's summary metrics.
 //       With --faults, the plan's events are injected on the simulation
 //       clock (see src/faults/fault_plan.hpp for the grammar); --dead-after
 //       defaults to 3 when faults are given (0 = failover disabled
 //       otherwise); --invariants runs the runtime invariant probe.
+//       --trace writes a Chrome trace-event JSON (open it in Perfetto or
+//       chrome://tracing); --metrics dumps the run's counters/histograms.
+//       Observation never perturbs the simulation: a traced run produces
+//       the same summary, byte for byte, as an untraced one.
 //
 //   xmpsim fluid  --capacity-gbps=1 --flows=3 [--beta=4] [--rtt-us=300]
 //       Closed-form BOS equilibrium on a single bottleneck (paper §2.1).
@@ -21,6 +28,8 @@
 //       Re-run `run` for each value and tabulate average goodput. Points
 //       run concurrently on N worker threads (default: hardware cores);
 //       results are identical to a serial sweep, in the order given.
+//       --trace/--trace-csv/--metrics apply per job: "trace.json" becomes
+//       "trace.0.json", "trace.1.json", ... (one file per sweep point).
 //
 //   xmpsim topo   [--k=8]
 //       Print Fat-Tree dimensions and delay budget for a given k.
@@ -167,7 +176,29 @@ core::ExperimentConfig config_from(const Args& args, bool& ok) {
   cfg.perm_max_bytes *= scale;
   cfg.rand_min_bytes *= scale;
   cfg.rand_max_bytes *= scale;
+
+  cfg.obs.trace_json = args.get("trace", "");
+  cfg.obs.trace_csv = args.get("trace-csv", "");
+  cfg.obs.metrics_json = args.get("metrics", "");
+  cfg.obs.capacity = static_cast<std::size_t>(args.get_i("trace-capacity", 1 << 18));
+  const std::string filter = args.get("trace-filter", "");
+  std::string filter_error;
+  if (!obs::TimelineTracer::parse_filter(filter, cfg.obs.categories, &filter_error)) {
+    std::fprintf(stderr, "bad --trace-filter: %s\n", filter_error.c_str());
+    ok = false;
+  }
   return cfg;
+}
+
+/// Derive a per-job output path for sweeps: "dir/trace.json" -> "dir/trace.3.json".
+std::string per_job_path(const std::string& path, std::size_t job) {
+  if (path.empty()) return path;
+  const auto slash = path.find_last_of('/');
+  const auto dot = path.find_last_of('.');
+  if (dot == std::string::npos || (slash != std::string::npos && dot < slash)) {
+    return path + "." + std::to_string(job);
+  }
+  return path.substr(0, dot) + "." + std::to_string(job) + path.substr(dot);
 }
 
 void print_summary(const core::ExperimentConfig& cfg, const core::ExperimentResults& res) {
@@ -297,6 +328,12 @@ int cmd_sweep(const Args& args) {
       std::fprintf(stderr, "unknown --param=%s\n", param.c_str());
       return 2;
     }
+    // Each job writes its own trace/metrics files ("trace.json" ->
+    // "trace.<i>.json"); concurrent jobs must never share an output path.
+    const std::size_t job = grid.size();
+    cfg.obs.trace_json = per_job_path(cfg.obs.trace_json, job);
+    cfg.obs.trace_csv = per_job_path(cfg.obs.trace_csv, job);
+    cfg.obs.metrics_json = per_job_path(cfg.obs.metrics_json, job);
     grid.push_back(cfg);
   }
 

@@ -27,16 +27,30 @@ if ! "$bin" --benchmark_format=json --benchmark_out="$out" --benchmark_out_forma
   exit 1
 fi
 
-# Human-readable digest of the headline counters. Fails (and fails the
+# Normalize the context block, then print a human-readable digest of the
+# headline counters. google-benchmark stamps machine- and time-dependent
+# fields (date, host_name, load_avg, ...) into the context; stripping them
+# keeps the committed baseline diffable — a regenerated BENCH_micro.json
+# changes only where performance actually changed. Fails (and fails the
 # script) if the output parsed to zero benchmarks — an empty results file
 # must never pass for a successful run.
 python3 - "$out" <<'EOF'
 import json, sys
-with open(sys.argv[1]) as f:
+path = sys.argv[1]
+with open(path) as f:
     data = json.load(f)
 benches = data.get("benchmarks", [])
 if not benches:
-    sys.exit(f"error: no benchmarks recorded in {sys.argv[1]}")
+    sys.exit(f"error: no benchmarks recorded in {path}")
+ctx = data.get("context", {})
+for key in ("date", "host_name", "executable", "load_avg",
+            "num_cpus", "mhz_per_cpu", "cpu_scaling_enabled", "caches"):
+    ctx.pop(key, None)
+ctx["normalized"] = True  # context stripped for stable baseline diffs
+data["context"] = ctx
+with open(path, "w") as f:
+    json.dump(data, f, indent=2)
+    f.write("\n")
 for b in benches:
     rate = b.get("items_per_second") or b.get("events/s")
     if rate:

@@ -1,0 +1,77 @@
+#!/usr/bin/env bash
+# Benchmark regression gate for CI.
+#
+#   scripts/bench_gate.sh [build-dir] [new-results.json]
+#
+# Runs bench/run_benches.sh in quick mode (single repetition) into
+# `new-results.json` (default: BENCH_new.json) and compares every benchmark
+# against the committed BENCH_micro.json baseline. Fails if any benchmark's
+# rate (items_per_second, falling back to 1/real_time) regresses by more
+# than BENCH_GATE_TOLERANCE (default 0.15 = 15%).
+#
+# Benchmarks present on only one side are reported but never fail the gate:
+# new benchmarks have no baseline yet, and retired ones have no new number.
+# CI wires this as a separate, non-required job — shared runners are noisy,
+# so a red gate is a prompt to look, not an automatic block.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+build_dir="${1:-build}"
+new_json="${2:-BENCH_new.json}"
+baseline="BENCH_micro.json"
+tolerance="${BENCH_GATE_TOLERANCE:-0.15}"
+
+if [[ ! -f "$baseline" ]]; then
+  echo "error: no committed baseline at $baseline" >&2
+  exit 1
+fi
+
+BENCH_REPS=1 bench/run_benches.sh "$build_dir" "$new_json"
+
+python3 - "$baseline" "$new_json" "$tolerance" <<'EOF'
+import json, sys
+
+baseline_path, new_path, tol = sys.argv[1], sys.argv[2], float(sys.argv[3])
+
+def rates(path):
+    with open(path) as f:
+        data = json.load(f)
+    out = {}
+    for b in data.get("benchmarks", []):
+        if b.get("run_type") == "aggregate" and b.get("aggregate_name") != "mean":
+            continue  # with repetitions, compare means only
+        rate = b.get("items_per_second")
+        if rate is None:
+            # Rate-less benchmarks: lower real_time is better, so compare 1/t.
+            t = b.get("real_time")
+            rate = 1.0 / t if t else None
+        if rate:
+            out[b["name"]] = rate
+    return out
+
+base, new = rates(baseline_path), rates(new_path)
+if not new:
+    sys.exit(f"error: no benchmarks in {new_path}")
+
+failures = []
+print(f"{'benchmark':<45} {'baseline':>12} {'new':>12} {'delta':>8}")
+for name in sorted(base):
+    if name not in new:
+        print(f"{name:<45} {'(retired: no new result)':>34}")
+        continue
+    delta = (new[name] - base[name]) / base[name]
+    flag = ""
+    if delta < -tol:
+        flag = "  << REGRESSION"
+        failures.append((name, delta))
+    print(f"{name:<45} {base[name]:12.3g} {new[name]:12.3g} {delta:+7.1%}{flag}")
+for name in sorted(set(new) - set(base)):
+    print(f"{name:<45} {'(new: no baseline)':>34}")
+
+if failures:
+    print(f"\nFAIL: {len(failures)} benchmark(s) regressed more than {tol:.0%}:")
+    for name, delta in failures:
+        print(f"  {name}: {delta:+.1%}")
+    sys.exit(1)
+print(f"\nOK: no benchmark regressed more than {tol:.0%}")
+EOF

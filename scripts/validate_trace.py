@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Minimal validator for the Chrome trace-event JSON that xmpsim --trace
+emits (the "JSON object format" Perfetto's legacy importer accepts).
+
+    scripts/validate_trace.py trace.json [--require-counter PREFIX ...]
+
+Checks:
+  * the file parses as a JSON object with a "traceEvents" list
+  * every event has a string "name", a known "ph", an integer "pid",
+    and (except metadata events) a numeric "ts"
+  * counter ("C") events carry an "args" object of numeric series
+  * metadata ("M") events are process_name/thread_name with args.name
+  * with --require-counter, at least one counter event's name starts
+    with each given prefix (e.g. "cwnd[" and "gain[" prove the
+    per-subflow tracks made it into the export)
+
+Exit code 0 when valid; 1 with a diagnostic otherwise.
+"""
+
+import argparse
+import json
+import numbers
+import sys
+
+KNOWN_PHASES = {"B", "E", "X", "i", "I", "C", "M", "b", "e", "n", "s", "t", "f"}
+
+
+def fail(msg: str) -> None:
+    sys.exit(f"invalid trace: {msg}")
+
+
+def main() -> None:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("trace")
+    ap.add_argument(
+        "--require-counter",
+        action="append",
+        default=[],
+        metavar="PREFIX",
+        help="require a counter track whose name starts with PREFIX",
+    )
+    opts = ap.parse_args()
+
+    try:
+        with open(opts.trace) as f:
+            data = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"cannot parse {opts.trace}: {e}")
+
+    if not isinstance(data, dict):
+        fail("top level is not a JSON object")
+    events = data.get("traceEvents")
+    if not isinstance(events, list):
+        fail('missing "traceEvents" array')
+
+    counter_names = set()
+    phases = {}
+    for i, ev in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(ev, dict):
+            fail(f"{where} is not an object")
+        name = ev.get("name")
+        if not isinstance(name, str) or not name:
+            fail(f"{where} has no name")
+        ph = ev.get("ph")
+        if ph not in KNOWN_PHASES:
+            fail(f"{where} ({name!r}) has unknown phase {ph!r}")
+        phases[ph] = phases.get(ph, 0) + 1
+        if not isinstance(ev.get("pid"), int):
+            fail(f"{where} ({name!r}) has no integer pid")
+        if ph == "M":
+            if name not in ("process_name", "thread_name", "process_labels",
+                            "process_sort_index", "thread_sort_index"):
+                fail(f"{where} is metadata with unexpected name {name!r}")
+            args = ev.get("args")
+            if not isinstance(args, dict) or not args:
+                fail(f"{where} ({name!r}) metadata has no args")
+            continue
+        if not isinstance(ev.get("ts"), numbers.Real):
+            fail(f"{where} ({name!r}) has no numeric ts")
+        if ph == "C":
+            args = ev.get("args")
+            if not isinstance(args, dict) or not args:
+                fail(f"{where} counter {name!r} has no args")
+            for k, v in args.items():
+                if not isinstance(v, numbers.Real) or isinstance(v, bool):
+                    fail(f"{where} counter {name!r} series {k!r} is not numeric")
+            counter_names.add(name)
+
+    for prefix in opts.require_counter:
+        if not any(n.startswith(prefix) for n in counter_names):
+            fail(
+                f"no counter track starting with {prefix!r} "
+                f"(saw: {', '.join(sorted(counter_names)) or 'none'})"
+            )
+
+    summary = ", ".join(f"{ph}={n}" for ph, n in sorted(phases.items()))
+    print(
+        f"OK: {len(events)} events ({summary}), "
+        f"{len(counter_names)} counter tracks"
+    )
+
+
+if __name__ == "__main__":
+    main()

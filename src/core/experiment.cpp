@@ -5,6 +5,9 @@
 #include "faults/fault_controller.hpp"
 #include "faults/invariant_checker.hpp"
 #include "net/network.hpp"
+#include "obs/hooks.hpp"
+#include "obs/metrics.hpp"
+#include "obs/timeline.hpp"
 #include "sim/random.hpp"
 #include "sim/scheduler.hpp"
 #include "stats/probes.hpp"
@@ -46,6 +49,25 @@ double ExperimentResults::job_completion_over_ms(double threshold_ms) const {
 }
 
 ExperimentResults run_experiment(const ExperimentConfig& cfg) {
+  // Observation is installed for this thread only (ParallelRunner gives
+  // every sweep job its own worker thread and its own observers) and is
+  // strictly passive: nothing below reads the tracer or registry, so a run
+  // with observation produces byte-identical results to one without.
+  std::unique_ptr<obs::TimelineTracer> tracer;
+  std::unique_ptr<obs::MetricsRegistry> registry;
+  std::unique_ptr<obs::SimMetrics> sim_metrics;
+  if (cfg.obs.tracing()) {
+    obs::TimelineTracer::Config oc;
+    oc.capacity = cfg.obs.capacity;
+    oc.categories = cfg.obs.categories;
+    tracer = std::make_unique<obs::TimelineTracer>(oc);
+  }
+  if (cfg.obs.enabled()) {
+    registry = std::make_unique<obs::MetricsRegistry>();
+    sim_metrics = std::make_unique<obs::SimMetrics>(*registry);
+  }
+  obs::ObservationScope scope{tracer.get(), sim_metrics.get()};
+
   sim::Scheduler sched;
   net::Network netw{sched};
 
@@ -55,6 +77,16 @@ ExperimentResults run_experiment(const ExperimentConfig& cfg) {
   tc.queue.capacity_packets = cfg.queue_capacity;
   tc.queue.mark_threshold = cfg.mark_threshold;
   topo::FatTree tree{netw, tc};
+
+  if (tracer) {
+    for (int l = 0; l < 3; ++l) {
+      const auto layer = static_cast<topo::FatTree::Layer>(l);
+      for (const net::Link* link : tree.links(layer)) {
+        tracer->name_link(link->id(), std::string{topo::FatTree::layer_name(layer)} +
+                                          " link " + std::to_string(link->id()));
+      }
+    }
+  }
 
   sim::Rng rng{cfg.seed};
 
@@ -256,6 +288,15 @@ ExperimentResults run_experiment(const ExperimentConfig& cfg) {
     for (const auto& v : inv->violations()) {
       res.invariant_violations.push_back("[t=" + std::to_string(v.at.sec()) + "s] " + v.what);
     }
+  }
+
+  // --- observability exports (after collection: they must not observe the run) ---
+  if (tracer) {
+    if (!cfg.obs.trace_json.empty()) tracer->export_chrome_json(cfg.obs.trace_json);
+    if (!cfg.obs.trace_csv.empty()) tracer->export_csv(cfg.obs.trace_csv);
+  }
+  if (registry && !cfg.obs.metrics_json.empty()) {
+    registry->dump_to_file(cfg.obs.metrics_json);
   }
   return res;
 }

@@ -5,7 +5,10 @@
 #include <optional>
 #include <vector>
 
+#include <string>
+
 #include "faults/fault_plan.hpp"
+#include "obs/timeline.hpp"
 #include "sim/time.hpp"
 #include "stats/distribution.hpp"
 #include "stats/probes.hpp"
@@ -18,6 +21,20 @@ namespace xmp::core {
 
 /// Which of the paper's §5.2.1 traffic patterns to run.
 enum class Pattern { Permutation, Random, Incast };
+
+/// Observability outputs for one run. All paths are optional; when every
+/// path is empty no tracer/registry is even constructed, so the run is
+/// byte-identical to a build without the obs layer.
+struct ObsConfig {
+  std::string trace_json;   ///< Chrome trace-event JSON (Perfetto)
+  std::string trace_csv;    ///< flat CSV of the same events
+  std::string metrics_json; ///< MetricsRegistry dump
+  std::uint32_t categories = obs::cat::kAll;  ///< --trace-filter mask
+  std::size_t capacity = 1u << 18;            ///< tracer ring, events
+
+  [[nodiscard]] bool tracing() const { return !trace_json.empty() || !trace_csv.empty(); }
+  [[nodiscard]] bool enabled() const { return tracing() || !metrics_json.empty(); }
+};
 
 [[nodiscard]] const char* pattern_name(Pattern p);
 
@@ -60,6 +77,9 @@ struct ExperimentConfig {
   std::uint64_t fault_seed = 1;
   /// Run the opt-in InvariantChecker probe alongside the experiment.
   bool check_invariants = false;
+
+  /// Trace/metrics exports (inactive unless a path is set).
+  ObsConfig obs;
 };
 
 /// Everything the paper reports from one run.

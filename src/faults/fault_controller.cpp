@@ -3,6 +3,9 @@
 #include <cassert>
 
 #include "net/types.hpp"
+#include "obs/hooks.hpp"
+#include "obs/metrics.hpp"
+#include "obs/timeline.hpp"
 
 namespace xmp::faults {
 
@@ -44,6 +47,11 @@ void FaultController::arm() {
 
 void FaultController::apply(const FaultEvent& e) {
   ++events_applied_;
+  if (auto* tr = obs::tracer(); tr != nullptr) [[unlikely]] {
+    tr->fault(sched_.now(), static_cast<std::uint16_t>(e.kind),
+              static_cast<std::uint32_t>(e.target));
+  }
+  if (auto* m = obs::metrics(); m != nullptr) [[unlikely]] m->fault_events.inc();
   switch (e.kind) {
     case FaultEvent::Kind::LinkDown:
       net_.link(static_cast<net::LinkId>(e.target)).set_down(true);

@@ -8,6 +8,9 @@
 #include "mptcp/olia_cc.hpp"
 #include "mptcp/xmp_cc.hpp"
 #include "net/types.hpp"
+#include "obs/hooks.hpp"
+#include "obs/metrics.hpp"
+#include "obs/timeline.hpp"
 #include "transport/cc/reno.hpp"
 #include "transport/flow.hpp"
 
@@ -211,6 +214,10 @@ void MptcpConnection::on_sender_timeout(const transport::TcpSender& s) {
     const std::int64_t stuck = s.inflight();
     if (stuck > 0) {
       source_->refund(stuck);
+      if (auto* tr = obs::tracer(); tr != nullptr) [[unlikely]] {
+        tr->reinjection(sched_.now(), cfg_.id, static_cast<std::uint8_t>(s.subflow()), stuck);
+      }
+      if (auto* m = obs::metrics(); m != nullptr) [[unlikely]] m->reinjections.inc();
       for (auto& sf : subflows_) {
         if (sf.started && !sf.dead && sf.sender.get() != &s) sf.sender->pump();
       }
@@ -231,6 +238,10 @@ void MptcpConnection::kill_subflow(int idx) {
   if (sf.dead || finished_ || aborted_) return;
   sf.dead = true;
   sf.sender->halt();
+  if (auto* tr = obs::tracer(); tr != nullptr) [[unlikely]] {
+    tr->subflow_dead(sched_.now(), cfg_.id, static_cast<std::uint8_t>(idx), live_subflows());
+  }
+  if (auto* m = obs::metrics(); m != nullptr) [[unlikely]] m->subflow_deaths.inc();
   if (live_subflows() == 0) {
     // Nothing left to carry the data: tear the connection down instead of
     // retrying into the void forever.

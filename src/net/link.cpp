@@ -2,7 +2,21 @@
 
 #include <cassert>
 
+#include "obs/hooks.hpp"
+#include "obs/metrics.hpp"
+#include "obs/timeline.hpp"
+
 namespace xmp::net {
+
+namespace {
+
+// One call per drop; the TLS gate keeps the disabled cost to two loads.
+void note_drop(sim::Time t, LinkId link, obs::DropCause cause) {
+  if (auto* tr = obs::tracer(); tr != nullptr) [[unlikely]] tr->drop(t, link, cause);
+  if (auto* m = obs::metrics(); m != nullptr) [[unlikely]] m->packets_dropped.inc();
+}
+
+}  // namespace
 
 Link::Link(sim::Scheduler& sched, LinkId id, std::int64_t rate_bps, sim::Time prop_delay,
            std::unique_ptr<Queue> queue, PacketSink& sink)
@@ -14,12 +28,14 @@ Link::Link(sim::Scheduler& sched, LinkId id, std::int64_t rate_bps, sim::Time pr
       sink_{sink} {
   assert(rate_bps_ > 0);
   assert(queue_ != nullptr);
+  queue_->set_owner(id_);  // label this queue's trace events with the link id
 }
 
 void Link::send(Packet p) {
   ++offered_;
   if (down_) {  // administratively closed
     ++drops_.admin_down;
+    note_drop(sched_.now(), id_, obs::DropCause::AdminDown);
     return;
   }
   if (fault_hook_ != nullptr) {
@@ -28,6 +44,7 @@ void Link::send(Packet p) {
         break;
       case FaultAction::Drop:
         ++drops_.fault;
+        note_drop(sched_.now(), id_, obs::DropCause::Fault);
         return;
       case FaultAction::Corrupt:
         p.corrupt = true;  // rides the wire, discarded at the sink end
@@ -36,6 +53,7 @@ void Link::send(Packet p) {
   }
   if (!queue_->enqueue(std::move(p), sched_.now())) {  // tail drop
     ++drops_.queue;
+    note_drop(sched_.now(), id_, obs::DropCause::Queue);
     return;
   }
   if (!transmitting_) start_transmission();
@@ -68,9 +86,11 @@ void Link::deliver_head() {
   if (head.epoch != epoch_) return;  // lost to set_down; counted there
   if (head.pkt.corrupt) {
     ++drops_.corrupt;  // failed checksum at the receiving end
+    note_drop(sched_.now(), id_, obs::DropCause::Corrupt);
     return;
   }
   ++delivered_;
+  if (auto* m = obs::metrics(); m != nullptr) [[unlikely]] m->packets_delivered.inc();
   sink_.receive(std::move(head.pkt));
 }
 
@@ -82,6 +102,9 @@ void Link::on_transmit_complete() {
 void Link::set_down(bool down) {
   if (down == down_) return;
   down_ = down;
+  if (auto* tr = obs::tracer(); tr != nullptr) [[unlikely]] {
+    tr->link_state(sched_.now(), id_, down_);
+  }
   if (down_) {
     // Everything currently propagating with the live epoch is lost; count
     // it now so conservation holds at any probe instant (the stale pops in

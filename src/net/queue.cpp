@@ -3,7 +3,39 @@
 #include <cassert>
 #include <cmath>
 
+#include "obs/metrics.hpp"
+#include "obs/timeline.hpp"
+
 namespace xmp::net {
+
+void Queue::observe_slow(sim::Time now) {
+  auto* tr = obs::tracer();
+  auto* m = obs::metrics();
+  // Rate limit per queue so a busy link cannot flood the ring; the interval
+  // comes from the tracer when present, else a fixed default for metrics.
+  const sim::Time interval = tr != nullptr ? tr->config().queue_sample_interval
+                                           : sim::Time::microseconds(50);
+  if (last_sample_.ns() >= 0 && now - last_sample_ < interval) return;
+  last_sample_ = now;
+  if (tr != nullptr) {
+    tr->queue_sample(now, owner_, static_cast<double>(fifo_.size()),
+                     static_cast<double>(bytes_));
+  }
+  if (m != nullptr) m->queue_depth.add(fifo_.size());
+}
+
+void Queue::note_mark_slow(sim::Time now) {
+  ++mark_run_;
+  if (auto* tr = obs::tracer(); tr != nullptr) {
+    tr->ecn_mark(now, owner_, static_cast<double>(fifo_.size()));
+  }
+  if (auto* m = obs::metrics(); m != nullptr) m->ecn_marks.inc();
+}
+
+void Queue::note_gap_slow() {
+  if (auto* m = obs::metrics(); m != nullptr) m->mark_runs.add(mark_run_);
+  mark_run_ = 0;
+}
 
 void Queue::advance_occupancy_clock(sim::Time now) {
   if (now > last_change_) {
@@ -23,6 +55,7 @@ double Queue::mean_occupancy(sim::Time now) const {
 bool Queue::dequeue(Packet& out, sim::Time now) {
   if (fifo_.empty()) return false;
   advance_occupancy_clock(now);
+  observe(now);
   out = std::move(fifo_.front());
   fifo_.pop_front();
   assert(bytes_ >= out.size_bytes);
@@ -33,6 +66,7 @@ bool Queue::dequeue(Packet& out, sim::Time now) {
 
 bool Queue::push_tail(Packet&& p, sim::Time now) {
   advance_occupancy_clock(now);
+  observe(now);
   if (fifo_.size() >= capacity_) {
     ++counters_.dropped;
     return false;
@@ -55,6 +89,9 @@ bool EcnThresholdQueue::enqueue(Packet&& p, sim::Time now) {
   if (fifo_.size() > k_ && p.ecn == Ecn::Ect && marking_enabled_) {
     p.ecn = Ecn::Ce;
     ++counters_.marked;
+    note_mark(now);
+  } else if (p.ecn == Ecn::Ect) {
+    note_gap();
   }
   return push_tail(std::move(p), now);
 }
@@ -96,10 +133,13 @@ bool RedQueue::enqueue(Packet&& p, sim::Time now) {
     if (p_.ecn && p.ecn == Ecn::Ect && marking_enabled_) {
       p.ecn = Ecn::Ce;
       ++counters_.marked;
+      note_mark(now);
     } else {
       ++counters_.dropped;
       return false;
     }
+  } else if (p.ecn == Ecn::Ect) {
+    note_gap();
   }
   return push_tail(std::move(p), now);
 }

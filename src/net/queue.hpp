@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "net/packet.hpp"
+#include "obs/hooks.hpp"
 #include "sim/time.hpp"
 
 namespace xmp::net {
@@ -89,11 +90,36 @@ class Queue {
   void set_marking_enabled(bool on) { marking_enabled_ = on; }
   [[nodiscard]] bool marking_enabled() const { return marking_enabled_; }
 
+  /// Observability only: the link this queue drains (labels trace events).
+  void set_owner(std::uint32_t link_id) { owner_ = link_id; }
+  [[nodiscard]] std::uint32_t owner() const { return owner_; }
+
  protected:
   /// FIFO admission used by subclasses after their drop/mark decision.
   /// `now` feeds the occupancy integral.
   bool push_tail(Packet&& p, sim::Time now);
   virtual void on_dequeue(const Packet& /*p*/, sim::Time /*now*/) {}
+
+  // --- observability (single predictable branch when disabled) ---
+  /// Activity-driven depth sample: piggybacks on enqueue/dequeue, rate-
+  /// limited per queue, never schedules events — a traced run executes the
+  /// exact same simulation as an untraced one.
+  void observe(sim::Time now) {
+    if (obs::tracer() != nullptr || obs::metrics() != nullptr) [[unlikely]] {
+      observe_slow(now);
+    }
+  }
+  /// Marking disciplines call note_mark when a CE mark is applied and
+  /// note_gap when an ECT packet passes unmarked; consecutive-mark run
+  /// lengths feed the `mark_runs` histogram.
+  void note_mark(sim::Time now) {
+    if (obs::tracer() != nullptr || obs::metrics() != nullptr) [[unlikely]] {
+      note_mark_slow(now);
+    }
+  }
+  void note_gap() {
+    if (mark_run_ != 0) [[unlikely]] note_gap_slow();
+  }
 
   std::size_t capacity_;
   PacketRing fifo_;
@@ -103,11 +129,19 @@ class Queue {
 
  private:
   void advance_occupancy_clock(sim::Time now);
+  void observe_slow(sim::Time now);
+  void note_mark_slow(sim::Time now);
+  void note_gap_slow();
 
   // Occupancy integral: Σ len · dt, in packet·nanoseconds.
   double occupancy_area_ = 0.0;
   sim::Time last_change_ = sim::Time::zero();
   std::size_t peak_ = 0;
+
+  // Observability state; never read by the simulation itself.
+  std::uint32_t owner_ = 0xffffffffu;
+  sim::Time last_sample_ = sim::Time::nanoseconds(-1);
+  std::uint64_t mark_run_ = 0;  ///< consecutive CE marks since the last gap
 };
 
 /// Plain FIFO drop-tail queue (what LIA/TCP see in the paper).

@@ -1,0 +1,214 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace xmp::obs {
+
+/// What one timeline event describes. Every kind belongs to exactly one
+/// filter category (see cat:: below and TimelineTracer::category_of).
+enum class EventKind : std::uint8_t {
+  Cwnd,         ///< per-subflow congestion window update (a = segments)
+  Srtt,         ///< per-subflow smoothed RTT update (a = µs)
+  Gain,         ///< per-subflow δ-gain refresh at round end (a = δ)
+  EcnMark,      ///< queue applied a CE mark (id = link, a = qlen seen)
+  QueueSample,  ///< activity-driven queue sample (id = link, a = packets, b = bytes)
+  LinkState,    ///< administrative transition (id = link, aux: 1 = down, 0 = up)
+  Fault,        ///< fault-plan event applied (aux = FaultEvent::Kind, id = target)
+  SubflowDead,  ///< subflow declared dead (a = surviving subflows)
+  Reinjection,  ///< outstanding data refunded to the pool (a = segments)
+  FlowStart,    ///< transfer created (a = size bytes, aux: 1 = large)
+  FlowDone,     ///< transfer completed (a = FCT µs, b = goodput Mbps)
+  FlowAbort,    ///< every subflow died with data undelivered
+  Rto,          ///< retransmission timeout fired (a = backoff exponent)
+  Drop,         ///< packet dropped at a link (id = link, aux = cause)
+  SchedSample,  ///< scheduler sample (a = pending, b = dispatched)
+};
+
+/// Filter categories (--trace-filter). A category can cover several kinds.
+namespace cat {
+inline constexpr std::uint32_t kCwnd = 1u << 0;
+inline constexpr std::uint32_t kSrtt = 1u << 1;
+inline constexpr std::uint32_t kGain = 1u << 2;
+inline constexpr std::uint32_t kEcn = 1u << 3;
+inline constexpr std::uint32_t kQueue = 1u << 4;
+inline constexpr std::uint32_t kFault = 1u << 5;  ///< faults + link state + deaths
+inline constexpr std::uint32_t kFlow = 1u << 6;   ///< start/done/abort + reinjection
+inline constexpr std::uint32_t kDrop = 1u << 7;   ///< drops + RTOs
+inline constexpr std::uint32_t kSched = 1u << 8;
+inline constexpr std::uint32_t kAll = 0xffffffffu;
+}  // namespace cat
+
+/// Drop causes carried in TimelineEvent::aux for EventKind::Drop.
+enum class DropCause : std::uint16_t { Queue = 0, AdminDown = 1, Fault = 2, Corrupt = 3 };
+
+/// One fixed-size record in the tracer ring. 32 bytes; no pointers, no
+/// ownership — safe to snapshot and export after the simulation ends.
+struct TimelineEvent {
+  std::int64_t t_ns = 0;
+  double a = 0.0;
+  double b = 0.0;
+  std::uint32_t id = 0;  ///< flow id, link id, or fault target (per kind)
+  EventKind kind = EventKind::Cwnd;
+  std::uint8_t subflow = 0;
+  std::uint16_t aux = 0;
+};
+
+/// Records typed sim-time events into a preallocated ring and exports them
+/// as CSV (trace::CsvWriter) or Chrome trace-event JSON loadable in
+/// Perfetto / chrome://tracing, with per-flow, per-subflow and per-link
+/// track naming.
+///
+/// The tracer is passive: it never schedules simulator events and never
+/// mutates simulation state, so enabling it cannot perturb a run (the
+/// queue/scheduler samples piggyback on existing activity). When the ring
+/// fills, the oldest events are overwritten and counted in dropped() — a
+/// trace is always the *tail* of the run.
+class TimelineTracer {
+ public:
+  struct Config {
+    std::size_t capacity = 1u << 18;           ///< events (32 B each)
+    std::uint32_t categories = cat::kAll;      ///< cat:: bitmask
+    /// Minimum spacing between QueueSample events of one queue. Samples are
+    /// taken on enqueue/dequeue activity, so an idle queue emits nothing.
+    sim::Time queue_sample_interval = sim::Time::microseconds(50);
+    /// Emit a SchedSample every this many dispatches (power of two).
+    std::uint64_t sched_sample_stride = 1u << 16;
+  };
+
+  explicit TimelineTracer(const Config& cfg);
+  TimelineTracer() : TimelineTracer(Config{}) {}
+
+  TimelineTracer(const TimelineTracer&) = delete;
+  TimelineTracer& operator=(const TimelineTracer&) = delete;
+
+  [[nodiscard]] bool wants(std::uint32_t category) const {
+    return (cfg_.categories & category) != 0;
+  }
+  [[nodiscard]] const Config& config() const { return cfg_; }
+  /// Mask applied to Scheduler::dispatched() to decide when to sample.
+  [[nodiscard]] std::uint64_t sched_sample_mask() const { return cfg_.sched_sample_stride - 1; }
+
+  // --- hot-path recorders (all: gate on category, then one ring write) ---
+  void cwnd(sim::Time t, std::uint32_t flow, std::uint8_t sf, double segments) {
+    record(EventKind::Cwnd, cat::kCwnd, t, flow, sf, 0, segments, 0.0);
+  }
+  void srtt(sim::Time t, std::uint32_t flow, std::uint8_t sf, double us) {
+    record(EventKind::Srtt, cat::kSrtt, t, flow, sf, 0, us, 0.0);
+  }
+  void gain(sim::Time t, std::uint32_t flow, std::uint8_t sf, double delta) {
+    record(EventKind::Gain, cat::kGain, t, flow, sf, 0, delta, 0.0);
+  }
+  void ecn_mark(sim::Time t, std::uint32_t link, double qlen) {
+    record(EventKind::EcnMark, cat::kEcn, t, link, 0, 0, qlen, 0.0);
+  }
+  void queue_sample(sim::Time t, std::uint32_t link, double packets, double bytes) {
+    record(EventKind::QueueSample, cat::kQueue, t, link, 0, 0, packets, bytes);
+  }
+  void link_state(sim::Time t, std::uint32_t link, bool down) {
+    record(EventKind::LinkState, cat::kFault, t, link, 0, down ? 1 : 0, 0.0, 0.0);
+  }
+  void fault(sim::Time t, std::uint16_t kind, std::uint32_t target) {
+    record(EventKind::Fault, cat::kFault, t, target, 0, kind, 0.0, 0.0);
+  }
+  void subflow_dead(sim::Time t, std::uint32_t flow, std::uint8_t sf, int survivors) {
+    record(EventKind::SubflowDead, cat::kFault, t, flow, sf, 0,
+           static_cast<double>(survivors), 0.0);
+  }
+  void reinjection(sim::Time t, std::uint32_t flow, std::uint8_t sf, std::int64_t segments) {
+    record(EventKind::Reinjection, cat::kFlow, t, flow, sf, 0,
+           static_cast<double>(segments), 0.0);
+  }
+  void flow_start(sim::Time t, std::uint32_t flow, std::int64_t bytes, bool large) {
+    record(EventKind::FlowStart, cat::kFlow, t, flow, 0, large ? 1 : 0,
+           static_cast<double>(bytes), 0.0);
+  }
+  void flow_done(sim::Time t, std::uint32_t flow, double fct_us, double goodput_mbps) {
+    record(EventKind::FlowDone, cat::kFlow, t, flow, 0, 0, fct_us, goodput_mbps);
+  }
+  void flow_abort(sim::Time t, std::uint32_t flow) {
+    record(EventKind::FlowAbort, cat::kFlow, t, flow, 0, 0, 0.0, 0.0);
+  }
+  void rto(sim::Time t, std::uint32_t flow, std::uint8_t sf, int backoff) {
+    record(EventKind::Rto, cat::kDrop, t, flow, sf, 0, static_cast<double>(backoff), 0.0);
+  }
+  void drop(sim::Time t, std::uint32_t link, DropCause cause) {
+    record(EventKind::Drop, cat::kDrop, t, link, 0, static_cast<std::uint16_t>(cause), 0.0,
+           0.0);
+  }
+  void sched_sample(sim::Time t, std::size_t pending, std::uint64_t dispatched) {
+    record(EventKind::SchedSample, cat::kSched, t, 0, 0, 0, static_cast<double>(pending),
+           static_cast<double>(dispatched));
+  }
+
+  // --- track naming (setup path; last call per id wins) ---
+  void name_flow(std::uint32_t flow, std::string name) { flow_names_[flow] = std::move(name); }
+  void name_link(std::uint32_t link, std::string name) { link_names_[link] = std::move(name); }
+
+  // --- inspection ---
+  [[nodiscard]] std::size_t size() const { return count_; }
+  [[nodiscard]] std::size_t capacity() const { return cfg_.capacity; }
+  /// Events overwritten because the ring was full.
+  [[nodiscard]] std::uint64_t dropped() const { return dropped_; }
+
+  /// Visit the retained events oldest-first.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    const std::size_t start = (head_ + cfg_.capacity - count_) % cfg_.capacity;
+    for (std::size_t i = 0; i < count_; ++i) {
+      fn(ring_[(start + i) % cfg_.capacity]);
+    }
+  }
+
+  // --- export ---
+  /// Flat CSV: t_ns,kind,id,subflow,aux,a,b — one row per event.
+  void export_csv(const std::string& path) const;
+  /// Chrome trace-event JSON (the Perfetto-compatible legacy format):
+  /// counter tracks for cwnd/srtt/gain (per flow process, one series per
+  /// subflow), qlen (per link process) and the scheduler; instant events
+  /// for marks, drops, faults, deaths and flow lifecycle.
+  void export_chrome_json(const std::string& path) const;
+
+  [[nodiscard]] static const char* kind_name(EventKind k);
+  /// Category of a kind (exactly one bit of cat::).
+  [[nodiscard]] static std::uint32_t category_of(EventKind k);
+  /// Parse a --trace-filter list ("cwnd,gain,queue"); known names are the
+  /// lowercase cat:: constants plus "all". Returns false (and sets *error)
+  /// on an unknown token; an empty string means kAll.
+  [[nodiscard]] static bool parse_filter(const std::string& filter, std::uint32_t& mask,
+                                         std::string* error);
+
+ private:
+  void record(EventKind kind, std::uint32_t category, sim::Time t, std::uint32_t id,
+              std::uint8_t subflow, std::uint16_t aux, double a, double b) {
+    if ((cfg_.categories & category) == 0) return;
+    TimelineEvent& e = ring_[head_];
+    e.t_ns = t.ns();
+    e.a = a;
+    e.b = b;
+    e.id = id;
+    e.kind = kind;
+    e.subflow = subflow;
+    e.aux = aux;
+    head_ = head_ + 1 == cfg_.capacity ? 0 : head_ + 1;
+    if (count_ < cfg_.capacity) {
+      ++count_;
+    } else {
+      ++dropped_;  // overwrote the oldest event
+    }
+  }
+
+  Config cfg_;
+  std::vector<TimelineEvent> ring_;
+  std::size_t head_ = 0;   ///< next write position
+  std::size_t count_ = 0;  ///< live events (<= capacity)
+  std::uint64_t dropped_ = 0;
+  std::map<std::uint32_t, std::string> flow_names_;
+  std::map<std::uint32_t, std::string> link_names_;
+};
+
+}  // namespace xmp::obs

@@ -3,6 +3,9 @@
 #include <cassert>
 #include <limits>
 
+#include "obs/hooks.hpp"
+#include "obs/timeline.hpp"
+
 namespace xmp::sim {
 
 namespace {
@@ -206,6 +209,11 @@ void Scheduler::run() {
     assert(t >= now_);
     now_ = t;
     ++dispatched_;
+    if (auto* tr = obs::tracer(); tr != nullptr) [[unlikely]] {
+      if ((dispatched_ & tr->sched_sample_mask()) == 0) {
+        tr->sched_sample(now_, pending(), dispatched_);
+      }
+    }
     cb();
   }
 }
@@ -217,6 +225,11 @@ void Scheduler::run_until(Time t) {
   while (!stopped_ && pop_next(t.ns(), et, cb)) {
     now_ = et;
     ++dispatched_;
+    if (auto* tr = obs::tracer(); tr != nullptr) [[unlikely]] {
+      if ((dispatched_ & tr->sched_sample_mask()) == 0) {
+        tr->sched_sample(now_, pending(), dispatched_);
+      }
+    }
     cb();
   }
   // Advance the clock to the horizon only on a quiet completion; a stop()

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/hooks.hpp"
+#include "obs/timeline.hpp"
 #include "transport/sender.hpp"
 
 namespace xmp::transport {
@@ -12,6 +14,11 @@ void BosCc::on_round_end(TcpSender& s) {
   // then apply the congestion-avoidance increase with the fractional-part
   // accumulator.
   delta_ = gain(s);
+  if (auto* tr = obs::tracer(); tr != nullptr) [[unlikely]] {
+    // Covers XmpCc too: TraSh only overrides gain(), so every δ refresh for
+    // every BOS-family sender lands here.
+    tr->gain(s.now(), s.flow(), static_cast<std::uint8_t>(s.subflow()), delta_);
+  }
   if (state_ == State::Normal && !s.in_slow_start()) {
     adder_ += delta_;
     const double whole = std::floor(adder_);

@@ -4,6 +4,10 @@
 #include <cassert>
 #include <cmath>
 
+#include "obs/hooks.hpp"
+#include "obs/metrics.hpp"
+#include "obs/timeline.hpp"
+
 namespace xmp::transport {
 
 TcpSender::TcpSender(sim::Scheduler& sched, net::Host& local, net::NodeId remote,
@@ -38,6 +42,9 @@ void TcpSender::start() {
 
 void TcpSender::set_cwnd(double w) {
   cwnd_ = std::max(w, cfg_.min_cwnd);
+  if (auto* tr = obs::tracer(); tr != nullptr) [[unlikely]] {
+    tr->cwnd(sched_.now(), flow_, static_cast<std::uint8_t>(subflow_), cwnd_);
+  }
 }
 
 double TcpSender::instant_rate() const {
@@ -96,7 +103,10 @@ void TcpSender::transmit_segment(std::int64_t seq, bool retransmit) {
   // Karn's rule: never take RTT samples from retransmissions.
   p.ts = retransmit ? sim::Time::zero() : sched_.now();
   ++segments_sent_;
-  if (retransmit) ++retransmissions_;
+  if (retransmit) {
+    ++retransmissions_;
+    if (auto* m = obs::metrics(); m != nullptr) [[unlikely]] m->retransmissions.inc();
+  }
   local_.send(std::move(p));
 }
 
@@ -196,6 +206,10 @@ void TcpSender::on_rto() {
   }
   ++timeouts_;
   ++rto_backoff_;
+  if (auto* tr = obs::tracer(); tr != nullptr) [[unlikely]] {
+    tr->rto(sched_.now(), flow_, static_cast<std::uint8_t>(subflow_), rto_backoff_);
+  }
+  if (auto* m = obs::metrics(); m != nullptr) [[unlikely]] m->timeouts.inc();
   dupacks_ = 0;
   in_recovery_ = false;
   cc_->on_loss(*this, /*timeout=*/true);
@@ -217,6 +231,9 @@ void TcpSender::update_rtt(sim::Time sample) {
     const sim::Time err = sample >= srtt_ ? sample - srtt_ : srtt_ - sample;
     rttvar_ = (rttvar_ * 3 + err) / 4;
     srtt_ = (srtt_ * 7 + sample) / 8;
+  }
+  if (auto* tr = obs::tracer(); tr != nullptr) [[unlikely]] {
+    tr->srtt(sched_.now(), flow_, static_cast<std::uint8_t>(subflow_), srtt_.us());
   }
 }
 

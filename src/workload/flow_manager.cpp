@@ -1,8 +1,32 @@
 #include "workload/flow_manager.hpp"
 
 #include <cassert>
+#include <string>
+
+#include "obs/hooks.hpp"
+#include "obs/metrics.hpp"
+#include "obs/timeline.hpp"
 
 namespace xmp::workload {
+
+namespace {
+
+void note_flow_done(const FlowRecord& rec, bool aborted) {
+  auto* tr = obs::tracer();
+  auto* m = obs::metrics();
+  if (tr == nullptr && m == nullptr) return;
+  if (aborted) {
+    if (tr != nullptr) tr->flow_abort(rec.finish, rec.id);
+    return;
+  }
+  const double fct_us = (rec.finish - rec.start).us();
+  const double goodput_mbps =
+      fct_us > 0.0 ? static_cast<double>(rec.bytes) * 8.0 / fct_us : 0.0;
+  if (tr != nullptr) tr->flow_done(rec.finish, rec.id, fct_us, goodput_mbps);
+  if (m != nullptr) m->fct_us.add(static_cast<std::uint64_t>(fct_us));
+}
+
+}  // namespace
 
 std::size_t FlowManager::new_record(int src_idx, int dst_idx, std::int64_t bytes, bool large) {
   FlowRecord rec;
@@ -13,6 +37,12 @@ std::size_t FlowManager::new_record(int src_idx, int dst_idx, std::int64_t bytes
   rec.large = large;
   rec.start = sched_.now();
   records_.push_back(rec);
+  if (auto* tr = obs::tracer(); tr != nullptr) [[unlikely]] {
+    tr->flow_start(rec.start, rec.id, bytes, large);
+    tr->name_flow(rec.id, "flow " + std::to_string(rec.id) + " h" +
+                              std::to_string(src_idx) + "->h" + std::to_string(dst_idx) +
+                              (large ? " (large)" : " (small)"));
+  }
   return records_.size() - 1;
 }
 
@@ -24,6 +54,7 @@ void FlowManager::finish_record(std::size_t idx, std::function<void()>& on_done)
     assert(active_large_ > 0);
     --active_large_;
   }
+  note_flow_done(rec, /*aborted=*/false);
   if (on_done) on_done();
 }
 
@@ -84,6 +115,7 @@ void FlowManager::finish_multi(std::size_t slot, bool aborted) {
   assert(active_large_ > 0);
   --active_large_;
   if (aborted) ++aborted_large_;
+  note_flow_done(rec, aborted);
   // The caller's completion hook fires for aborts too: an aborted transfer
   // is *over* (workload round-robins must not wait for it forever).
   if (m.on_done) m.on_done();

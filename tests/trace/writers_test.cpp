@@ -8,6 +8,7 @@
 
 #include "core/experiment.hpp"
 #include "core/export.hpp"
+#include "util/mini_json.hpp"
 
 namespace xmp::trace {
 namespace {
@@ -44,6 +45,40 @@ TEST(CsvWriter, QuotesSpecialCharacters) {
     csv.end_row();
   }
   EXPECT_EQ(slurp(f.path), "\"hello, world\",\"say \"\"hi\"\"\"\n");
+}
+
+TEST(CsvWriter, QuotesEmbeddedNewlinesPerRfc4180) {
+  TempFile f{"newline.csv"};
+  {
+    CsvWriter csv{f.path};
+    csv.field(std::string{"line1\nline2"}).field(std::string{"plain"});
+    csv.end_row();
+  }
+  // The newline stays inside one quoted field — the record still ends with
+  // exactly one terminating \n.
+  EXPECT_EQ(slurp(f.path), "\"line1\nline2\",plain\n");
+}
+
+TEST(CsvWriter, QuoteOnlyAndEmptyFields) {
+  TempFile f{"edge.csv"};
+  {
+    CsvWriter csv{f.path};
+    csv.field(std::string{"\""}).field(std::string{}).field(std::string{","});
+    csv.end_row();
+  }
+  EXPECT_EQ(slurp(f.path), "\"\"\"\",,\",\"\n");
+}
+
+TEST(CsvWriter, PlainFieldsAreNeverQuoted) {
+  TempFile f{"plain.csv"};
+  {
+    CsvWriter csv{f.path};
+    csv.field(std::string{"has space"}).field(std::string{"semi;colon"});
+    csv.end_row();
+  }
+  // RFC 4180 only requires quoting for commas, quotes and line breaks;
+  // gratuitous quoting would bloat large event dumps.
+  EXPECT_EQ(slurp(f.path), "has space,semi;colon\n");
 }
 
 TEST(CsvWriter, UnterminatedRowFlushedOnDestruction) {
@@ -115,6 +150,56 @@ TEST(JsonWriter, EmptyContainers) {
   EXPECT_NE(s.find("[]"), std::string::npos);
   EXPECT_NE(s.find("{}"), std::string::npos);
 }
+
+TEST(JsonWriter, OutputParsesBackStructurally) {
+  TempFile f{"roundtrip.json"};
+  {
+    JsonWriter json{f.path};
+    json.begin_object();
+    json.kv("label", "a \"quoted\"\nvalue");
+    json.kv("count", std::uint64_t{18446744073709551615ull});
+    json.key("points");
+    json.begin_array();
+    json.value(0.125);
+    json.value(std::int64_t{-3});
+    json.value(false);
+    json.end_array();
+    json.end_object();
+  }
+  const auto root = test::MiniJsonParser::parse(slurp(f.path));
+  ASSERT_TRUE(root.is_object());
+  EXPECT_EQ(root.at("label").str, "a \"quoted\"\nvalue");
+  ASSERT_EQ(root.at("points").array.size(), 3u);
+  EXPECT_EQ(root.at("points").array[0].number, 0.125);
+  EXPECT_EQ(root.at("points").array[1].number, -3.0);
+  EXPECT_EQ(root.at("points").array[2].boolean, false);
+}
+
+#if !defined(NDEBUG) && GTEST_HAS_DEATH_TEST
+// The nesting assertions only exist in debug builds (RelWithDebInfo defines
+// NDEBUG); the asan/tsan lanes exercise these.
+TEST(JsonWriterDeathTest, DanglingKeyBeforeEndObjectAsserts) {
+  EXPECT_DEATH(
+      {
+        JsonWriter json{"/tmp/xmp_test_death1.json"};
+        json.begin_object();
+        json.key("orphan");
+        json.end_object();  // a key must be followed by a value
+      },
+      "after_key_");
+}
+
+TEST(JsonWriterDeathTest, DoubleKeyAsserts) {
+  EXPECT_DEATH(
+      {
+        JsonWriter json{"/tmp/xmp_test_death2.json"};
+        json.begin_object();
+        json.key("first");
+        json.key("second");  // key after key, no value in between
+      },
+      "after_key_");
+}
+#endif
 
 TEST(Export, FlowsCsvAndSummaryJsonRoundTrip) {
   core::ExperimentConfig cfg;
