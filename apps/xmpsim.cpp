@@ -4,6 +4,8 @@
 //                 [--duration=0.5] [--queue=100] [--mark-k=10] [--beta=4]
 //                 [--seed=1] [--coexist=dctcp] [--csv=flows.csv]
 //                 [--json=summary.json]
+//                 [--routing=pinned|ecmp|wcmp|flowlet] [--flowlet-gap=100]
+//                 [--reroute-delay=0.001] [--rehome=0]
 //                 [--faults="down,link=3,at=0.1; loss,link=5,at=0,p=0.01"]
 //                 [--fault-seed=1] [--dead-after=3] [--invariants]
 //                 [--drops-csv=drops.csv]
@@ -11,6 +13,12 @@
 //                 [--trace-filter=cwnd,gain,queue] [--trace-capacity=262144]
 //                 [--metrics=metrics.json]
 //       Run one Fat-Tree evaluation and print the paper's summary metrics.
+//       --routing selects how switches spread over equal-cost up-ports
+//       (default pinned = the paper's per-tag deterministic paths; ecmp
+//       ignores tags and exhibits collisions); --flowlet-gap is the flowlet
+//       idle gap in microseconds, --reroute-delay the failure-convergence
+//       delay in seconds. --rehome lets MPTCP move a dead subflow onto a
+//       fresh path up to N times per connection instead of killing it.
 //       With --faults, the plan's events are injected on the simulation
 //       clock (see src/faults/fault_plan.hpp for the grammar); --dead-after
 //       defaults to 3 when faults are given (0 = failover disabled
@@ -169,6 +177,15 @@ core::ExperimentConfig config_from(const Args& args, bool& ok) {
   cfg.scheme.dead_after_rtos =
       static_cast<int>(args.get_i("dead-after", cfg.fault_plan.empty() ? 0 : 3));
   if (cfg.scheme_b) cfg.scheme_b->dead_after_rtos = cfg.scheme.dead_after_rtos;
+  cfg.scheme.max_rehomes = static_cast<int>(args.get_i("rehome", 0));
+  if (cfg.scheme_b) cfg.scheme_b->max_rehomes = cfg.scheme.max_rehomes;
+
+  if (!route::parse_policy(args.get("routing", "pinned"), cfg.routing.kind)) {
+    std::fprintf(stderr, "unknown --routing (pinned|ecmp|wcmp|flowlet)\n");
+    ok = false;
+  }
+  cfg.routing.flowlet_gap = sim::Time::microseconds(args.get_i("flowlet-gap", 100));
+  cfg.routing.reroute_delay = sim::Time::seconds(args.get_d("reroute-delay", 0.001));
   cfg.check_invariants = args.has("invariants") || !args.get("invariants", "").empty();
 
   const auto scale = args.get_i("scale", 1);
@@ -240,6 +257,22 @@ void print_summary(const core::ExperimentConfig& cfg, const core::ExperimentResu
                 static_cast<unsigned long long>(res.drops.offered),
                 static_cast<unsigned long long>(res.drops.delivered));
   }
+  std::printf("routing %s: forwarded %llu, unroutable %llu", route::policy_name(cfg.routing.kind),
+              static_cast<unsigned long long>(res.switch_forwarded),
+              static_cast<unsigned long long>(res.switch_unroutable));
+  if (res.route_reroutes > 0) {
+    std::printf(", reroutes %llu", static_cast<unsigned long long>(res.route_reroutes));
+  }
+  if (res.route_collisions > 0) {
+    std::printf(", collisions %llu", static_cast<unsigned long long>(res.route_collisions));
+  }
+  if (res.flowlet_repaths > 0) {
+    std::printf(", flowlet repaths %llu", static_cast<unsigned long long>(res.flowlet_repaths));
+  }
+  if (res.path_rehomes > 0) {
+    std::printf(", subflow rehomes %llu", static_cast<unsigned long long>(res.path_rehomes));
+  }
+  std::printf("\n");
   if (res.aborted_flows > 0) {
     std::printf("aborted flows (all subflows dead): %llu\n",
                 static_cast<unsigned long long>(res.aborted_flows));

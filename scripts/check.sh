@@ -8,6 +8,7 @@
 # Every mode finishes with a chaos soak (tests/faults/chaos_soak_test.cpp)
 # at a CHAOS_RUNS volume sized to the preset's sanitizer overhead.
 #   scripts/check.sh all        # default, then asan, then tsan
+#   scripts/check.sh routing    # default build + routing-policy smoke matrix
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -30,15 +31,24 @@ run_chaos() {
   CHAOS_RUNS="$runs" "$build_dir/tests/test_chaos"
 }
 
+run_routing() {
+  echo "== routing smoke =="
+  cmake --preset default
+  cmake --build --preset default -j "$jobs" --target xmpsim
+  scripts/route_smoke.sh build
+}
+
 case "${1:-default}" in
   default) run_preset default; run_chaos build 210 ;;
   asan)    run_preset asan-ubsan; run_chaos build-asan 42 ;;
   tsan)    run_preset tsan; run_chaos build-tsan 14 ;;
+  routing) run_routing ;;
   all)
     run_preset default; run_chaos build 210
     run_preset asan-ubsan; run_chaos build-asan 42
     run_preset tsan; run_chaos build-tsan 14
+    run_routing
     ;;
-  *) echo "usage: $0 [default|asan|tsan|all]" >&2; exit 2 ;;
+  *) echo "usage: $0 [default|asan|tsan|all|routing]" >&2; exit 2 ;;
 esac
 echo "OK"

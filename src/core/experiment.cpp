@@ -8,6 +8,7 @@
 #include "obs/hooks.hpp"
 #include "obs/metrics.hpp"
 #include "obs/timeline.hpp"
+#include "route/route_manager.hpp"
 #include "sim/random.hpp"
 #include "sim/scheduler.hpp"
 #include "stats/probes.hpp"
@@ -87,6 +88,12 @@ ExperimentResults run_experiment(const ExperimentConfig& cfg) {
       }
     }
   }
+
+  // --- routing tables (the default Pinned config replays the legacy
+  // built-in hash bit for bit and schedules nothing while no link fails,
+  // so fault-free default runs stay byte-identical) ---
+  route::RouteManager routes{sched, netw, cfg.routing};
+  routes.install_all();
 
   sim::Rng rng{cfg.seed};
 
@@ -281,6 +288,25 @@ ExperimentResults run_experiment(const ExperimentConfig& cfg) {
   }
   res.aborted_flows = flows_a.aborted_large_flows();
   if (flows_b) res.aborted_flows += flows_b->aborted_large_flows();
+
+  // --- routing-layer accounting (end-of-run aggregation: the per-packet
+  // hot path never touches the metrics registry for these) ---
+  for (const net::Switch* sw : netw.switches()) {
+    res.switch_forwarded += sw->forwarded();
+    res.switch_unroutable += sw->unroutable();
+    if (sw->unroutable() > 0) {
+      res.switch_drops.push_back({sw->id(), sw->forwarded(), sw->unroutable()});
+    }
+  }
+  res.route_reroutes = routes.reroutes();
+  res.route_collisions = routes.collisions();
+  res.flowlet_repaths = routes.repaths();
+  res.path_rehomes = flows_a.subflow_rehomes();
+  if (flows_b) res.path_rehomes += flows_b->subflow_rehomes();
+  if (sim_metrics) {
+    sim_metrics->switch_forwarded.inc(res.switch_forwarded);
+    sim_metrics->switch_unroutable.inc(res.switch_unroutable);
+  }
   if (inv) {
     inv->stop();
     inv->check_now();  // final sweep at the horizon

@@ -9,6 +9,7 @@
 
 #include "faults/fault_plan.hpp"
 #include "obs/timeline.hpp"
+#include "route/policy.hpp"
 #include "sim/time.hpp"
 #include "stats/distribution.hpp"
 #include "stats/probes.hpp"
@@ -70,6 +71,13 @@ struct ExperimentConfig {
   std::uint64_t seed = 1;
   sim::Time rtt_sample_interval = sim::Time::milliseconds(5);
 
+  /// Upward forwarding tables of every switch (src/route/). The default
+  /// Pinned policy reproduces the legacy built-in hash bit for bit, and a
+  /// fault-free run schedules no routing events, so the default config is
+  /// byte-identical to builds without the routing layer. Under a fault
+  /// plan, tables converge around failed links after `routing.reroute_delay`.
+  route::RouteConfig routing;
+
   /// Fault injection (empty plan = fault-free, bit-identical to builds
   /// without the fault subsystem). The fault seed is independent of the
   /// workload seed so the same faults can be replayed across workloads.
@@ -121,6 +129,29 @@ struct ExperimentResults {
     net::LinkDropCounters drops;
   };
   std::vector<LinkDropRow> link_drops;
+
+  // --- routing-layer accounting (src/route/) ---
+  /// Packets forwarded / with no usable output port, summed over switches.
+  std::uint64_t switch_forwarded = 0;
+  std::uint64_t switch_unroutable = 0;
+  /// Converged table changes (link died or was repaired) applied by the
+  /// RouteManager; 0 in fault-free runs.
+  std::uint64_t route_reroutes = 0;
+  /// Ecmp/Wcmp flows hashed onto a busy port while an idle one existed.
+  std::uint64_t route_collisions = 0;
+  /// Flowlet idle-gap expiries that actually moved a flow.
+  std::uint64_t flowlet_repaths = 0;
+  /// MPTCP subflows re-homed onto a fresh path instead of being killed.
+  std::uint64_t path_rehomes = 0;
+  /// Per-switch forwarding rows for CSV export; only switches that saw
+  /// unroutable packets (the interesting ones — forwarded totals are in
+  /// `switch_forwarded`).
+  struct SwitchDropRow {
+    net::NodeId node = 0;
+    std::uint64_t forwarded = 0;
+    std::uint64_t unroutable = 0;
+  };
+  std::vector<SwitchDropRow> switch_drops;
 
   /// Multipath transfers that lost every subflow (requires a SchemeSpec
   /// with dead_after_rtos > 0 and a hostile enough FaultPlan).

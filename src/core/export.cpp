@@ -47,7 +47,7 @@ void export_flows_csv(const ExperimentResults& results, const std::string& path)
 void export_link_drops_csv(const ExperimentResults& results, const std::string& path) {
   trace::CsvWriter csv{path};
   csv.header({"link", "offered", "delivered", "drops_queue", "drops_admin_down", "drops_fault",
-              "drops_corrupt"});
+              "drops_corrupt", "drops_unroutable"});
   for (const auto& row : results.link_drops) {
     csv.field(static_cast<std::uint64_t>(row.link))
         .field(row.offered)
@@ -55,7 +55,21 @@ void export_link_drops_csv(const ExperimentResults& results, const std::string& 
         .field(row.drops.queue)
         .field(row.drops.admin_down)
         .field(row.drops.fault)
-        .field(row.drops.corrupt);
+        .field(row.drops.corrupt)
+        .field(std::uint64_t{0});
+    csv.end_row();
+  }
+  // Unroutable packets die inside a switch, before any link sees them, so
+  // they get their own rows rather than being misattributed to a link.
+  for (const auto& row : results.switch_drops) {
+    csv.field("sw" + std::to_string(row.node))
+        .field(row.forwarded + row.unroutable)
+        .field(row.forwarded)
+        .field(std::uint64_t{0})
+        .field(std::uint64_t{0})
+        .field(std::uint64_t{0})
+        .field(std::uint64_t{0})
+        .field(row.unroutable);
     csv.end_row();
   }
 }
@@ -75,6 +89,7 @@ void export_summary_json(const ExperimentConfig& cfg, const ExperimentResults& r
   json.kv("mark_threshold", static_cast<std::uint64_t>(cfg.mark_threshold));
   json.kv("duration_s", cfg.duration.sec());
   json.kv("seed", cfg.seed);
+  json.kv("routing", route::policy_name(cfg.routing.kind));
   json.end_object();
 
   json.key("summary");
@@ -105,6 +120,18 @@ void export_summary_json(const ExperimentConfig& cfg, const ExperimentResults& r
   json.kv("admin_down", results.drops.admin_down);
   json.kv("fault", results.drops.fault);
   json.kv("corrupt", results.drops.corrupt);
+  json.kv("unroutable", results.switch_unroutable);
+  json.end_object();
+
+  json.key("routing");
+  json.begin_object();
+  json.kv("policy", route::policy_name(cfg.routing.kind));
+  json.kv("forwarded", results.switch_forwarded);
+  json.kv("unroutable", results.switch_unroutable);
+  json.kv("reroutes", results.route_reroutes);
+  json.kv("collisions", results.route_collisions);
+  json.kv("flowlet_repaths", results.flowlet_repaths);
+  json.kv("path_rehomes", results.path_rehomes);
   json.end_object();
 
   json.key("goodput_mbps");

@@ -17,7 +17,9 @@ void export_summary_json(const ExperimentConfig& cfg, const ExperimentResults& r
                          const std::string& path);
 
 /// Write one row per link that saw traffic, with per-cause drop counters:
-/// link,offered,delivered,drops_queue,drops_admin_down,drops_fault,drops_corrupt
+/// link,offered,delivered,drops_queue,drops_admin_down,drops_fault,drops_corrupt,drops_unroutable
+/// followed by one row per switch that dropped packets for lack of a usable
+/// output port (link column = "sw<id>", offered = forwarded + unroutable).
 void export_link_drops_csv(const ExperimentResults& results, const std::string& path);
 
 }  // namespace xmp::core

@@ -5,6 +5,7 @@
 /// Layers, bottom-up:
 ///   - sim:       discrete-event scheduler, virtual time, deterministic RNG
 ///   - net:       packets, ECN-marking queues, links, switches, hosts
+///   - route:     per-switch forwarding tables + pluggable multipath policy
 ///   - topo:      Fat-Tree and pinned-path (testbed-style) topologies
 ///   - transport: TCP machinery + Reno / DCTCP / BOS congestion control
 ///   - mptcp:     MPTCP connections + XMP (BOS+TraSh) / LIA / OLIA coupling
@@ -21,7 +22,10 @@
 #include "faults/fault_plan.hpp"
 #include "faults/invariant_checker.hpp"
 #include "mptcp/connection.hpp"
+#include "mptcp/path_manager.hpp"
 #include "net/network.hpp"
+#include "route/policy.hpp"
+#include "route/route_manager.hpp"
 #include "sim/random.hpp"
 #include "sim/scheduler.hpp"
 #include "sim/time.hpp"

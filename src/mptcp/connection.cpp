@@ -119,7 +119,11 @@ class MptcpConnection::Context final : public CouplingContext {
 
 MptcpConnection::MptcpConnection(sim::Scheduler& sched, net::Host& src, net::Host& dst,
                                  const Config& cfg)
-    : sched_{sched}, src_{src}, dst_{dst}, cfg_{cfg} {
+    : sched_{sched},
+      src_{src},
+      dst_{dst},
+      cfg_{cfg},
+      path_mgr_{PathManager::Config{cfg.max_rehomes}} {
   assert(cfg_.n_subflows >= 1);
   ctx_ = std::make_unique<Context>(*this);
   source_ = std::make_unique<transport::FixedSource>(net::segments_for_bytes(cfg_.size_bytes),
@@ -226,11 +230,34 @@ void MptcpConnection::on_sender_timeout(const transport::TcpSender& s) {
   if (cfg_.dead_after_rtos > 0 && s.rto_backoff() >= cfg_.dead_after_rtos) {
     for (int i = 0; i < static_cast<int>(subflows_.size()); ++i) {
       if (subflows_[i].sender.get() == &s) {
-        kill_subflow(i);
+        // Re-homing beats killing while the budget lasts: the path died,
+        // not the endpoint, so move the subflow to a surviving path.
+        if (!try_rehome(i)) kill_subflow(i);
         break;
       }
     }
   }
+}
+
+bool MptcpConnection::try_rehome(int idx) {
+  Subflow& sf = subflows_.at(idx);
+  if (sf.dead || finished_ || aborted_) return false;
+  std::vector<std::uint16_t> in_use;
+  for (int i = 0; i < static_cast<int>(subflows_.size()); ++i) {
+    if (i != idx && !subflows_[i].dead) in_use.push_back(subflows_[i].sender->path_tag());
+  }
+  std::uint16_t tag = 0;
+  if (!path_mgr_.pick_new_tag(cfg_.id, idx, sf.sender->path_tag(), in_use, tag)) return false;
+  // Acks must follow the data onto the new path, or the reverse direction
+  // keeps blackholing.
+  sf.receiver->set_path_tag(tag);
+  sf.sender->rehome(tag);
+  if (auto* tr = obs::tracer(); tr != nullptr) [[unlikely]] {
+    tr->path_rehome(sched_.now(), cfg_.id, static_cast<std::uint8_t>(idx), tag,
+                    path_mgr_.rehomes_used());
+  }
+  if (auto* m = obs::metrics(); m != nullptr) [[unlikely]] m->path_rehomes.inc();
+  return true;
 }
 
 void MptcpConnection::kill_subflow(int idx) {

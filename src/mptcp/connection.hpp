@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "mptcp/coupling.hpp"
+#include "mptcp/path_manager.hpp"
 #include "net/network.hpp"
 #include "transport/cc/bos.hpp"
 #include "transport/receiver.hpp"
@@ -55,6 +56,10 @@ class MptcpConnection : private transport::SenderObserver {
     /// failover (the pre-fault-injection behavior, and the default so that
     /// fault-free runs are bit-identical to older builds).
     int dead_after_rtos = 0;
+    /// Before killing a detected-dead subflow, re-home it onto a fresh path
+    /// tag up to this many times across the connection (PathManager). 0
+    /// keeps the kill-only behavior (and byte-identical old runs).
+    int max_rehomes = 0;
   };
 
   MptcpConnection(sim::Scheduler& sched, net::Host& src, net::Host& dst, const Config& cfg);
@@ -95,6 +100,8 @@ class MptcpConnection : private transport::SenderObserver {
   [[nodiscard]] bool subflow_dead(int i) const { return subflows_.at(i).dead; }
   /// Subflows not (yet) declared dead, whether or not they have started.
   [[nodiscard]] int live_subflows() const;
+  /// Subflow re-homes performed so far (<= Config::max_rehomes).
+  [[nodiscard]] int rehomes() const { return path_mgr_.rehomes_used(); }
 
   [[nodiscard]] const CouplingContext& context() const;
 
@@ -113,6 +120,9 @@ class MptcpConnection : private transport::SenderObserver {
   void on_sender_timeout(const transport::TcpSender& s) override;
 
   void start_subflow(int idx);
+  /// Move a stalled subflow onto a fresh path; false when the re-home
+  /// budget is spent (caller falls back to kill_subflow).
+  bool try_rehome(int idx);
   void kill_subflow(int idx);
   void on_source_done();
   [[nodiscard]] std::unique_ptr<transport::CongestionControl> make_subflow_cc();
@@ -121,6 +131,7 @@ class MptcpConnection : private transport::SenderObserver {
   net::Host& src_;
   net::Host& dst_;
   Config cfg_;
+  PathManager path_mgr_;
   std::unique_ptr<Context> ctx_;
   std::unique_ptr<transport::FixedSource> source_;
   std::vector<Subflow> subflows_;

@@ -117,6 +117,7 @@ void Link::set_down(bool down) {
     Packet discard;
     while (queue_->dequeue(discard, sched_.now())) ++drops_.admin_down;  // flushed on closure
   }
+  for (StateListener* l : state_listeners_) l->on_link_state(*this, down_);
 }
 
 std::size_t Link::live_in_flight() const {

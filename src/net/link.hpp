@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
+#include <vector>
 
 #include "net/packet.hpp"
 #include "net/queue.hpp"
@@ -54,6 +55,15 @@ class Link final {
     [[nodiscard]] virtual FaultAction on_send(const Packet& p) = 0;
   };
 
+  /// Notified on every administrative state transition (after the link has
+  /// already changed state). route::RouteManager uses this to start its
+  /// convergence clock. Listeners must not destroy the link.
+  class StateListener {
+   public:
+    virtual ~StateListener() = default;
+    virtual void on_link_state(Link& link, bool down) = 0;
+  };
+
   Link(sim::Scheduler& sched, LinkId id, std::int64_t rate_bps, sim::Time prop_delay,
        std::unique_ptr<Queue> queue, PacketSink& sink);
 
@@ -72,6 +82,10 @@ class Link final {
   /// Install / remove (nullptr) the fault-injection hook. Not owned.
   void set_fault_hook(FaultHook* hook) { fault_hook_ = hook; }
   [[nodiscard]] FaultHook* fault_hook() const { return fault_hook_; }
+
+  /// Subscribe to administrative state transitions. Not owned; listeners
+  /// are expected to live as long as the link (setup-time wiring only).
+  void add_state_listener(StateListener* l) { state_listeners_.push_back(l); }
 
   [[nodiscard]] LinkId id() const { return id_; }
   [[nodiscard]] std::int64_t rate_bps() const { return rate_bps_; }
@@ -108,6 +122,7 @@ class Link final {
   std::unique_ptr<Queue> queue_;
   PacketSink& sink_;
   FaultHook* fault_hook_ = nullptr;
+  std::vector<StateListener*> state_listeners_;
 
   /// Packets serialized onto the wire, awaiting delivery at the sink.
   /// Propagation delay is constant, so deliveries are FIFO; each scheduled

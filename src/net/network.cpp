@@ -24,6 +24,7 @@ Link& Network::add_link(PacketSink& to, std::int64_t rate_bps, sim::Time prop_de
                                   prop_delay, make_queue(qcfg), to);
   Link& ref = *l;
   links_.push_back(std::move(l));
+  ingress_[&to].push_back(&ref);
   return ref;
 }
 
@@ -36,12 +37,10 @@ void Network::attach_host(Host& h, Switch& sw, std::int64_t rate_bps, sim::Time 
   sw.set_host_route(h.id(), port);
 }
 
-std::vector<Link*> Network::links_into(const PacketSink& sink) {
-  std::vector<Link*> out;
-  for (const auto& l : links_) {
-    if (&l->sink() == &sink) out.push_back(l.get());
-  }
-  return out;
+const std::vector<Link*>& Network::links_into(const PacketSink& sink) const {
+  static const std::vector<Link*> kNone;
+  const auto it = ingress_.find(&sink);
+  return it == ingress_.end() ? kNone : it->second;
 }
 
 Network::PortPair Network::connect_switches(Switch& a, Switch& b, std::int64_t rate_bps,

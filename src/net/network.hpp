@@ -1,6 +1,7 @@
 #pragma once
 
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "net/link.hpp"
@@ -53,8 +54,10 @@ class Network {
   [[nodiscard]] const std::vector<Switch*>& switches() const { return switches_; }
 
   /// Every link whose receiving end is `sink` (a node's ingress links).
-  /// Used by fault injection: failing a node downs all attached links.
-  [[nodiscard]] std::vector<Link*> links_into(const PacketSink& sink);
+  /// Used by fault injection (failing a node downs all attached links) and
+  /// routing-table construction. Served from an adjacency index maintained
+  /// by add_link, so a per-fault-event lookup is O(1) instead of O(links).
+  [[nodiscard]] const std::vector<Link*>& links_into(const PacketSink& sink) const;
 
  private:
   sim::Scheduler& sched_;
@@ -62,6 +65,7 @@ class Network {
   std::vector<std::unique_ptr<Link>> links_;
   std::vector<Host*> hosts_;
   std::vector<Switch*> switches_;
+  std::unordered_map<const PacketSink*, std::vector<Link*>> ingress_;
 };
 
 }  // namespace xmp::net

@@ -24,6 +24,12 @@ void Switch::receive(Packet p) {
   std::size_t out;
   if (it != host_route_.end()) {
     out = it->second;
+  } else if (selector_ != nullptr) {
+    out = selector_->select_up_port(p);
+    if (out == PortSelector::kNoPort) {
+      ++unroutable_;
+      return;
+    }
   } else if (!up_ports_.empty()) {
     if (up_policy_ == UpPortPolicy::TagModulo) {
       out = up_ports_[p.path_tag % up_ports_.size()];

@@ -33,6 +33,17 @@ class Switch final : public Node {
  public:
   explicit Switch(NodeId id) : Node{id} {}
 
+  /// Pluggable upward forwarding decision (src/route/). When installed, it
+  /// replaces the built-in up-port hash for packets without an exact host
+  /// route; returning kNoPort means "no usable port" and the packet is
+  /// counted as unroutable.
+  class PortSelector {
+   public:
+    static constexpr std::size_t kNoPort = static_cast<std::size_t>(-1);
+    virtual ~PortSelector() = default;
+    [[nodiscard]] virtual std::size_t select_up_port(const Packet& p) = 0;
+  };
+
   /// Register an output port; returns its index.
   std::size_t add_port(Link& out);
 
@@ -48,6 +59,11 @@ class Switch final : public Node {
     TagModulo,  ///< path_tag % n_up — explicit path pinning for testbeds
   };
   void set_up_port_policy(UpPortPolicy p) { up_policy_ = p; }
+  [[nodiscard]] UpPortPolicy up_port_policy() const { return up_policy_; }
+
+  /// Install / remove (nullptr) the forwarding-table selector. Not owned.
+  void set_port_selector(PortSelector* s) { selector_ = s; }
+  [[nodiscard]] PortSelector* port_selector() const { return selector_; }
 
   void receive(Packet p) override;
 
@@ -55,12 +71,14 @@ class Switch final : public Node {
   [[nodiscard]] std::uint64_t unroutable() const { return unroutable_; }
   [[nodiscard]] std::size_t port_count() const { return ports_.size(); }
   [[nodiscard]] Link& port(std::size_t i) { return *ports_.at(i); }
+  [[nodiscard]] const std::vector<std::size_t>& up_ports() const { return up_ports_; }
 
  private:
   std::vector<Link*> ports_;
   std::unordered_map<NodeId, std::size_t> host_route_;
   std::vector<std::size_t> up_ports_;
   UpPortPolicy up_policy_ = UpPortPolicy::Hashed;
+  PortSelector* selector_ = nullptr;
   std::uint64_t forwarded_ = 0;
   std::uint64_t unroutable_ = 0;
 };

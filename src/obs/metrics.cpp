@@ -143,6 +143,12 @@ SimMetrics::SimMetrics(MetricsRegistry& reg)
       reinjections{reg.counter("reinjections")},
       subflow_deaths{reg.counter("subflow_deaths")},
       fault_events{reg.counter("fault_events")},
+      switch_forwarded{reg.counter("switch_forwarded")},
+      switch_unroutable{reg.counter("switch_unroutable")},
+      route_reroutes{reg.counter("route_reroutes")},
+      route_collisions{reg.counter("route_collisions")},
+      flowlet_repaths{reg.counter("flowlet_repaths")},
+      path_rehomes{reg.counter("path_rehomes")},
       fct_us{reg.histogram("fct_us")},
       queue_depth{reg.histogram("queue_depth")},
       mark_runs{reg.histogram("mark_runs")} {}

@@ -115,6 +115,12 @@ struct SimMetrics {
   Counter& reinjections;       ///< MPTCP opportunistic reinjection batches
   Counter& subflow_deaths;
   Counter& fault_events;       ///< fault-plan events applied
+  Counter& switch_forwarded;   ///< packets forwarded by switches
+  Counter& switch_unroutable;  ///< packets with no usable output port
+  Counter& route_reroutes;     ///< converged routing-table liveness changes
+  Counter& route_collisions;   ///< hash collisions while an idle port existed
+  Counter& flowlet_repaths;    ///< flowlet idle-gap path changes
+  Counter& path_rehomes;       ///< MPTCP subflows re-homed onto a new path
 
   Histogram& fct_us;        ///< completion time of finished flows, µs
   Histogram& queue_depth;   ///< sampled instantaneous queue length, packets

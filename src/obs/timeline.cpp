@@ -47,6 +47,10 @@ const char* TimelineTracer::kind_name(EventKind k) {
       return "drop";
     case EventKind::SchedSample:
       return "sched_sample";
+    case EventKind::Reroute:
+      return "reroute";
+    case EventKind::PathRehome:
+      return "path_rehome";
   }
   return "?";
 }
@@ -77,6 +81,9 @@ std::uint32_t TimelineTracer::category_of(EventKind k) {
       return cat::kDrop;
     case EventKind::SchedSample:
       return cat::kSched;
+    case EventKind::Reroute:
+    case EventKind::PathRehome:
+      return cat::kRoute;
   }
   return 0;
 }
@@ -87,7 +94,7 @@ bool TimelineTracer::parse_filter(const std::string& filter, std::uint32_t& mask
       {"cwnd", cat::kCwnd},   {"srtt", cat::kSrtt}, {"gain", cat::kGain},
       {"ecn", cat::kEcn},     {"queue", cat::kQueue}, {"fault", cat::kFault},
       {"flow", cat::kFlow},   {"drop", cat::kDrop}, {"sched", cat::kSched},
-      {"all", cat::kAll},
+      {"route", cat::kRoute}, {"all", cat::kAll},
   };
   if (filter.empty()) {
     mask = cat::kAll;
@@ -164,6 +171,7 @@ void TimelineTracer::export_chrome_json(const std::string& path) const {
       case EventKind::SubflowDead:
       case EventKind::Reinjection:
       case EventKind::Rto:
+      case EventKind::PathRehome:
         flow_subflows[e.id].insert(e.subflow);
         break;
       case EventKind::FlowStart:
@@ -175,6 +183,7 @@ void TimelineTracer::export_chrome_json(const std::string& path) const {
       case EventKind::QueueSample:
       case EventKind::LinkState:
       case EventKind::Drop:
+      case EventKind::Reroute:
         links.insert(e.id);
         break;
       case EventKind::Fault:
@@ -361,6 +370,27 @@ void TimelineTracer::export_chrome_json(const std::string& path) const {
       case EventKind::FlowAbort:
         event_common(json, "flow abort", "i", flow_pid(e.id), e.t_ns);
         json.kv("s", "p");
+        break;
+
+      case EventKind::Reroute:
+        event_common(json, e.aux != 0 ? "reroute (port down)" : "reroute (port up)", "i",
+                     link_pid(e.id), e.t_ns);
+        json.kv("s", "p");
+        json.key("args");
+        json.begin_object();
+        json.kv("switch", e.a);
+        json.kv("alive_ports", e.b);
+        json.end_object();
+        break;
+      case EventKind::PathRehome:
+        event_common(json, "path rehome", "i", flow_pid(e.id), e.t_ns);
+        json.kv("tid", static_cast<std::int64_t>(e.subflow));
+        json.kv("s", "t");
+        json.key("args");
+        json.begin_object();
+        json.kv("new_tag", e.a);
+        json.kv("attempt", static_cast<std::int64_t>(e.aux));
+        json.end_object();
         break;
     }
     json.end_object();

@@ -27,6 +27,10 @@ enum class EventKind : std::uint8_t {
   Rto,          ///< retransmission timeout fired (a = backoff exponent)
   Drop,         ///< packet dropped at a link (id = link, aux = cause)
   SchedSample,  ///< scheduler sample (a = pending, b = dispatched)
+  Reroute,      ///< routing table converged on a port-liveness change
+                ///< (id = link, a = switch id, b = alive ports after, aux: 1 = down)
+  PathRehome,   ///< MPTCP subflow re-homed onto a fresh path
+                ///< (id = flow, a = new path tag, aux = rehome attempt)
 };
 
 /// Filter categories (--trace-filter). A category can cover several kinds.
@@ -40,6 +44,7 @@ inline constexpr std::uint32_t kFault = 1u << 5;  ///< faults + link state + dea
 inline constexpr std::uint32_t kFlow = 1u << 6;   ///< start/done/abort + reinjection
 inline constexpr std::uint32_t kDrop = 1u << 7;   ///< drops + RTOs
 inline constexpr std::uint32_t kSched = 1u << 8;
+inline constexpr std::uint32_t kRoute = 1u << 9;  ///< reroutes + path re-homes
 inline constexpr std::uint32_t kAll = 0xffffffffu;
 }  // namespace cat
 
@@ -143,6 +148,16 @@ class TimelineTracer {
   void sched_sample(sim::Time t, std::size_t pending, std::uint64_t dispatched) {
     record(EventKind::SchedSample, cat::kSched, t, 0, 0, 0, static_cast<double>(pending),
            static_cast<double>(dispatched));
+  }
+  void reroute(sim::Time t, std::uint32_t link, std::uint32_t switch_id, int alive_after,
+               bool down) {
+    record(EventKind::Reroute, cat::kRoute, t, link, 0, down ? 1 : 0,
+           static_cast<double>(switch_id), static_cast<double>(alive_after));
+  }
+  void path_rehome(sim::Time t, std::uint32_t flow, std::uint8_t sf, std::uint16_t new_tag,
+                   int attempt) {
+    record(EventKind::PathRehome, cat::kRoute, t, flow, sf,
+           static_cast<std::uint16_t>(attempt), static_cast<double>(new_tag), 0.0);
   }
 
   // --- track naming (setup path; last call per id wins) ---

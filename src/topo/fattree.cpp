@@ -23,6 +23,13 @@ FatTree::FatTree(net::Network& netw, const Config& cfg) : cfg_{cfg} {
   for (int g = 0; g < half; ++g) {
     for (int j = 0; j < half; ++j) core[g].push_back(&netw.add_switch());
   }
+  for (int p = 0; p < k; ++p) {
+    edge_switches_.insert(edge_switches_.end(), edge[p].begin(), edge[p].end());
+    agg_switches_.insert(agg_switches_.end(), agg[p].begin(), agg[p].end());
+  }
+  for (int g = 0; g < half; ++g) {
+    core_switches_.insert(core_switches_.end(), core[g].begin(), core[g].end());
+  }
 
   // --- hosts + rack layer ---
   for (int p = 0; p < k; ++p) {
@@ -91,6 +98,18 @@ const std::vector<net::Link*>& FatTree::links(Layer l) const {
       return core_links_;
   }
   return rack_links_;  // unreachable
+}
+
+const std::vector<net::Switch*>& FatTree::switches(Layer l) const {
+  switch (l) {
+    case Layer::Rack:
+      return edge_switches_;
+    case Layer::Aggregation:
+      return agg_switches_;
+    case Layer::Core:
+      return core_switches_;
+  }
+  return edge_switches_;  // unreachable
 }
 
 const char* FatTree::category_name(Category c) {

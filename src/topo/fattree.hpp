@@ -53,6 +53,11 @@ class FatTree final : public HostPool {
   /// Number of distinct equal-cost paths between inter-pod hosts: (k/2)^2.
   [[nodiscard]] int inter_pod_paths() const { return (cfg_.k / 2) * (cfg_.k / 2); }
 
+  /// All switches of a layer, in build order (edge/agg: pod-major; core:
+  /// group-major). A core switch uniquely identifies one inter-pod path,
+  /// which path-diversity tests and routing-table audits exploit.
+  [[nodiscard]] const std::vector<net::Switch*>& switches(Layer l) const;
+
   [[nodiscard]] static const char* category_name(Category c);
   [[nodiscard]] static const char* layer_name(Layer l);
 
@@ -63,6 +68,9 @@ class FatTree final : public HostPool {
   std::vector<net::Link*> rack_links_;
   std::vector<net::Link*> agg_links_;
   std::vector<net::Link*> core_links_;
+  std::vector<net::Switch*> edge_switches_;
+  std::vector<net::Switch*> agg_switches_;
+  std::vector<net::Switch*> core_switches_;
 };
 
 }  // namespace xmp::topo

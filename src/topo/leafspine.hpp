@@ -25,6 +25,11 @@ class LeafSpine final : public HostPool {
     sim::Time host_delay = sim::Time::microseconds(20);
     sim::Time fabric_delay = sim::Time::microseconds(30);
     net::QueueConfig queue;
+    /// Per-spine rate multiplier applied to that spine's fabric links
+    /// (missing entries mean 1.0). Models an asymmetric/degraded fabric —
+    /// the scenario WCMP weighting exists for. Empty = symmetric, the
+    /// pre-existing wiring byte for byte.
+    std::vector<double> spine_rate_factor;
   };
 
   LeafSpine(net::Network& netw, const Config& cfg);
@@ -41,11 +46,18 @@ class LeafSpine final : public HostPool {
   [[nodiscard]] const std::vector<net::Link*>& host_links() const { return host_links_; }
   [[nodiscard]] const std::vector<net::Link*>& fabric_links() const { return fabric_links_; }
 
+  /// Switches in build order. A spine uniquely identifies one cross-leaf
+  /// path (path-diversity tests key off which spine forwarded).
+  [[nodiscard]] const std::vector<net::Switch*>& leaves() const { return leaves_; }
+  [[nodiscard]] const std::vector<net::Switch*>& spines() const { return spines_; }
+
  private:
   Config cfg_;
   std::vector<net::Host*> hosts_;
   std::vector<net::Link*> host_links_;
   std::vector<net::Link*> fabric_links_;
+  std::vector<net::Switch*> leaves_;
+  std::vector<net::Switch*> spines_;
 };
 
 }  // namespace xmp::topo

@@ -91,7 +91,15 @@ std::string JsonWriter::escape(const std::string& s) {
         r += "\\t";
         break;
       default:
-        r += c;
+        // RFC 8259: all other control characters must be \u-escaped.
+        // Non-ASCII bytes pass through untouched (UTF-8 is valid JSON).
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", static_cast<unsigned>(c));
+          r += buf;
+        } else {
+          r += c;
+        }
     }
   }
   return r;

@@ -33,6 +33,11 @@ class TcpReceiver final : public net::Host::Endpoint {
 
   void handle(net::Packet p) override;
 
+  /// Re-tag outgoing acks (mptcp::PathManager re-homed the subflow; acks
+  /// must follow the data onto the surviving path).
+  void set_path_tag(std::uint16_t tag) { path_tag_ = tag; }
+  [[nodiscard]] std::uint16_t path_tag() const { return path_tag_; }
+
   /// Next expected in-order segment.
   [[nodiscard]] std::int64_t rcv_nxt() const { return rcv_nxt_; }
   /// Segments accepted in order (goodput seen by the application).

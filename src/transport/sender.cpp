@@ -67,6 +67,34 @@ void TcpSender::halt() {
   cancel_rto();
 }
 
+void TcpSender::rehome(std::uint16_t new_tag) {
+  if (halted_) return;
+  path_tag_ = new_tag;
+  // The old estimator described the dead path; keep nothing. A zero srtt
+  // also drops this subflow out of the coupling aggregates until the new
+  // path produces a genuine sample.
+  srtt_ = sim::Time::zero();
+  rttvar_ = sim::Time::zero();
+  rto_backoff_ = 0;
+  dupacks_ = 0;
+  in_recovery_ = false;
+  if (!started_) return;
+  if (inflight() > 0) {
+    // Everything outstanding was addressed to the dead path; go-back-N it
+    // onto the new one, head first.
+    transmit_segment(snd_una_, /*retransmit=*/true);
+    gbn_next_ = snd_una_ + 1;
+    gbn_high_ = snd_nxt_;
+    // The lazy RTO timer only ever pushes deadlines forward; resetting the
+    // backoff shortens the deadline, so force a genuine re-arm.
+    cancel_rto();
+    arm_rto();
+  } else {
+    cancel_rto();
+  }
+  pump();
+}
+
 void TcpSender::pump() {
   if (!started_ || halted_) return;
   // Phase 1: go-back-N retransmissions after a timeout. The "pipe" during

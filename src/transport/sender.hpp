@@ -67,6 +67,13 @@ class TcpSender final : public net::Host::Endpoint {
   void halt();
   [[nodiscard]] bool halted() const { return halted_; }
 
+  /// Move this subflow onto a new path (mptcp::PathManager): future packets
+  /// carry `new_tag`, the RTT estimator and backoff restart from scratch
+  /// (Karn-style — the new path's RTT is unknown), and the outstanding
+  /// window is retransmitted go-back-N on the new path immediately.
+  void rehome(std::uint16_t new_tag);
+  [[nodiscard]] std::uint16_t path_tag() const { return path_tag_; }
+
   // --- congestion-control facing state ---
   [[nodiscard]] double cwnd() const { return cwnd_; }
   void set_cwnd(double w);

@@ -84,6 +84,7 @@ void FlowManager::start_large_flow(net::Host& src, net::Host& dst, int src_idx, 
   mc.n_subflows = spec_.subflows;
   mc.bos.beta = spec_.beta;
   mc.dead_after_rtos = spec_.dead_after_rtos;
+  mc.max_rehomes = spec_.max_rehomes;
   switch (spec_.kind) {
     case SchemeSpec::Kind::Xmp:
       mc.coupling = mptcp::Coupling::Xmp;
@@ -157,6 +158,12 @@ void FlowManager::for_each_active_large_sender(
       if (!m.conn->subflow_dead(i)) fn(records_[m.record], m.conn->subflow_sender(i));
     }
   }
+}
+
+std::uint64_t FlowManager::subflow_rehomes() const {
+  std::uint64_t n = 0;
+  for (const auto& m : multis_) n += static_cast<std::uint64_t>(m.conn->rehomes());
+  return n;
 }
 
 void FlowManager::for_each_active_connection(

@@ -56,6 +56,8 @@ class FlowManager {
   [[nodiscard]] const SchemeSpec& scheme() const { return spec_; }
   [[nodiscard]] std::size_t active_large_flows() const { return active_large_; }
   [[nodiscard]] std::size_t aborted_large_flows() const { return aborted_large_; }
+  /// Subflow re-homes performed across all multipath connections.
+  [[nodiscard]] std::uint64_t subflow_rehomes() const;
 
   /// Visit every in-progress multipath connection (invariant probing).
   void for_each_active_connection(

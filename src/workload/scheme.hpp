@@ -17,6 +17,10 @@ struct SchemeSpec {
   /// (0 = never, the fault-free default — keeps fault-free runs
   /// bit-identical to builds without the fault subsystem).
   int dead_after_rtos = 0;
+  /// Re-home a detected-dead subflow onto a fresh path tag up to this many
+  /// times per connection before killing it (0 = kill immediately, the
+  /// pre-PathManager default).
+  int max_rehomes = 0;
 
   [[nodiscard]] bool multipath() const {
     return kind == Kind::Xmp || kind == Kind::Lia || kind == Kind::Olia;

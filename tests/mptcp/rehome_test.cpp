@@ -1,0 +1,165 @@
+#include "mptcp/path_manager.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "mptcp/connection.hpp"
+#include "topo/pinned.hpp"
+#include "util/fixtures.hpp"
+
+namespace xmp::mptcp {
+namespace {
+
+constexpr std::int64_t kGbps = 1'000'000'000;
+
+TEST(PathManager, BudgetGatesEveryPick) {
+  PathManager pm{PathManager::Config{2}};
+  EXPECT_TRUE(pm.can_rehome());
+  EXPECT_EQ(pm.rehomes_used(), 0);
+
+  std::uint16_t tag = 0;
+  EXPECT_TRUE(pm.pick_new_tag(1, 0, 0, {1}, tag));
+  EXPECT_EQ(pm.rehomes_used(), 1);
+  EXPECT_TRUE(pm.pick_new_tag(1, 0, tag, {1}, tag));
+  EXPECT_EQ(pm.rehomes_used(), 2);
+  EXPECT_FALSE(pm.can_rehome());
+  EXPECT_FALSE(pm.pick_new_tag(1, 0, tag, {1}, tag));
+  EXPECT_EQ(pm.rehomes_used(), 2);
+}
+
+TEST(PathManager, ZeroBudgetDisablesRehoming) {
+  PathManager pm{PathManager::Config{}};
+  std::uint16_t tag = 99;
+  EXPECT_FALSE(pm.can_rehome());
+  EXPECT_FALSE(pm.pick_new_tag(1, 0, 0, {}, tag));
+  EXPECT_EQ(tag, 99);  // untouched on failure
+}
+
+TEST(PathManager, AvoidsOldTagAndLiveSiblings) {
+  PathManager pm{PathManager::Config{64}};
+  const std::vector<std::uint16_t> in_use{1, 2, 3, 4, 5, 6, 7};
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    std::uint16_t tag = 0;
+    ASSERT_TRUE(pm.pick_new_tag(7, 1, 0, in_use, tag));
+    EXPECT_NE(tag, 0);
+    for (const std::uint16_t used : in_use) EXPECT_NE(tag, used);
+  }
+}
+
+TEST(PathManager, SameFailureHistoryPicksSameTags) {
+  PathManager a{PathManager::Config{8}};
+  PathManager b{PathManager::Config{8}};
+  for (int i = 0; i < 8; ++i) {
+    std::uint16_t ta = 0;
+    std::uint16_t tb = 0;
+    ASSERT_TRUE(a.pick_new_tag(3, 1, 5, {9}, ta));
+    ASSERT_TRUE(b.pick_new_tag(3, 1, 5, {9}, tb));
+    EXPECT_EQ(ta, tb) << "attempt " << i;
+  }
+}
+
+/// Pinned-path testbed as in connection_test.cpp: subflow k travels
+/// bottleneck `paths[k]` via path_tag = k (tag % n at the TagModulo
+/// switches), so a re-homed tag t lands on bottleneck t % n.
+struct Testbed {
+  sim::Scheduler sched;
+  net::Network net{sched};
+  std::unique_ptr<topo::PinnedPaths> paths;
+
+  explicit Testbed(int n_bottlenecks) {
+    topo::PinnedPaths::Config tc;
+    for (int i = 0; i < n_bottlenecks; ++i) {
+      tc.bottlenecks.push_back({kGbps, sim::Time::microseconds(50)});
+    }
+    tc.bottleneck_queue = testutil::ecn_queue(100, 10);
+    paths = std::make_unique<topo::PinnedPaths>(net, tc);
+  }
+};
+
+MptcpConnection::Config failover_config(std::int64_t bytes, int max_rehomes) {
+  MptcpConnection::Config mc;
+  mc.id = 1;
+  mc.size_bytes = bytes;
+  mc.n_subflows = 2;
+  mc.coupling = Coupling::Xmp;
+  mc.path_tag_fn = [](int i) { return static_cast<std::uint16_t>(i); };
+  mc.dead_after_rtos = 3;
+  mc.max_rehomes = max_rehomes;
+  // Shrink the RTO floor so the consecutive-RTO death verdict lands while
+  // the transfer is still in flight (default 200 ms RTOmin would let the
+  // survivor finish first on this microsecond-RTT testbed).
+  mc.tune_sender = [](transport::SenderConfig& c) {
+    c.rto_min = sim::Time::milliseconds(5);
+    c.initial_rto = sim::Time::milliseconds(5);
+  };
+  return mc;
+}
+
+TEST(MptcpRehome, DeadSubflowMovesToSurvivingPathAndTransferCompletes) {
+  Testbed tb{2};
+  auto pair = tb.paths->add_pair({0, 1});
+  MptcpConnection conn{tb.sched, *pair.src, *pair.dst, failover_config(50'000'000, 8)};
+  conn.start();
+  tb.sched.schedule_at(sim::Time::milliseconds(50),
+                       [&] { tb.paths->bottleneck(0).set_down(true); });
+  tb.sched.run_until(sim::Time::seconds(20.0));
+
+  ASSERT_TRUE(conn.complete());
+  EXPECT_GE(conn.rehomes(), 1);
+  // The subflow was re-homed, not killed: both stayed in the connection.
+  EXPECT_EQ(conn.live_subflows(), 2);
+  EXPECT_FALSE(conn.subflow_dead(0));
+  // It ended up on a tag that maps to the surviving bottleneck (odd -> 1)
+  // and moved real data over it after the failure.
+  EXPECT_EQ(conn.subflow_sender(0).path_tag() % 2, 1);
+  EXPECT_EQ(conn.subflow_receiver(0).path_tag(), conn.subflow_sender(0).path_tag());
+}
+
+TEST(MptcpRehome, ZeroBudgetFallsBackToKillingTheSubflow) {
+  Testbed tb{2};
+  auto pair = tb.paths->add_pair({0, 1});
+  MptcpConnection conn{tb.sched, *pair.src, *pair.dst, failover_config(50'000'000, 0)};
+  conn.start();
+  tb.sched.schedule_at(sim::Time::milliseconds(50),
+                       [&] { tb.paths->bottleneck(0).set_down(true); });
+  tb.sched.run_until(sim::Time::seconds(20.0));
+
+  ASSERT_TRUE(conn.complete());  // reinjection onto the sibling still works
+  EXPECT_EQ(conn.rehomes(), 0);
+  EXPECT_TRUE(conn.subflow_dead(0));
+  EXPECT_EQ(conn.live_subflows(), 1);
+}
+
+TEST(MptcpRehome, ExhaustedBudgetEventuallyKills) {
+  // Both bottlenecks down: every re-home lands on another dead path, the
+  // budget drains, and the connection aborts instead of probing forever.
+  Testbed tb{2};
+  auto pair = tb.paths->add_pair({0, 1});
+  MptcpConnection conn{tb.sched, *pair.src, *pair.dst, failover_config(50'000'000, 2)};
+  conn.start();
+  tb.sched.schedule_at(sim::Time::milliseconds(50), [&] {
+    tb.paths->bottleneck(0).set_down(true);
+    tb.paths->bottleneck(1).set_down(true);
+  });
+  tb.sched.run_until(sim::Time::seconds(60.0));
+
+  EXPECT_FALSE(conn.complete());
+  EXPECT_TRUE(conn.aborted());
+  EXPECT_EQ(conn.rehomes(), 2);
+  EXPECT_EQ(conn.live_subflows(), 0);
+}
+
+TEST(MptcpRehome, FaultFreeRunsNeverRehome) {
+  Testbed tb{2};
+  auto pair = tb.paths->add_pair({0, 1});
+  MptcpConnection conn{tb.sched, *pair.src, *pair.dst, failover_config(10'000'000, 8)};
+  conn.start();
+  tb.sched.run_until(sim::Time::seconds(5.0));
+  ASSERT_TRUE(conn.complete());
+  EXPECT_EQ(conn.rehomes(), 0);
+}
+
+}  // namespace
+}  // namespace xmp::mptcp

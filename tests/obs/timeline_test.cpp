@@ -77,7 +77,7 @@ TEST(TimelineTracer, CategoryFilterSuppressesRecording) {
 }
 
 TEST(TimelineTracer, EveryKindHasNameAndExactlyOneCategory) {
-  for (int k = 0; k <= static_cast<int>(EventKind::SchedSample); ++k) {
+  for (int k = 0; k <= static_cast<int>(EventKind::PathRehome); ++k) {
     const auto kind = static_cast<EventKind>(k);
     EXPECT_STRNE(TimelineTracer::kind_name(kind), "?");
     const std::uint32_t c = TimelineTracer::category_of(kind);

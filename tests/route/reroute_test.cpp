@@ -1,0 +1,265 @@
+#include "route/route_manager.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "obs/hooks.hpp"
+#include "obs/timeline.hpp"
+#include "topo/fattree.hpp"
+#include "topo/leafspine.hpp"
+#include "transport/flow.hpp"
+#include "util/fixtures.hpp"
+
+namespace xmp::route {
+namespace {
+
+sim::Time ms(std::int64_t n) { return sim::Time::milliseconds(n); }
+
+/// 2 leaves x 2 spines, one host per leaf: the smallest fabric with a
+/// survivable uplink failure. fabric_links()[2 * (l * n_spines + s)] is the
+/// leaf l -> spine s direction.
+struct SmallFabric {
+  sim::Scheduler sched;
+  net::Network net{sched};
+  std::unique_ptr<topo::LeafSpine> topo;
+
+  SmallFabric() {
+    topo::LeafSpine::Config cfg;
+    cfg.n_leaves = 2;
+    cfg.n_spines = 2;
+    cfg.hosts_per_leaf = 1;
+    cfg.queue = testutil::ecn_queue(100, 10);
+    topo = std::make_unique<topo::LeafSpine>(net, cfg);
+  }
+
+  net::Link& leaf0_to_spine(int s) { return *topo->fabric_links()[2 * s]; }
+};
+
+RouteConfig pinned_cfg(sim::Time delay = ms(1)) {
+  RouteConfig cfg;
+  cfg.reroute_delay = delay;
+  return cfg;
+}
+
+TEST(RouteManager, ConvergenceWaitsForTheConfiguredDelay) {
+  SmallFabric f;
+  RouteManager routes{f.sched, f.net, pinned_cfg()};
+  routes.install_all();
+  SwitchTable* table = routes.table_for(*f.topo->leaves()[0]);
+  ASSERT_NE(table, nullptr);
+  EXPECT_EQ(table->alive_members(), 2);
+
+  f.sched.schedule_at(ms(10), [&] { f.leaf0_to_spine(0).set_down(true); });
+  f.sched.run_until(ms(10) + sim::Time::microseconds(500));
+  // Inside the convergence window the stale entry is still in place.
+  EXPECT_EQ(table->alive_members(), 2);
+  EXPECT_EQ(routes.reroutes(), 0u);
+
+  f.sched.run_until(ms(12));
+  EXPECT_EQ(table->alive_members(), 1);
+  EXPECT_EQ(routes.reroutes(), 1u);
+}
+
+TEST(RouteManager, RepairConvergesBack) {
+  SmallFabric f;
+  RouteManager routes{f.sched, f.net, pinned_cfg()};
+  routes.install_all();
+  SwitchTable* table = routes.table_for(*f.topo->leaves()[0]);
+
+  f.sched.schedule_at(ms(10), [&] { f.leaf0_to_spine(0).set_down(true); });
+  f.sched.schedule_at(ms(50), [&] { f.leaf0_to_spine(0).set_down(false); });
+  f.sched.run_until(ms(40));
+  EXPECT_EQ(table->alive_members(), 1);
+  f.sched.run_until(ms(60));
+  EXPECT_EQ(table->alive_members(), 2);
+  EXPECT_EQ(routes.reroutes(), 2u);
+}
+
+TEST(RouteManager, FlapWithinTheWindowNeverConverges) {
+  // Down and repaired before either timer fires: both timers apply the
+  // link's (restored) state, so the table never changes and no reroute is
+  // reported — the delay doubles as flap damping.
+  SmallFabric f;
+  RouteManager routes{f.sched, f.net, pinned_cfg()};
+  routes.install_all();
+  SwitchTable* table = routes.table_for(*f.topo->leaves()[0]);
+
+  f.sched.schedule_at(ms(10), [&] { f.leaf0_to_spine(0).set_down(true); });
+  f.sched.schedule_at(ms(10) + sim::Time::microseconds(200),
+                      [&] { f.leaf0_to_spine(0).set_down(false); });
+  f.sched.run_until(ms(20));
+  EXPECT_EQ(table->alive_members(), 2);
+  EXPECT_EQ(routes.reroutes(), 0u);
+}
+
+TEST(RouteManager, LinkDeadBeforeInstallConvergesImmediately) {
+  SmallFabric f;
+  f.leaf0_to_spine(0).set_down(true);
+  RouteManager routes{f.sched, f.net, pinned_cfg()};
+  routes.install_all();
+  SwitchTable* table = routes.table_for(*f.topo->leaves()[0]);
+  // No stale entry ever existed, so no convergence delay applies.
+  EXPECT_EQ(table->alive_members(), 1);
+}
+
+TEST(RouteManager, TrafficRecoversOntoSurvivorWithZeroUnroutable) {
+  SmallFabric f;
+  RouteManager routes{f.sched, f.net, pinned_cfg()};
+  routes.install_all();
+
+  transport::Flow::Config fc;
+  fc.id = 1;
+  fc.size_bytes = 10'000'000;
+  fc.cc.kind = transport::CcConfig::Kind::Dctcp;
+  transport::Flow flow{f.sched, f.topo->host(0), f.topo->host(1), fc};
+  flow.start();
+
+  // Kill whichever uplink the flow actually uses once traffic is flowing.
+  f.sched.schedule_at(ms(20), [&] {
+    net::Link& used = f.leaf0_to_spine(0).bytes_sent() > 0 ? f.leaf0_to_spine(0)
+                                                           : f.leaf0_to_spine(1);
+    EXPECT_GT(used.bytes_sent(), 0u);
+    used.set_down(true);
+  });
+  f.sched.run_until(sim::Time::seconds(5.0));
+
+  EXPECT_TRUE(flow.complete());
+  EXPECT_GE(routes.reroutes(), 1u);
+  // One spine survived throughout, so nothing was ever unroutable.
+  EXPECT_EQ(f.topo->leaves()[0]->unroutable(), 0u);
+  EXPECT_EQ(f.topo->leaves()[1]->unroutable(), 0u);
+}
+
+TEST(RouteManager, NoSurvivingUplinkCountsUnroutableDrops) {
+  SmallFabric f;
+  RouteManager routes{f.sched, f.net, pinned_cfg()};
+  routes.install_all();
+  f.leaf0_to_spine(0).set_down(true);
+  f.leaf0_to_spine(1).set_down(true);
+  f.sched.schedule_at(ms(5), [&] {
+    net::Packet p;
+    p.src = f.topo->host(0).id();
+    p.dst = f.topo->host(1).id();
+    p.flow = 1;
+    p.type = net::PacketType::Data;
+    f.topo->host(0).send(p);
+  });
+  f.sched.run_until(ms(10));
+  EXPECT_EQ(routes.table_for(*f.topo->leaves()[0])->alive_members(), 0);
+  EXPECT_EQ(f.topo->leaves()[0]->unroutable(), 1u);
+  EXPECT_EQ(f.topo->leaves()[0]->forwarded(), 0u);
+}
+
+TEST(RouteManager, ReroutesAppearInTheTimelineTrace) {
+  obs::TimelineTracer tracer;
+  obs::ObservationScope scope{&tracer, nullptr};
+
+  SmallFabric f;
+  RouteManager routes{f.sched, f.net, pinned_cfg()};
+  routes.install_all();
+  const net::LinkId failed = f.leaf0_to_spine(0).id();
+  f.sched.schedule_at(ms(10), [&] { f.leaf0_to_spine(0).set_down(true); });
+  f.sched.run_until(ms(20));
+
+  int reroute_events = 0;
+  tracer.for_each([&](const obs::TimelineEvent& e) {
+    if (e.kind != obs::EventKind::Reroute) return;
+    ++reroute_events;
+    EXPECT_EQ(e.id, static_cast<std::uint32_t>(failed));
+    EXPECT_EQ(e.aux, 1);  // down, not repair
+    EXPECT_EQ(e.a, static_cast<double>(f.topo->leaves()[0]->id()));
+    EXPECT_EQ(e.b, 1.0);  // one surviving member
+  });
+  EXPECT_EQ(reroute_events, 1);
+}
+
+// Every policy must survive (and without faults, not disturb) both
+// topology families — the CI smoke matrix in miniature.
+class PolicyMatrix : public ::testing::TestWithParam<PolicyKind> {};
+
+TEST_P(PolicyMatrix, FlowsCompleteOnFatTreeWithAndWithoutFault) {
+  for (const bool fault : {false, true}) {
+    sim::Scheduler sched;
+    net::Network net{sched};
+    topo::FatTree::Config tc;
+    tc.k = 4;
+    tc.queue = testutil::ecn_queue(100, 10);
+    topo::FatTree tree{net, tc};
+
+    RouteConfig rc;
+    rc.kind = GetParam();
+    RouteManager routes{sched, net, rc};
+    routes.install_all();
+
+    std::vector<std::unique_ptr<transport::Flow>> flows;
+    for (int i = 0; i < 4; ++i) {
+      transport::Flow::Config fc;
+      fc.id = static_cast<net::FlowId>(i + 1);
+      fc.size_bytes = 2'000'000;
+      fc.cc.kind = transport::CcConfig::Kind::Dctcp;
+      // Inter-pod pairs, so the failed core link can be on-path.
+      flows.push_back(std::make_unique<transport::Flow>(sched, tree.host(i),
+                                                        tree.host(15 - i), fc));
+      flows.back()->start();
+    }
+    if (fault) {
+      sched.schedule_at(ms(5), [&] {
+        // Fail an upward (into-core) link: the aggregation table under it
+        // must converge onto its surviving core uplink.
+        for (net::Link* l : tree.links(topo::FatTree::Layer::Core)) {
+          for (const net::Switch* c : tree.switches(topo::FatTree::Layer::Core)) {
+            if (&l->sink() == static_cast<const net::PacketSink*>(c)) {
+              l->set_down(true);
+              return;
+            }
+          }
+        }
+      });
+    }
+    sched.run_until(sim::Time::seconds(5.0));
+    for (const auto& fl : flows) {
+      EXPECT_TRUE(fl->complete()) << policy_name(GetParam()) << (fault ? " +fault" : "")
+                                  << " flow " << fl->id();
+    }
+  }
+}
+
+TEST_P(PolicyMatrix, FlowsCompleteOnLeafSpineWithAndWithoutFault) {
+  for (const bool fault : {false, true}) {
+    SmallFabric f;
+    RouteConfig rc;
+    rc.kind = GetParam();
+    RouteManager routes{f.sched, f.net, rc};
+    routes.install_all();
+
+    std::vector<std::unique_ptr<transport::Flow>> flows;
+    for (int i = 0; i < 2; ++i) {
+      transport::Flow::Config fc;
+      fc.id = static_cast<net::FlowId>(i + 1);
+      fc.size_bytes = 2'000'000;
+      fc.cc.kind = transport::CcConfig::Kind::Dctcp;
+      flows.push_back(std::make_unique<transport::Flow>(f.sched, f.topo->host(i),
+                                                        f.topo->host(1 - i), fc));
+      flows.back()->start();
+    }
+    if (fault) {
+      f.sched.schedule_at(ms(5), [&] { f.leaf0_to_spine(0).set_down(true); });
+    }
+    f.sched.run_until(sim::Time::seconds(5.0));
+    for (const auto& fl : flows) {
+      EXPECT_TRUE(fl->complete()) << policy_name(GetParam()) << (fault ? " +fault" : "")
+                                  << " flow " << fl->id();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, PolicyMatrix,
+                         ::testing::Values(PolicyKind::Pinned, PolicyKind::Ecmp,
+                                           PolicyKind::Wcmp, PolicyKind::Flowlet),
+                         [](const auto& info) { return std::string{policy_name(info.param)}; });
+
+}  // namespace
+}  // namespace xmp::route

@@ -133,6 +133,43 @@ TEST(JsonWriter, EscapesStrings) {
   EXPECT_NE(s.find("\\\\"), std::string::npos);
 }
 
+TEST(JsonWriter, ControlCharactersRoundTripViaUnicodeEscapes) {
+  // RFC 8259: control characters below 0x20 without a short escape must be
+  // \u-escaped; the mini parser decodes them back to the original bytes.
+  const std::string raw{"bell\x07 esc\x1b unit\x1f tab\t"};
+  TempFile f{"ctrl.json"};
+  {
+    JsonWriter json{f.path};
+    json.begin_object();
+    json.kv("text", raw);
+    json.end_object();
+  }
+  const std::string s = slurp(f.path);
+  EXPECT_NE(s.find("\\u0007"), std::string::npos);
+  EXPECT_NE(s.find("\\u001b"), std::string::npos);
+  EXPECT_NE(s.find("\\u001f"), std::string::npos);
+  EXPECT_NE(s.find("\\t"), std::string::npos);
+  const auto root = test::MiniJsonParser::parse(s);
+  EXPECT_EQ(root.at("text").str, raw);
+}
+
+TEST(MiniJson, DecodesUnicodeEscapesIncludingSurrogatePairs) {
+  const auto root = test::MiniJsonParser::parse(
+      R"({"s": "\u0041\u00e9\u20ac\ud83d\ude00", "slash": "\/"})");
+  // A (1 byte), é (2 bytes), € (3 bytes), 😀 (4 bytes via surrogate pair).
+  EXPECT_EQ(root.at("s").str, "A\xc3\xa9\xe2\x82\xac\xf0\x9f\x98\x80");
+  EXPECT_EQ(root.at("slash").str, "/");
+}
+
+TEST(MiniJson, RejectsMalformedUnicodeEscapes) {
+  EXPECT_THROW(test::MiniJsonParser::parse(R"({"s": "\u12"})"), std::runtime_error);
+  EXPECT_THROW(test::MiniJsonParser::parse(R"({"s": "\uZZZZ"})"), std::runtime_error);
+  // Unpaired / wrongly-paired surrogates are invalid JSON text.
+  EXPECT_THROW(test::MiniJsonParser::parse(R"({"s": "\ud83d"})"), std::runtime_error);
+  EXPECT_THROW(test::MiniJsonParser::parse(R"({"s": "\ud83dA"})"), std::runtime_error);
+  EXPECT_THROW(test::MiniJsonParser::parse(R"({"s": "\ude00"})"), std::runtime_error);
+}
+
 TEST(JsonWriter, EmptyContainers) {
   TempFile f{"empty.json"};
   {

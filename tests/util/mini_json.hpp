@@ -2,10 +2,12 @@
 
 // Minimal recursive-descent JSON parser for tests — just enough to parse
 // back what trace::JsonWriter and TimelineTracer::export_chrome_json emit
-// (objects, arrays, strings, numbers, booleans, null) and assert on the
-// structure. Not a production parser: no \uXXXX escapes, no streaming.
+// (objects, arrays, strings, numbers, booleans, null — \uXXXX escapes
+// including surrogate pairs decode to UTF-8) and assert on the structure.
+// Not a production parser: no streaming.
 
 #include <cctype>
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <stdexcept>
@@ -179,11 +181,67 @@ class MiniJsonParser {
           case 'r': out += '\r'; break;
           case 'b': out += '\b'; break;
           case 'f': out += '\f'; break;
+          case 'u': append_utf8(out, parse_codepoint()); break;
           default: fail("unsupported escape");
         }
       } else {
         out += c;
       }
+    }
+  }
+
+  /// Four hex digits after a consumed "\u".
+  std::uint32_t parse_hex4() {
+    if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_++];
+      v <<= 4;
+      if (c >= '0' && c <= '9') {
+        v |= static_cast<std::uint32_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        v |= static_cast<std::uint32_t>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        v |= static_cast<std::uint32_t>(c - 'A' + 10);
+      } else {
+        fail("bad hex digit in \\u escape");
+      }
+    }
+    return v;
+  }
+
+  /// Scalar code point of one \uXXXX escape, combining a high surrogate
+  /// with its mandatory low-surrogate partner (RFC 8259 §7).
+  std::uint32_t parse_codepoint() {
+    const std::uint32_t u = parse_hex4();
+    if (u >= 0xD800 && u <= 0xDBFF) {
+      if (pos_ + 2 > text_.size() || text_[pos_] != '\\' || text_[pos_ + 1] != 'u') {
+        fail("high surrogate without \\u low surrogate");
+      }
+      pos_ += 2;
+      const std::uint32_t lo = parse_hex4();
+      if (lo < 0xDC00 || lo > 0xDFFF) fail("invalid low surrogate");
+      return 0x10000 + ((u - 0xD800) << 10) + (lo - 0xDC00);
+    }
+    if (u >= 0xDC00 && u <= 0xDFFF) fail("unpaired low surrogate");
+    return u;
+  }
+
+  static void append_utf8(std::string& out, std::uint32_t cp) {
+    if (cp < 0x80) {
+      out += static_cast<char>(cp);
+    } else if (cp < 0x800) {
+      out += static_cast<char>(0xC0 | (cp >> 6));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else if (cp < 0x10000) {
+      out += static_cast<char>(0xE0 | (cp >> 12));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else {
+      out += static_cast<char>(0xF0 | (cp >> 18));
+      out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
     }
   }
 
