@@ -39,18 +39,47 @@
 //       --trace/--trace-csv/--metrics apply per job: "trace.json" becomes
 //       "trace.0.json", "trace.1.json", ... (one file per sweep point).
 //
+//       With --out=DIR the sweep becomes a resilient *campaign*: every job
+//       runs crash-isolated in its own process, a watchdog kills attempts
+//       that exceed --job-timeout=SECONDS, and failures are retried up to
+//       --retries=N times with exponential backoff (--backoff=SECONDS base,
+//       deterministic per-job jitter). DIR accumulates job_<i>.json result
+//       files, a sweep_manifest.json updated atomically after every state
+//       change, the aggregate sweep_summary.json, and the harness's own
+//       metrics/trace (harness_metrics.json, harness_trace.json).
+//
+//       xmpsim sweep --resume=DIR picks a campaign back up: jobs already
+//       succeeded are not re-run, and the final summary is byte-identical
+//       to an uninterrupted campaign. The original command line is stored
+//       in the manifest, so --resume=DIR alone suffices; flags given next
+//       to --resume override the stored ones (e.g. a new --job-timeout).
+//       Jobs that exhaust their retries are listed under "incomplete" in
+//       the summary; the campaign still salvages every survivor and exits
+//       0 unless --strict is given (then exit 1).
+//
 //   xmpsim topo   [--k=8]
 //       Print Fat-Tree dimensions and delay budget for a given k.
+//
+// All flag values are validated up front: a malformed or out-of-range value
+// prints one line naming the flag, the offending value and the accepted
+// range, then exits 2 (never an assert).
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <string>
 #include <vector>
 
 #include "core/export.hpp"
+#include "core/job_manifest.hpp"
+#include "core/orchestrator.hpp"
 #include "core/xmp.hpp"
 #include "model/fluid.hpp"
+#include "obs/metrics.hpp"
+#include "obs/timeline.hpp"
+#include "trace/writers.hpp"
 
 namespace {
 
@@ -61,6 +90,12 @@ class Args {
   Args(int argc, char** argv) {
     for (int i = 2; i < argc; ++i) args_.emplace_back(argv[i]);
   }
+  /// Build from a raw flag vector (used to replay a manifest's stored argv).
+  explicit Args(std::vector<std::string> raw) : args_{std::move(raw)} {}
+
+  /// The flags verbatim, in order. `get` returns the *first* match, so
+  /// prepending new flags to a stored vector overrides the stored values.
+  [[nodiscard]] const std::vector<std::string>& raw() const { return args_; }
 
   [[nodiscard]] std::string get(const std::string& key, const std::string& fallback) const {
     const std::string prefix = "--" + key + "=";
@@ -79,31 +114,76 @@ class Args {
     return false;
   }
 
-  [[nodiscard]] double get_d(const std::string& key, double fallback) const {
-    const auto v = get(key, "");
-    return v.empty() ? fallback : std::atof(v.c_str());
-  }
-
-  [[nodiscard]] std::int64_t get_i(const std::string& key, std::int64_t fallback) const {
-    const auto v = get(key, "");
-    return v.empty() ? fallback : std::atoll(v.c_str());
-  }
-
-  [[nodiscard]] std::vector<double> get_list(const std::string& key) const {
-    std::vector<double> out;
-    std::string v = get(key, "");
-    while (!v.empty()) {
-      const auto comma = v.find(',');
-      out.push_back(std::atof(v.substr(0, comma).c_str()));
-      if (comma == std::string::npos) break;
-      v = v.substr(comma + 1);
-    }
-    return out;
-  }
-
  private:
   std::vector<std::string> args_;
 };
+
+/// Strict numeric parsing: the whole token must be consumed, no overflow.
+bool parse_number(const std::string& v, double& out) {
+  if (v.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  out = std::strtod(v.c_str(), &end);
+  return errno == 0 && end != nullptr && *end == '\0';
+}
+
+bool parse_integer(const std::string& v, std::int64_t& out) {
+  if (v.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  out = std::strtoll(v.c_str(), &end, 10);
+  return errno == 0 && end != nullptr && *end == '\0';
+}
+
+/// Validated flag accessors. A missing flag yields `fallback` untouched; a
+/// present-but-malformed or out-of-range value prints one line naming the
+/// flag, the value and the accepted range, and clears `ok` (callers exit 2).
+double flag_d(const Args& args, const char* key, double fallback, double lo, double hi, bool& ok) {
+  const std::string v = args.get(key, "");
+  if (v.empty()) return fallback;
+  double out = 0;
+  if (!parse_number(v, out) || out < lo || out > hi) {
+    std::fprintf(stderr, "xmpsim: bad --%s=%s (expected a number in [%g, %g])\n", key, v.c_str(),
+                 lo, hi);
+    ok = false;
+    return fallback;
+  }
+  return out;
+}
+
+std::int64_t flag_i(const Args& args, const char* key, std::int64_t fallback, std::int64_t lo,
+                    std::int64_t hi, bool& ok) {
+  const std::string v = args.get(key, "");
+  if (v.empty()) return fallback;
+  std::int64_t out = 0;
+  if (!parse_integer(v, out) || out < lo || out > hi) {
+    std::fprintf(stderr, "xmpsim: bad --%s=%s (expected an integer in [%lld, %lld])\n", key,
+                 v.c_str(), static_cast<long long>(lo), static_cast<long long>(hi));
+    ok = false;
+    return fallback;
+  }
+  return out;
+}
+
+std::vector<double> flag_list(const Args& args, const char* key, bool& ok) {
+  std::vector<double> out;
+  std::string v = args.get(key, "");
+  while (!v.empty()) {
+    const auto comma = v.find(',');
+    const std::string token = v.substr(0, comma);
+    double num = 0;
+    if (!parse_number(token, num)) {
+      std::fprintf(stderr, "xmpsim: bad --%s entry '%s' (expected a number)\n", key,
+                   token.c_str());
+      ok = false;
+      return {};
+    }
+    out.push_back(num);
+    if (comma == std::string::npos) break;
+    v = v.substr(comma + 1);
+  }
+  return out;
+}
 
 bool parse_scheme(const std::string& name, int subflows, int beta, workload::SchemeSpec& out) {
   if (name == "tcp") {
@@ -136,59 +216,72 @@ core::ExperimentConfig config_from(const Args& args, bool& ok) {
   } else if (pattern == "incast") {
     cfg.pattern = core::Pattern::Incast;
   } else {
-    std::fprintf(stderr, "unknown --pattern=%s\n", pattern.c_str());
+    std::fprintf(stderr, "xmpsim: bad --pattern=%s (expected permutation|random|incast)\n",
+                 pattern.c_str());
     ok = false;
   }
 
-  const int subflows = static_cast<int>(args.get_i("subflows", 2));
-  const int beta = static_cast<int>(args.get_i("beta", 4));
-  if (!parse_scheme(args.get("scheme", "xmp"), subflows, beta, cfg.scheme)) {
-    std::fprintf(stderr, "unknown --scheme\n");
+  const int subflows = static_cast<int>(flag_i(args, "subflows", 2, 1, 64, ok));
+  const int beta = static_cast<int>(flag_i(args, "beta", 4, 1, 1000, ok));
+  const std::string scheme = args.get("scheme", "xmp");
+  if (!parse_scheme(scheme, subflows, beta, cfg.scheme)) {
+    std::fprintf(stderr, "xmpsim: bad --scheme=%s (expected tcp|dctcp|xmp|lia|olia)\n",
+                 scheme.c_str());
     ok = false;
   }
   const std::string coexist = args.get("coexist", "");
   if (!coexist.empty()) {
     workload::SchemeSpec b;
     if (!parse_scheme(coexist, subflows, beta, b)) {
-      std::fprintf(stderr, "unknown --coexist\n");
+      std::fprintf(stderr, "xmpsim: bad --coexist=%s (expected tcp|dctcp|xmp|lia|olia)\n",
+                   coexist.c_str());
       ok = false;
     }
     cfg.scheme_b = b;
   }
 
-  cfg.fat_tree_k = static_cast<int>(args.get_i("k", 8));
-  cfg.duration = sim::Time::seconds(args.get_d("duration", 0.5));
-  cfg.queue_capacity = static_cast<std::size_t>(args.get_i("queue", 100));
-  cfg.mark_threshold = static_cast<std::size_t>(args.get_i("mark-k", 10));
-  cfg.permutation_rounds = static_cast<int>(args.get_i("rounds", 2));
-  cfg.seed = static_cast<std::uint64_t>(args.get_i("seed", 1));
+  cfg.fat_tree_k = static_cast<int>(flag_i(args, "k", 8, 2, 64, ok));
+  if (cfg.fat_tree_k % 2 != 0) {
+    std::fprintf(stderr, "xmpsim: bad --k=%d (expected an even integer in [2, 64])\n",
+                 cfg.fat_tree_k);
+    ok = false;
+    cfg.fat_tree_k = 8;
+  }
+  cfg.duration = sim::Time::seconds(flag_d(args, "duration", 0.5, 1e-6, 3600, ok));
+  cfg.queue_capacity = static_cast<std::size_t>(flag_i(args, "queue", 100, 1, 1000000, ok));
+  cfg.mark_threshold = static_cast<std::size_t>(flag_i(args, "mark-k", 10, 1, 1000000, ok));
+  cfg.permutation_rounds = static_cast<int>(flag_i(args, "rounds", 2, 1, 1000, ok));
+  cfg.seed = static_cast<std::uint64_t>(flag_i(args, "seed", 1, 0, INT64_MAX, ok));
 
   const std::string faults = args.get("faults", "");
   if (!faults.empty()) {
     std::string error;
     if (!faults::FaultPlan::parse(faults, cfg.fault_plan, &error)) {
-      std::fprintf(stderr, "bad --faults: %s\n", error.c_str());
+      std::fprintf(stderr, "xmpsim: bad --faults: %s\n", error.c_str());
       ok = false;
     }
   }
-  cfg.fault_seed = static_cast<std::uint64_t>(args.get_i("fault-seed", 1));
+  cfg.fault_seed = static_cast<std::uint64_t>(flag_i(args, "fault-seed", 1, 0, INT64_MAX, ok));
   // Subflow failover is on by default only under fault injection, so that
   // fault-free runs stay bit-identical to builds without the fault layer.
   cfg.scheme.dead_after_rtos =
-      static_cast<int>(args.get_i("dead-after", cfg.fault_plan.empty() ? 0 : 3));
+      static_cast<int>(flag_i(args, "dead-after", cfg.fault_plan.empty() ? 0 : 3, 0, 1000, ok));
   if (cfg.scheme_b) cfg.scheme_b->dead_after_rtos = cfg.scheme.dead_after_rtos;
-  cfg.scheme.max_rehomes = static_cast<int>(args.get_i("rehome", 0));
+  cfg.scheme.max_rehomes = static_cast<int>(flag_i(args, "rehome", 0, 0, 1000, ok));
   if (cfg.scheme_b) cfg.scheme_b->max_rehomes = cfg.scheme.max_rehomes;
 
-  if (!route::parse_policy(args.get("routing", "pinned"), cfg.routing.kind)) {
-    std::fprintf(stderr, "unknown --routing (pinned|ecmp|wcmp|flowlet)\n");
+  const std::string routing = args.get("routing", "pinned");
+  if (!route::parse_policy(routing, cfg.routing.kind)) {
+    std::fprintf(stderr, "xmpsim: bad --routing=%s (expected pinned|ecmp|wcmp|flowlet)\n",
+                 routing.c_str());
     ok = false;
   }
-  cfg.routing.flowlet_gap = sim::Time::microseconds(args.get_i("flowlet-gap", 100));
-  cfg.routing.reroute_delay = sim::Time::seconds(args.get_d("reroute-delay", 0.001));
+  cfg.routing.flowlet_gap =
+      sim::Time::microseconds(flag_i(args, "flowlet-gap", 100, 1, 1000000000, ok));
+  cfg.routing.reroute_delay = sim::Time::seconds(flag_d(args, "reroute-delay", 0.001, 0, 60, ok));
   cfg.check_invariants = args.has("invariants") || !args.get("invariants", "").empty();
 
-  const auto scale = args.get_i("scale", 1);
+  const auto scale = flag_i(args, "scale", 1, 1, 1000000, ok);
   cfg.perm_min_bytes *= scale;
   cfg.perm_max_bytes *= scale;
   cfg.rand_min_bytes *= scale;
@@ -197,11 +290,12 @@ core::ExperimentConfig config_from(const Args& args, bool& ok) {
   cfg.obs.trace_json = args.get("trace", "");
   cfg.obs.trace_csv = args.get("trace-csv", "");
   cfg.obs.metrics_json = args.get("metrics", "");
-  cfg.obs.capacity = static_cast<std::size_t>(args.get_i("trace-capacity", 1 << 18));
+  cfg.obs.capacity =
+      static_cast<std::size_t>(flag_i(args, "trace-capacity", 1 << 18, 1, 1 << 26, ok));
   const std::string filter = args.get("trace-filter", "");
   std::string filter_error;
   if (!obs::TimelineTracer::parse_filter(filter, cfg.obs.categories, &filter_error)) {
-    std::fprintf(stderr, "bad --trace-filter: %s\n", filter_error.c_str());
+    std::fprintf(stderr, "xmpsim: bad --trace-filter: %s\n", filter_error.c_str());
     ok = false;
   }
   return cfg;
@@ -312,10 +406,12 @@ int cmd_run(const Args& args) {
 }
 
 int cmd_fluid(const Args& args) {
-  const double cap_gbps = args.get_d("capacity-gbps", 1.0);
-  const int n = static_cast<int>(args.get_i("flows", 3));
-  const double beta = args.get_d("beta", 4.0);
-  const double rtt_us = args.get_d("rtt-us", 300.0);
+  bool ok = true;
+  const double cap_gbps = flag_d(args, "capacity-gbps", 1.0, 0.001, 10000, ok);
+  const int n = static_cast<int>(flag_i(args, "flows", 3, 1, 1000000, ok));
+  const double beta = flag_d(args, "beta", 4.0, 1, 1000, ok);
+  const double rtt_us = flag_d(args, "rtt-us", 300.0, 0.1, 10000000, ok);
+  if (!ok) return 2;
   const double cap_sps = cap_gbps * 1e9 / (net::kDataPacketBytes * 8.0);
 
   std::vector<model::FluidFlow> flows(static_cast<std::size_t>(n),
@@ -332,61 +428,239 @@ int cmd_fluid(const Args& args) {
   return 0;
 }
 
-int cmd_sweep(const Args& args) {
-  const std::string param = args.get("param", "mark-k");
-  const auto values = args.get_list("values");
-  if (values.empty()) {
-    std::fprintf(stderr, "need --values=a,b,c\n");
-    return 2;
-  }
-  // Build the whole grid up front, then fan it across worker threads; the
-  // runner returns results in submission order, bit-identical to a serial
-  // sweep.
+/// One parsed sweep request: the grid plus the metadata the manifest and
+/// summary need.
+struct SweepSpec {
+  std::string param;
+  std::vector<double> values;
   std::vector<core::ExperimentConfig> grid;
-  for (double v : values) {
-    bool ok = true;
+};
+
+bool build_sweep_grid(const Args& args, SweepSpec& spec) {
+  bool ok = true;
+  spec.param = args.get("param", "mark-k");
+  spec.values = flag_list(args, "values", ok);
+  if (!ok) return false;
+  if (spec.values.empty()) {
+    std::fprintf(stderr, "xmpsim: sweep needs --values=a,b,c\n");
+    return false;
+  }
+  // Build the whole grid up front, then fan it across workers; results come
+  // back in submission order, bit-identical to a serial sweep.
+  for (double v : spec.values) {
     auto cfg = config_from(args, ok);
-    if (!ok) return 2;
-    if (param == "mark-k") {
-      cfg.mark_threshold = static_cast<std::size_t>(v);
-    } else if (param == "beta") {
-      cfg.scheme.beta = static_cast<int>(v);
-    } else if (param == "subflows") {
-      cfg.scheme.subflows = static_cast<int>(v);
-    } else if (param == "queue") {
-      cfg.queue_capacity = static_cast<std::size_t>(v);
-    } else if (param == "seed") {
-      cfg.seed = static_cast<std::uint64_t>(v);
+    if (!ok) return false;
+    if (spec.param == "mark-k" || spec.param == "queue" || spec.param == "subflows" ||
+        spec.param == "beta") {
+      if (v < 1) {
+        std::fprintf(stderr, "xmpsim: bad --values entry %g for --param=%s (expected >= 1)\n", v,
+                     spec.param.c_str());
+        return false;
+      }
+    } else if (spec.param == "seed") {
+      if (v < 0) {
+        std::fprintf(stderr, "xmpsim: bad --values entry %g for --param=seed (expected >= 0)\n",
+                     v);
+        return false;
+      }
     } else {
-      std::fprintf(stderr, "unknown --param=%s\n", param.c_str());
-      return 2;
+      std::fprintf(stderr,
+                   "xmpsim: bad --param=%s (expected mark-k|beta|subflows|queue|seed)\n",
+                   spec.param.c_str());
+      return false;
+    }
+    if (spec.param == "mark-k") {
+      cfg.mark_threshold = static_cast<std::size_t>(v);
+    } else if (spec.param == "beta") {
+      cfg.scheme.beta = static_cast<int>(v);
+    } else if (spec.param == "subflows") {
+      cfg.scheme.subflows = static_cast<int>(v);
+    } else if (spec.param == "queue") {
+      cfg.queue_capacity = static_cast<std::size_t>(v);
+    } else {
+      cfg.seed = static_cast<std::uint64_t>(v);
     }
     // Each job writes its own trace/metrics files ("trace.json" ->
     // "trace.<i>.json"); concurrent jobs must never share an output path.
-    const std::size_t job = grid.size();
+    const std::size_t job = spec.grid.size();
     cfg.obs.trace_json = per_job_path(cfg.obs.trace_json, job);
     cfg.obs.trace_csv = per_job_path(cfg.obs.trace_csv, job);
     cfg.obs.metrics_json = per_job_path(cfg.obs.metrics_json, job);
-    grid.push_back(cfg);
+    spec.grid.push_back(cfg);
+  }
+  return true;
+}
+
+/// Aggregate campaign summary. Built ONLY from the salvaged per-job result
+/// files (via CampaignOutcome), never from in-memory run state, and carries
+/// no timing/attempt data — so an interrupted-and-resumed campaign writes a
+/// summary byte-identical to an uninterrupted one.
+void write_sweep_summary(const std::string& dir, const SweepSpec& spec,
+                         const core::CampaignOutcome& outcome) {
+  trace::JsonWriter json{dir + "/sweep_summary.json"};
+  json.begin_object();
+  json.kv("param", spec.param);
+  json.kv("jobs", static_cast<std::uint64_t>(spec.grid.size()));
+  json.kv("completed",
+          static_cast<std::uint64_t>(spec.grid.size() - outcome.incomplete.size()));
+  json.key("incomplete");
+  json.begin_array();
+  for (const std::size_t i : outcome.incomplete) json.value(static_cast<std::uint64_t>(i));
+  json.end_array();
+  json.key("table");
+  json.begin_array();
+  for (std::size_t i = 0; i < outcome.results.size(); ++i) {
+    if (!outcome.results[i]) continue;
+    const core::JobResult& r = *outcome.results[i];
+    json.begin_object();
+    json.kv("index", static_cast<std::uint64_t>(i));
+    json.kv("value", spec.values[i]);
+    json.kv("goodput_mbps", r.goodput_mbps);
+    json.kv("events", r.events);
+    json.kv("flows", r.flows);
+    json.kv("completed_flows", r.completed_flows);
+    json.kv("aborted_flows", r.aborted_flows);
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+}
+
+/// Crash-isolated, resumable sweep (`--out=DIR` / `--resume=DIR`).
+int cmd_sweep_campaign(const Args& cli, const std::string& dir, bool resume) {
+  core::JobManifest manifest;
+  Args args = cli;
+  if (resume) {
+    std::string err;
+    if (!core::JobManifest::load(dir, manifest, &err)) {
+      std::fprintf(stderr, "xmpsim: cannot resume --resume=%s: %s\n", dir.c_str(), err.c_str());
+      return 2;
+    }
+    // Effective flags = today's command line first (overrides win, because
+    // Args::get returns the first match), then the campaign's stored argv.
+    std::vector<std::string> merged = cli.raw();
+    merged.insert(merged.end(), manifest.argv.begin(), manifest.argv.end());
+    args = Args{merged};
   }
 
-  const std::int64_t jobs = args.get_i("jobs", 0);  // <= 0 means "hardware cores"
-  const core::ParallelRunner runner{jobs > 0 ? static_cast<unsigned>(jobs) : 0U};
-  std::fprintf(stderr, "sweeping %zu points on %u workers\n", grid.size(), runner.workers());
-  const auto results = runner.run(grid, [](std::size_t, std::size_t done, std::size_t total) {
-    std::fprintf(stderr, "  [%zu/%zu] done\n", done, total);
-  });
+  SweepSpec spec;
+  if (!build_sweep_grid(args, spec)) return 2;
 
-  std::printf("%-12s %16s %16s\n", param.c_str(), "goodput (Mbps)", "events");
+  if (resume) {
+    // The grid rebuilt from the merged flags must be the campaign's grid;
+    // anything else would silently mix results from different experiments.
+    bool same = manifest.param == spec.param && manifest.jobs.size() == spec.grid.size();
+    for (std::size_t i = 0; same && i < manifest.jobs.size(); ++i) {
+      same = manifest.jobs[i].value == spec.values[i];
+    }
+    if (!same) {
+      std::fprintf(stderr,
+                   "xmpsim: --resume=%s grid mismatch (manifest sweeps %s over %zu values); "
+                   "re-run without conflicting --param/--values\n",
+                   dir.c_str(), manifest.param.c_str(), manifest.jobs.size());
+      return 2;
+    }
+  } else {
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    if (ec) {
+      std::fprintf(stderr, "xmpsim: cannot create --out=%s: %s\n", dir.c_str(),
+                   ec.message().c_str());
+      return 2;
+    }
+    manifest.param = spec.param;
+    manifest.argv = cli.raw();
+    manifest.jobs.resize(spec.grid.size());
+    for (std::size_t i = 0; i < spec.grid.size(); ++i) {
+      manifest.jobs[i].index = i;
+      manifest.jobs[i].value = spec.values[i];
+    }
+  }
+
+  bool ok = true;
+  core::OrchestratorConfig ocfg;
+  ocfg.campaign_dir = dir;
+  ocfg.workers = static_cast<unsigned>(flag_i(args, "jobs", 0, 1, 4096, ok));
+  ocfg.job_timeout_s = flag_d(args, "job-timeout", 0.0, 0, 86400, ok);
+  ocfg.retries = static_cast<int>(flag_i(args, "retries", 2, 0, 100, ok));
+  ocfg.backoff_base_s = flag_d(args, "backoff", 0.5, 0, 3600, ok);
+  ocfg.strict = args.has("strict");
+  if (!ok) return 2;
+
+  obs::MetricsRegistry metrics;
+  obs::TimelineTracer::Config tcfg;
+  tcfg.capacity = 1u << 16;
+  tcfg.categories = obs::cat::kHarness;
+  obs::TimelineTracer tracer{tcfg};
+  ocfg.metrics = &metrics;
+  ocfg.tracer = &tracer;
+
+  core::Orchestrator orch{ocfg};
+  std::fprintf(stderr, "%s campaign in %s: %zu points, timeout=%gs, retries=%d\n",
+               resume ? "resuming" : "starting", dir.c_str(), spec.grid.size(),
+               ocfg.job_timeout_s, ocfg.retries);
+  const core::CampaignOutcome outcome = orch.run(spec.grid, manifest);
+
+  std::printf("%-12s %16s %16s\n", spec.param.c_str(), "goodput (Mbps)", "events");
+  for (std::size_t i = 0; i < outcome.results.size(); ++i) {
+    if (outcome.results[i]) {
+      std::printf("%-12g %16.1f %16llu\n", spec.values[i], outcome.results[i]->goodput_mbps,
+                  static_cast<unsigned long long>(outcome.results[i]->events));
+    } else {
+      std::printf("%-12g %16s %16s  (%s after %d attempts)\n", spec.values[i], "-", "-",
+                  outcome.jobs[i].last_error.c_str(), outcome.jobs[i].attempts);
+    }
+  }
+
+  write_sweep_summary(dir, spec, outcome);
+  metrics.dump_to_file(dir + "/harness_metrics.json");
+  tracer.export_chrome_json(dir + "/harness_trace.json");
+
+  if (!outcome.complete()) {
+    std::fprintf(stderr, "xmpsim: %zu of %zu jobs incomplete after retries%s\n",
+                 outcome.incomplete.size(), spec.grid.size(),
+                 ocfg.strict ? "" : " (salvaged the rest; --strict to fail)");
+    if (ocfg.strict) return 1;
+  }
+  return 0;
+}
+
+int cmd_sweep(const Args& args) {
+  const std::string resume_dir = args.get("resume", "");
+  if (!resume_dir.empty()) return cmd_sweep_campaign(args, resume_dir, true);
+  const std::string out_dir = args.get("out", "");
+  if (!out_dir.empty()) return cmd_sweep_campaign(args, out_dir, false);
+
+  // Fast path: trusted in-process sweep on a thread pool.
+  SweepSpec spec;
+  if (!build_sweep_grid(args, spec)) return 2;
+
+  bool ok = true;
+  const std::int64_t jobs = flag_i(args, "jobs", 0, 1, 4096, ok);  // absent = hardware cores
+  if (!ok) return 2;
+  const core::ParallelRunner runner{jobs > 0 ? static_cast<unsigned>(jobs) : 0U};
+  std::fprintf(stderr, "sweeping %zu points on %u workers\n", spec.grid.size(), runner.workers());
+  const auto results =
+      runner.run(spec.grid, [](std::size_t, std::size_t done, std::size_t total) {
+        std::fprintf(stderr, "  [%zu/%zu] done\n", done, total);
+      });
+
+  std::printf("%-12s %16s %16s\n", spec.param.c_str(), "goodput (Mbps)", "events");
   for (std::size_t i = 0; i < results.size(); ++i) {
-    std::printf("%-12g %16.1f %16llu\n", values[i], results[i].avg_goodput_mbps(),
+    std::printf("%-12g %16.1f %16llu\n", spec.values[i], results[i].avg_goodput_mbps(),
                 static_cast<unsigned long long>(results[i].events_dispatched));
   }
   return 0;
 }
 
 int cmd_topo(const Args& args) {
-  const int k = static_cast<int>(args.get_i("k", 8));
+  bool ok = true;
+  const int k = static_cast<int>(flag_i(args, "k", 8, 2, 64, ok));
+  if (ok && k % 2 != 0) {
+    std::fprintf(stderr, "xmpsim: bad --k=%d (expected an even integer in [2, 64])\n", k);
+    ok = false;
+  }
+  if (!ok) return 2;
   sim::Scheduler sched;
   net::Network netw{sched};
   topo::FatTree::Config tc;

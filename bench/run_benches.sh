@@ -15,15 +15,25 @@ build_dir="${1:-build}"
 out="${2:-BENCH_micro.json}"
 bin="$build_dir/bench/bench_micro_sim"
 
+# Stage into "<out>.tmp" and only rename once the results are validated, so
+# an interrupted or failed run can never clobber the committed baseline
+# with a partial JSON. The trap also reaps a still-running benchmark child.
+staged="$out.tmp"
+cleanup() {
+  pkill -P $$ 2>/dev/null || true
+  rm -f "$staged"
+}
+trap cleanup EXIT INT TERM
+
 if [[ ! -x "$bin" ]]; then
   echo "error: $bin not found; build first: cmake -B $build_dir -S . && cmake --build $build_dir -j" >&2
   exit 1
 fi
 
 echo "running $bin -> $out" >&2
-if ! "$bin" --benchmark_format=json --benchmark_out="$out" --benchmark_out_format=json \
+if ! "$bin" --benchmark_format=json --benchmark_out="$staged" --benchmark_out_format=json \
             --benchmark_repetitions="${BENCH_REPS:-1}" > /dev/null; then
-  echo "error: $bin exited non-zero; $out is not trustworthy" >&2
+  echo "error: $bin exited non-zero; refusing to publish $out" >&2
   exit 1
 fi
 
@@ -34,7 +44,7 @@ fi
 # changes only where performance actually changed. Fails (and fails the
 # script) if the output parsed to zero benchmarks — an empty results file
 # must never pass for a successful run.
-python3 - "$out" <<'EOF'
+python3 - "$staged" <<'EOF'
 import json, sys
 path = sys.argv[1]
 with open(path) as f:
@@ -56,3 +66,6 @@ for b in benches:
     if rate:
         print(f"  {b['name']:<45} {rate / 1e6:10.2f} M/s")
 EOF
+
+# Validation passed: publish atomically.
+mv "$staged" "$out"

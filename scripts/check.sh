@@ -9,10 +9,20 @@
 # at a CHAOS_RUNS volume sized to the preset's sanitizer overhead.
 #   scripts/check.sh all        # default, then asan, then tsan
 #   scripts/check.sh routing    # default build + routing-policy smoke matrix
+#   scripts/check.sh sweep      # default build + sweep kill/resume smoke
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 jobs="${JOBS:-$(nproc)}"
+
+# An interrupted check must not leave build/test children (ctest workers,
+# chaos soak, smoke-script campaigns) running in the background.
+on_interrupt() {
+  trap - INT TERM
+  pkill -P $$ 2>/dev/null || true
+  exit 130
+}
+trap on_interrupt INT TERM
 
 run_preset() {
   local preset="$1"
@@ -38,17 +48,26 @@ run_routing() {
   scripts/route_smoke.sh build
 }
 
+run_sweep() {
+  echo "== sweep resume smoke =="
+  cmake --preset default
+  cmake --build --preset default -j "$jobs" --target xmpsim
+  scripts/sweep_resume_smoke.sh build
+}
+
 case "${1:-default}" in
   default) run_preset default; run_chaos build 210 ;;
   asan)    run_preset asan-ubsan; run_chaos build-asan 42 ;;
   tsan)    run_preset tsan; run_chaos build-tsan 14 ;;
   routing) run_routing ;;
+  sweep)   run_sweep ;;
   all)
     run_preset default; run_chaos build 210
     run_preset asan-ubsan; run_chaos build-asan 42
     run_preset tsan; run_chaos build-tsan 14
     run_routing
+    run_sweep
     ;;
-  *) echo "usage: $0 [default|asan|tsan|all|routing]" >&2; exit 2 ;;
+  *) echo "usage: $0 [default|asan|tsan|all|routing|sweep]" >&2; exit 2 ;;
 esac
 echo "OK"

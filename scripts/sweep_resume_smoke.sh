@@ -1,0 +1,92 @@
+#!/usr/bin/env bash
+# Resilient-sweep resume smoke: SIGKILL a campaign partway through, resume
+# it, and require the final aggregate summary to be byte-identical to an
+# uninterrupted campaign of the same grid. This is the end-to-end check of
+# the orchestrator's crash-isolation + atomic-manifest + resume contract
+# (unit-level coverage lives in tests/core/orchestrator_test.cpp).
+#
+#   scripts/sweep_resume_smoke.sh [build-dir]   # default: build
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+build="${1:-build}"
+bin="$build/apps/xmpsim"
+[ -x "$bin" ] || { echo "missing $bin (build first)" >&2; exit 2; }
+
+tmp="$(mktemp -d)"
+campaign=""
+cleanup() {
+  # Reap the campaign's whole process group if the kill below never ran
+  # (setsid makes the campaign its own group leader).
+  if [ -n "$campaign" ]; then kill -9 -- "-$campaign" 2>/dev/null || true; fi
+  rm -rf "$tmp"
+}
+trap cleanup EXIT INT TERM
+
+# One worker + several jobs so the SIGKILL reliably lands mid-campaign;
+# every job is deterministic, so the reference and the resumed campaign
+# compute identical per-job results.
+total=8
+sweep_args=(sweep --param=seed --values=1,2,3,4,5,6,7,8 --pattern=random
+            --scheme=xmp --k=4 --duration=0.05 --jobs=1 --retries=1)
+
+succeeded_jobs() {
+  grep -c '"state": "succeeded"' "$tmp/int/sweep_manifest.json" 2>/dev/null || true
+}
+
+echo "== sweep resume smoke: uninterrupted reference =="
+"$bin" "${sweep_args[@]}" "--out=$tmp/ref" > "$tmp/ref.txt"
+
+echo "== sweep resume smoke: interrupted campaign =="
+# Run the same campaign in its own process group and SIGKILL the whole
+# group partway through: neither the orchestrator nor its children get a
+# chance to clean up — exactly the crash the manifest must survive.
+setsid "$bin" "${sweep_args[@]}" "--out=$tmp/int" > "$tmp/int.txt" 2>&1 &
+campaign=$!
+# Wait until some — but not all — jobs have succeeded, then pull the plug.
+for _ in $(seq 1 400); do
+  n="$(succeeded_jobs)"
+  [ "${n:-0}" -ge 2 ] && break
+  sleep 0.05
+done
+kill -9 -- "-$campaign" 2>/dev/null || true
+wait "$campaign" 2>/dev/null || true
+campaign=""
+
+done_jobs="$(succeeded_jobs)"
+done_jobs="${done_jobs:-0}"
+echo "   killed campaign with $done_jobs/$total jobs succeeded"
+if [ "$done_jobs" -lt 1 ] || [ "$done_jobs" -ge "$total" ]; then
+  echo "FAIL: kill did not land mid-campaign ($done_jobs/$total done) — tune the job count" >&2
+  exit 1
+fi
+if [ -f "$tmp/int/sweep_summary.json" ]; then
+  echo "FAIL: interrupted campaign must not have published a summary" >&2
+  exit 1
+fi
+
+echo "== sweep resume smoke: resume =="
+"$bin" sweep "--resume=$tmp/int" > "$tmp/resume.txt"
+
+# The acceptance bar: byte-identical aggregate summary.
+if ! cmp "$tmp/ref/sweep_summary.json" "$tmp/int/sweep_summary.json"; then
+  echo "FAIL: resumed summary differs from uninterrupted summary" >&2
+  diff "$tmp/ref/sweep_summary.json" "$tmp/int/sweep_summary.json" >&2 || true
+  exit 1
+fi
+# And the resume must have skipped the already-succeeded jobs.
+python3 - "$tmp/int/harness_metrics.json" "$done_jobs" "$total" <<'EOF'
+import json, sys
+m = json.load(open(sys.argv[1]))["counters"]
+done_at_kill, total = int(sys.argv[2]), int(sys.argv[3])
+assert m["harness.jobs_resumed"] >= done_at_kill, f"resume re-ran settled jobs: {m}"
+assert m["harness.spawns"] <= total - done_at_kill + m["harness.retries"], \
+    f"too many spawns for a resume: {m}"
+EOF
+
+# A second resume of the now-complete campaign is a pure no-op and the
+# summary stays stable.
+"$bin" sweep "--resume=$tmp/int" > /dev/null
+cmp "$tmp/ref/sweep_summary.json" "$tmp/int/sweep_summary.json"
+
+echo "sweep resume smoke OK"

@@ -14,12 +14,10 @@ ParallelRunner::ParallelRunner(unsigned workers) : workers_{workers} {
   }
 }
 
-std::vector<ExperimentResults> ParallelRunner::run(const std::vector<ExperimentConfig>& configs,
-                                                   const Progress& progress) const {
-  std::vector<ExperimentResults> results(configs.size());
-  if (configs.empty()) return results;
+void ParallelRunner::for_each(std::size_t total, const Task& task,
+                              const Progress& progress) const {
+  if (total == 0) return;
 
-  const std::size_t total = configs.size();
   std::atomic<std::size_t> next{0};
   std::atomic<std::size_t> done{0};
   std::mutex mu;  // guards progress invocation and first_error
@@ -30,7 +28,7 @@ std::vector<ExperimentResults> ParallelRunner::run(const std::vector<ExperimentC
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= total) return;
       try {
-        results[i] = run_experiment(configs[i]);
+        task(i);
       } catch (...) {
         const std::lock_guard<std::mutex> lock{mu};
         if (!first_error) first_error = std::current_exception();
@@ -44,9 +42,10 @@ std::vector<ExperimentResults> ParallelRunner::run(const std::vector<ExperimentC
     }
   };
 
-  const unsigned n_threads = workers_ < total ? workers_ : static_cast<unsigned>(total);
+  const unsigned n_threads =
+      workers_ < total ? workers_ : static_cast<unsigned>(total);
   if (n_threads <= 1) {
-    worker();  // serial fallback: no thread-spawn overhead for one config
+    worker();  // serial fallback: no thread-spawn overhead for one task
   } else {
     std::vector<std::thread> pool;
     pool.reserve(n_threads);
@@ -54,6 +53,13 @@ std::vector<ExperimentResults> ParallelRunner::run(const std::vector<ExperimentC
     for (auto& th : pool) th.join();
   }
   if (first_error) std::rethrow_exception(first_error);
+}
+
+std::vector<ExperimentResults> ParallelRunner::run(const std::vector<ExperimentConfig>& configs,
+                                                   const Progress& progress) const {
+  std::vector<ExperimentResults> results(configs.size());
+  for_each(
+      configs.size(), [&](std::size_t i) { results[i] = run_experiment(configs[i]); }, progress);
   return results;
 }
 

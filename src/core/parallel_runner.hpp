@@ -40,6 +40,14 @@ class ParallelRunner {
   [[nodiscard]] std::vector<ExperimentResults> run(const std::vector<ExperimentConfig>& configs,
                                                    const Progress& progress = {}) const;
 
+  /// Generic fan-out: invoke `task(i)` for every i in [0, total) across the
+  /// pool, same determinism/ordering/error contract as run(). run() is
+  /// built on this; callers with non-ExperimentConfig work (e.g. parsing a
+  /// directory of result files) use it directly. Reentrant: a task may
+  /// construct its own ParallelRunner and call for_each()/run() inside.
+  using Task = std::function<void(std::size_t index)>;
+  void for_each(std::size_t total, const Task& task, const Progress& progress = {}) const;
+
  private:
   unsigned workers_;
 };

@@ -51,6 +51,14 @@ const char* TimelineTracer::kind_name(EventKind k) {
       return "reroute";
     case EventKind::PathRehome:
       return "path_rehome";
+    case EventKind::JobSpawn:
+      return "job_spawn";
+    case EventKind::JobOutcome:
+      return "job_outcome";
+    case EventKind::JobRetry:
+      return "job_retry";
+    case EventKind::JobExhausted:
+      return "job_exhausted";
   }
   return "?";
 }
@@ -84,6 +92,11 @@ std::uint32_t TimelineTracer::category_of(EventKind k) {
     case EventKind::Reroute:
     case EventKind::PathRehome:
       return cat::kRoute;
+    case EventKind::JobSpawn:
+    case EventKind::JobOutcome:
+    case EventKind::JobRetry:
+    case EventKind::JobExhausted:
+      return cat::kHarness;
   }
   return 0;
 }
@@ -94,7 +107,7 @@ bool TimelineTracer::parse_filter(const std::string& filter, std::uint32_t& mask
       {"cwnd", cat::kCwnd},   {"srtt", cat::kSrtt}, {"gain", cat::kGain},
       {"ecn", cat::kEcn},     {"queue", cat::kQueue}, {"fault", cat::kFault},
       {"flow", cat::kFlow},   {"drop", cat::kDrop}, {"sched", cat::kSched},
-      {"route", cat::kRoute}, {"all", cat::kAll},
+      {"route", cat::kRoute}, {"harness", cat::kHarness}, {"all", cat::kAll},
   };
   if (filter.empty()) {
     mask = cat::kAll;
@@ -177,6 +190,12 @@ void TimelineTracer::export_chrome_json(const std::string& path) const {
       case EventKind::FlowStart:
       case EventKind::FlowDone:
       case EventKind::FlowAbort:
+      // Orchestrated sweep jobs reuse the flow track space: a harness trace
+      // contains only jobs, so there is no id collision in practice.
+      case EventKind::JobSpawn:
+      case EventKind::JobOutcome:
+      case EventKind::JobRetry:
+      case EventKind::JobExhausted:
         flow_subflows[e.id];  // ensure the process exists even if filtered
         break;
       case EventKind::EcnMark:
@@ -390,6 +409,50 @@ void TimelineTracer::export_chrome_json(const std::string& path) const {
         json.begin_object();
         json.kv("new_tag", e.a);
         json.kv("attempt", static_cast<std::int64_t>(e.aux));
+        json.end_object();
+        break;
+
+      case EventKind::JobSpawn:
+        event_common(json, "job spawn", "i", flow_pid(e.id), e.t_ns);
+        json.kv("s", "p");
+        json.key("args");
+        json.begin_object();
+        json.kv("attempt", e.a);
+        json.end_object();
+        break;
+      case EventKind::JobOutcome: {
+        const char* name = "job outcome";
+        switch (static_cast<JobOutcomeCode>(e.aux)) {
+          case JobOutcomeCode::Ok: name = "job ok"; break;
+          case JobOutcomeCode::Exit: name = "job failed (exit)"; break;
+          case JobOutcomeCode::Signal: name = "job crashed (signal)"; break;
+          case JobOutcomeCode::Timeout: name = "job timeout"; break;
+          case JobOutcomeCode::MissingResult: name = "job missing result"; break;
+        }
+        event_common(json, name, "i", flow_pid(e.id), e.t_ns);
+        json.kv("s", "p");
+        json.key("args");
+        json.begin_object();
+        json.kv("attempt", e.a);
+        json.kv("detail", e.b);
+        json.end_object();
+        break;
+      }
+      case EventKind::JobRetry:
+        event_common(json, "job retry", "i", flow_pid(e.id), e.t_ns);
+        json.kv("s", "p");
+        json.key("args");
+        json.begin_object();
+        json.kv("attempt", e.a);
+        json.kv("backoff_s", e.b);
+        json.end_object();
+        break;
+      case EventKind::JobExhausted:
+        event_common(json, "job exhausted", "i", flow_pid(e.id), e.t_ns);
+        json.kv("s", "p");
+        json.key("args");
+        json.begin_object();
+        json.kv("attempts", e.a);
         json.end_object();
         break;
     }

@@ -31,6 +31,22 @@ enum class EventKind : std::uint8_t {
                 ///< (id = link, a = switch id, b = alive ports after, aux: 1 = down)
   PathRehome,   ///< MPTCP subflow re-homed onto a fresh path
                 ///< (id = flow, a = new path tag, aux = rehome attempt)
+  JobSpawn,     ///< sweep orchestrator forked a job child (id = job, a = attempt)
+  JobOutcome,   ///< job attempt finished (id = job, aux = JobOutcomeCode,
+                ///< a = attempt, b = exit code or signal number)
+  JobRetry,     ///< failed job scheduled for respawn (id = job, a = attempt,
+                ///< b = backoff seconds)
+  JobExhausted, ///< job gave up after its last retry (id = job, a = attempts)
+};
+
+/// How one orchestrated job attempt ended (TimelineEvent::aux for
+/// EventKind::JobOutcome).
+enum class JobOutcomeCode : std::uint16_t {
+  Ok = 0,             ///< exit 0 with a parseable result file
+  Exit = 1,           ///< non-zero exit code (b = code)
+  Signal = 2,         ///< killed by a signal other than the watchdog (b = signo)
+  Timeout = 3,        ///< watchdog SIGKILL after --job-timeout
+  MissingResult = 4,  ///< exit 0 but no/unparseable result file
 };
 
 /// Filter categories (--trace-filter). A category can cover several kinds.
@@ -44,7 +60,8 @@ inline constexpr std::uint32_t kFault = 1u << 5;  ///< faults + link state + dea
 inline constexpr std::uint32_t kFlow = 1u << 6;   ///< start/done/abort + reinjection
 inline constexpr std::uint32_t kDrop = 1u << 7;   ///< drops + RTOs
 inline constexpr std::uint32_t kSched = 1u << 8;
-inline constexpr std::uint32_t kRoute = 1u << 9;  ///< reroutes + path re-homes
+inline constexpr std::uint32_t kRoute = 1u << 9;    ///< reroutes + path re-homes
+inline constexpr std::uint32_t kHarness = 1u << 10; ///< sweep-job lifecycle (orchestrator)
 inline constexpr std::uint32_t kAll = 0xffffffffu;
 }  // namespace cat
 
@@ -158,6 +175,24 @@ class TimelineTracer {
                    int attempt) {
     record(EventKind::PathRehome, cat::kRoute, t, flow, sf,
            static_cast<std::uint16_t>(attempt), static_cast<double>(new_tag), 0.0);
+  }
+  // Job-lifecycle events from the sweep orchestrator. `t` is wall-clock
+  // time since the campaign started (the harness has no simulation clock).
+  void job_spawn(sim::Time t, std::uint32_t job, int attempt) {
+    record(EventKind::JobSpawn, cat::kHarness, t, job, 0, 0, static_cast<double>(attempt), 0.0);
+  }
+  void job_outcome(sim::Time t, std::uint32_t job, JobOutcomeCode code, int attempt, int detail) {
+    record(EventKind::JobOutcome, cat::kHarness, t, job, 0,
+           static_cast<std::uint16_t>(code), static_cast<double>(attempt),
+           static_cast<double>(detail));
+  }
+  void job_retry(sim::Time t, std::uint32_t job, int attempt, double backoff_s) {
+    record(EventKind::JobRetry, cat::kHarness, t, job, 0, 0, static_cast<double>(attempt),
+           backoff_s);
+  }
+  void job_exhausted(sim::Time t, std::uint32_t job, int attempts) {
+    record(EventKind::JobExhausted, cat::kHarness, t, job, 0, 0,
+           static_cast<double>(attempts), 0.0);
   }
 
   // --- track naming (setup path; last call per id wins) ---

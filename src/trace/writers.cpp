@@ -3,14 +3,35 @@
 #include <cassert>
 #include <cstdio>
 
+#include "trace/atomic_file.hpp"
+
 namespace xmp::trace {
+namespace {
+
+/// Shared teardown for both writers: publish the staged temp file if every
+/// write succeeded, otherwise discard it so a failed export leaves no
+/// artifact at all (and never a torn one).
+void finish_atomic(std::ofstream& out, const std::string& path) {
+  out.flush();
+  const bool good = out.good();
+  out.close();
+  const std::string tmp = tmp_path_for(path);
+  if (good) {
+    commit_tmp_file(tmp, path);
+  } else {
+    std::remove(tmp.c_str());
+  }
+}
+
+}  // namespace
 
 // ---------------------------------------------------------------- CSV ---
 
-CsvWriter::CsvWriter(const std::string& path) : out_{path} {}
+CsvWriter::CsvWriter(const std::string& path) : path_{path}, out_{tmp_path_for(path)} {}
 
 CsvWriter::~CsvWriter() {
   if (row_started_) end_row();
+  finish_atomic(out_, path_);
 }
 
 void CsvWriter::header(const std::vector<std::string>& columns) {
@@ -65,12 +86,13 @@ void CsvWriter::end_row() {
 
 // --------------------------------------------------------------- JSON ---
 
-JsonWriter::JsonWriter(const std::string& path) : out_{path} {
+JsonWriter::JsonWriter(const std::string& path) : path_{path}, out_{tmp_path_for(path)} {
   needs_comma_.push_back(false);
 }
 
 JsonWriter::~JsonWriter() {
   out_ << '\n';
+  finish_atomic(out_, path_);
 }
 
 std::string JsonWriter::escape(const std::string& s) {

@@ -9,6 +9,10 @@ namespace xmp::trace {
 
 /// Minimal CSV writer: header once, then typed rows. Values containing
 /// commas/quotes are quoted per RFC 4180.
+///
+/// Crash-safe: rows are streamed to "<path>.tmp" and the real name only
+/// appears on destruction (fsync + rename, see trace/atomic_file.hpp), so
+/// an interrupted run never leaves a torn CSV behind.
 class CsvWriter {
  public:
   explicit CsvWriter(const std::string& path);
@@ -31,6 +35,7 @@ class CsvWriter {
  private:
   void sep();
 
+  std::string path_;
   std::ofstream out_;
   bool row_started_ = false;
 };
@@ -39,6 +44,9 @@ class CsvWriter {
 /// experiment results without external dependencies. Not a general
 /// serializer: the caller is responsible for balanced begin/end calls
 /// (assertions check nesting in debug builds).
+///
+/// Crash-safe like CsvWriter: the document is staged in "<path>.tmp" and
+/// atomically renamed into place on destruction.
 class JsonWriter {
  public:
   explicit JsonWriter(const std::string& path);
@@ -76,6 +84,7 @@ class JsonWriter {
   void indent();
   static std::string escape(const std::string& s);
 
+  std::string path_;
   std::ofstream out_;
   std::vector<bool> needs_comma_;  ///< per nesting level
   bool after_key_ = false;

@@ -4,6 +4,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "trace/atomic_file.hpp"
+
 namespace xmp::workload {
 
 bool load_trace_csv(const std::string& path, std::vector<TraceEntry>& out) {
@@ -61,14 +63,14 @@ bool load_trace_csv(const std::string& path, std::vector<TraceEntry>& out) {
 }
 
 void save_trace_csv(const std::string& path, const std::vector<TraceEntry>& entries) {
-  std::ofstream out{path};
-  out << "start_s,src,dst,bytes,small\n";
+  std::string out = "start_s,src,dst,bytes,small\n";
   for (const auto& e : entries) {
     char buf[128];
     std::snprintf(buf, sizeof buf, "%.9g,%d,%d,%lld,%d\n", e.start_s, e.src, e.dst,
                   static_cast<long long>(e.bytes), e.small ? 1 : 0);
-    out << buf;
+    out += buf;
   }
+  trace::atomic_write_file(path, out);
 }
 
 void TraceReplay::start() {

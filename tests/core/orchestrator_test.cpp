@@ -1,0 +1,274 @@
+#include "core/orchestrator.hpp"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/job_manifest.hpp"
+#include "obs/metrics.hpp"
+#include "trace/writers.hpp"
+
+namespace xmp::core {
+namespace {
+
+struct TempDir {
+  explicit TempDir(const char* name)
+      : path{std::string{"/tmp/xmp_orch_test_"} + name + "_" + std::to_string(::getpid())} {
+    std::filesystem::remove_all(path);
+    std::filesystem::create_directories(path);
+  }
+  ~TempDir() { std::filesystem::remove_all(path); }
+  std::string path;
+};
+
+/// The orchestrator never looks inside the configs — the injected child
+/// body does all the work — so empty configs keep these tests fast and
+/// independent of simulator timing.
+std::vector<ExperimentConfig> dummy_grid(std::size_t n) {
+  return std::vector<ExperimentConfig>(n);
+}
+
+JobManifest fresh_manifest(std::size_t n) {
+  JobManifest m;
+  m.param = "seed";
+  for (std::size_t i = 0; i < n; ++i) {
+    JobEntry j;
+    j.index = i;
+    j.value = static_cast<double>(i);
+    m.jobs.push_back(j);
+  }
+  return m;
+}
+
+/// Child body that writes a well-formed result file and exits 0.
+int write_result_and_succeed(std::size_t index, const std::string& result_path) {
+  trace::JsonWriter json{result_path};
+  json.begin_object();
+  json.kv("index", static_cast<std::uint64_t>(index));
+  json.kv("goodput_mbps", 100.0 + static_cast<double>(index));
+  json.kv("events", static_cast<std::uint64_t>(1000 + index));
+  json.end_object();
+  return 0;
+}
+
+OrchestratorConfig fast_cfg(const std::string& dir) {
+  OrchestratorConfig cfg;
+  cfg.campaign_dir = dir;
+  cfg.workers = 2;
+  cfg.retries = 2;
+  cfg.backoff_base_s = 0.01;  // keep retry waits test-sized
+  cfg.poll_interval_s = 0.001;
+  return cfg;
+}
+
+TEST(Orchestrator, AllJobsSucceedFirstAttempt) {
+  const TempDir dir{"ok"};
+  obs::MetricsRegistry metrics;
+  auto cfg = fast_cfg(dir.path);
+  cfg.metrics = &metrics;
+  Orchestrator orch{cfg};
+
+  auto manifest = fresh_manifest(4);
+  const auto outcome = orch.run(
+      dummy_grid(4), manifest,
+      [](std::size_t i, const ExperimentConfig&, const std::string& path, int) {
+        return write_result_and_succeed(i, path);
+      });
+
+  EXPECT_TRUE(outcome.complete());
+  ASSERT_EQ(outcome.results.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    ASSERT_TRUE(outcome.results[i].has_value()) << "job " << i;
+    EXPECT_DOUBLE_EQ(outcome.results[i]->goodput_mbps, 100.0 + static_cast<double>(i));
+    EXPECT_EQ(outcome.results[i]->value, static_cast<double>(i));
+    EXPECT_EQ(outcome.jobs[i].state, JobState::Succeeded);
+    EXPECT_EQ(outcome.jobs[i].attempts, 1);
+  }
+  EXPECT_EQ(metrics.counter("harness.spawns").get(), 4u);
+  EXPECT_EQ(metrics.counter("harness.jobs_succeeded").get(), 4u);
+  EXPECT_EQ(metrics.counter("harness.retries").get(), 0u);
+
+  // The on-disk manifest reflects the final state.
+  JobManifest reloaded;
+  ASSERT_TRUE(JobManifest::load(dir.path, reloaded));
+  for (const auto& j : reloaded.jobs) EXPECT_EQ(j.state, JobState::Succeeded);
+}
+
+TEST(Orchestrator, TransientFailureIsRetriedWithBackoff) {
+  const TempDir dir{"retry"};
+  obs::MetricsRegistry metrics;
+  auto cfg = fast_cfg(dir.path);
+  cfg.metrics = &metrics;
+  Orchestrator orch{cfg};
+
+  auto manifest = fresh_manifest(2);
+  // Job 0 fails its first attempt (exit 7) and succeeds on the second;
+  // `attempt` is passed into the child so no shared state is needed.
+  const auto outcome = orch.run(
+      dummy_grid(2), manifest,
+      [](std::size_t i, const ExperimentConfig&, const std::string& path, int attempt) {
+        if (i == 0 && attempt == 0) return 7;
+        return write_result_and_succeed(i, path);
+      });
+
+  EXPECT_TRUE(outcome.complete());
+  EXPECT_EQ(outcome.jobs[0].attempts, 2);
+  EXPECT_EQ(outcome.jobs[0].state, JobState::Succeeded);
+  EXPECT_EQ(outcome.jobs[1].attempts, 1);
+  EXPECT_EQ(metrics.counter("harness.retries").get(), 1u);
+  EXPECT_EQ(metrics.counter("harness.exits_nonzero").get(), 1u);
+  EXPECT_EQ(metrics.counter("harness.spawns").get(), 3u);
+}
+
+TEST(Orchestrator, CrashingJobIsIsolatedAndReported) {
+  const TempDir dir{"crash"};
+  obs::MetricsRegistry metrics;
+  auto cfg = fast_cfg(dir.path);
+  cfg.retries = 1;
+  cfg.metrics = &metrics;
+  Orchestrator orch{cfg};
+
+  auto manifest = fresh_manifest(3);
+  const auto outcome = orch.run(
+      dummy_grid(3), manifest,
+      [](std::size_t i, const ExperimentConfig&, const std::string& path, int) {
+        if (i == 1) std::abort();  // SIGABRT in the child, never the parent
+        return write_result_and_succeed(i, path);
+      });
+
+  // The crash burns every attempt but the survivors are salvaged.
+  EXPECT_FALSE(outcome.complete());
+  ASSERT_EQ(outcome.incomplete.size(), 1u);
+  EXPECT_EQ(outcome.incomplete[0], 1u);
+  EXPECT_EQ(outcome.jobs[1].state, JobState::Exhausted);
+  EXPECT_EQ(outcome.jobs[1].attempts, 2);  // 1 + retries
+  EXPECT_NE(outcome.jobs[1].last_error.find("signal"), std::string::npos);
+  EXPECT_TRUE(outcome.results[0].has_value());
+  EXPECT_TRUE(outcome.results[2].has_value());
+  EXPECT_EQ(metrics.counter("harness.crashes").get(), 2u);
+  EXPECT_EQ(metrics.counter("harness.jobs_exhausted").get(), 1u);
+}
+
+TEST(Orchestrator, WatchdogKillsHungJobs) {
+  const TempDir dir{"hang"};
+  obs::MetricsRegistry metrics;
+  auto cfg = fast_cfg(dir.path);
+  cfg.workers = 2;
+  cfg.retries = 1;
+  cfg.job_timeout_s = 0.3;
+  cfg.metrics = &metrics;
+  Orchestrator orch{cfg};
+
+  auto manifest = fresh_manifest(2);
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto outcome = orch.run(
+      dummy_grid(2), manifest,
+      [](std::size_t i, const ExperimentConfig&, const std::string& path, int) {
+        if (i == 0) {
+          std::this_thread::sleep_for(std::chrono::seconds{3600});  // hang forever
+          return 0;
+        }
+        return write_result_and_succeed(i, path);
+      });
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+
+  // 2 attempts * 0.3 s timeout + backoff << 3600 s: the watchdog, not the
+  // sleep, bounded the campaign.
+  EXPECT_LT(elapsed, std::chrono::seconds{30});
+  EXPECT_FALSE(outcome.complete());
+  EXPECT_EQ(outcome.jobs[0].state, JobState::Exhausted);
+  EXPECT_EQ(outcome.jobs[0].last_error, "timeout");
+  EXPECT_TRUE(outcome.results[1].has_value());
+  EXPECT_EQ(metrics.counter("harness.timeouts").get(), 2u);
+}
+
+TEST(Orchestrator, ExitZeroWithoutResultFileIsAFailure) {
+  const TempDir dir{"noresult"};
+  auto cfg = fast_cfg(dir.path);
+  cfg.retries = 0;
+  Orchestrator orch{cfg};
+
+  auto manifest = fresh_manifest(1);
+  const auto outcome = orch.run(dummy_grid(1), manifest,
+                                [](std::size_t, const ExperimentConfig&, const std::string&,
+                                   int) { return 0; /* "succeeds" but writes nothing */ });
+
+  EXPECT_FALSE(outcome.complete());
+  EXPECT_EQ(outcome.jobs[0].state, JobState::Exhausted);
+  EXPECT_EQ(outcome.jobs[0].last_error, "missing result");
+}
+
+TEST(Orchestrator, ResumeSkipsSucceededJobs) {
+  const TempDir dir{"resume"};
+
+  // First campaign: job 1 exhausts (exit 9 every attempt), jobs 0/2 succeed.
+  {
+    auto cfg = fast_cfg(dir.path);
+    cfg.retries = 0;
+    Orchestrator orch{cfg};
+    auto manifest = fresh_manifest(3);
+    const auto outcome = orch.run(
+        dummy_grid(3), manifest,
+        [](std::size_t i, const ExperimentConfig&, const std::string& path, int) {
+          if (i == 1) return 9;
+          return write_result_and_succeed(i, path);
+        });
+    ASSERT_EQ(outcome.incomplete.size(), 1u);
+  }
+
+  // Resume with a healed job body: only job 1 may spawn again.
+  JobManifest manifest;
+  ASSERT_TRUE(JobManifest::load(dir.path, manifest));
+  obs::MetricsRegistry metrics;
+  auto cfg = fast_cfg(dir.path);
+  cfg.metrics = &metrics;
+  Orchestrator orch{cfg};
+  const auto outcome = orch.run(
+      dummy_grid(3), manifest,
+      [](std::size_t i, const ExperimentConfig&, const std::string& path, int) {
+        // gtest failures in the forked child are invisible to the parent;
+        // a poisoned exit code makes an unexpected re-run fail the campaign.
+        if (i != 1) return 77;
+        return write_result_and_succeed(i, path);
+      });
+
+  EXPECT_TRUE(outcome.complete());
+  EXPECT_EQ(metrics.counter("harness.jobs_resumed").get(), 2u);
+  EXPECT_EQ(metrics.counter("harness.spawns").get(), 1u);
+  // Salvaged results keep their original first-campaign payloads.
+  EXPECT_DOUBLE_EQ(outcome.results[0]->goodput_mbps, 100.0);
+  EXPECT_DOUBLE_EQ(outcome.results[2]->goodput_mbps, 102.0);
+}
+
+TEST(Orchestrator, ManifestGridSizeMismatchThrows) {
+  const TempDir dir{"mismatch"};
+  Orchestrator orch{fast_cfg(dir.path)};
+  auto manifest = fresh_manifest(2);
+  EXPECT_THROW((void)orch.run(dummy_grid(3), manifest), std::invalid_argument);
+}
+
+TEST(LoadJobResult, RejectsMissingAndMalformedFiles) {
+  const TempDir dir{"loadresult"};
+  JobResult r;
+  std::string error;
+  EXPECT_FALSE(load_job_result(dir.path + "/nope.json", r, &error));
+
+  const std::string bad = dir.path + "/bad.json";
+  {
+    trace::JsonWriter json{bad};
+    json.begin_object();
+    json.kv("unrelated", 1.0);
+    json.end_object();
+  }
+  EXPECT_FALSE(load_job_result(bad, r, &error));
+  EXPECT_NE(error.find("not a job result"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace xmp::core

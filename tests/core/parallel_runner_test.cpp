@@ -4,6 +4,8 @@
 
 #include <atomic>
 #include <cstddef>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 namespace xmp::core {
@@ -80,6 +82,73 @@ TEST(ParallelRunner, SeedSweepExpandsSeeds) {
   EXPECT_EQ(configs[0].seed, 100u);
   EXPECT_EQ(configs[1].seed, 200u);
   EXPECT_EQ(configs[0].fat_tree_k, 4);
+}
+
+TEST(ParallelRunnerForEach, ZeroTasksIsANoOp) {
+  const ParallelRunner runner{4};
+  std::atomic<int> ran{0};
+  std::atomic<int> progressed{0};
+  runner.for_each(
+      0, [&](std::size_t) { ran.fetch_add(1); },
+      [&](std::size_t, std::size_t, std::size_t) { progressed.fetch_add(1); });
+  EXPECT_EQ(ran.load(), 0);
+  EXPECT_EQ(progressed.load(), 0);
+}
+
+TEST(ParallelRunnerForEach, FewerTasksThanWorkersRunsEachOnce) {
+  const ParallelRunner runner{16};
+  std::vector<std::atomic<int>> hits(3);
+  runner.for_each(hits.size(), [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelRunnerForEach, ThrowingTaskSurfacesAfterOthersComplete) {
+  const ParallelRunner runner{4};
+  std::atomic<int> completed{0};
+  EXPECT_THROW(
+      runner.for_each(8,
+                      [&](std::size_t i) {
+                        if (i == 3) throw std::runtime_error("task 3 boom");
+                        completed.fetch_add(1);
+                      }),
+      std::runtime_error);
+  // The failure must not abandon the remaining tasks: everything except the
+  // throwing index still ran.
+  EXPECT_EQ(completed.load(), 7);
+}
+
+TEST(ParallelRunnerForEach, FirstExceptionWinsWhenSeveralThrow) {
+  const ParallelRunner runner{1};  // serial fallback: deterministic order
+  try {
+    runner.for_each(4, [&](std::size_t i) { throw std::runtime_error("boom " + std::to_string(i)); });
+    FAIL() << "expected for_each to rethrow";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "boom 0");
+  }
+}
+
+TEST(ParallelRunnerForEach, ReentrantSubmissionFromInsideATask) {
+  // A task may spin up its own runner (e.g. a sweep job that fans out
+  // sub-analyses). The pools must not share state that deadlocks.
+  const ParallelRunner outer{3};
+  std::atomic<int> inner_runs{0};
+  outer.for_each(3, [&](std::size_t) {
+    const ParallelRunner inner{2};
+    inner.for_each(4, [&](std::size_t) { inner_runs.fetch_add(1); });
+  });
+  EXPECT_EQ(inner_runs.load(), 12);
+}
+
+TEST(ParallelRunnerForEach, ProgressCountsReachTotal) {
+  const ParallelRunner runner{4};
+  std::atomic<std::size_t> max_done{0};
+  runner.for_each(
+      10, [](std::size_t) {},
+      [&](std::size_t, std::size_t done, std::size_t total) {
+        EXPECT_EQ(total, 10u);
+        if (done > max_done.load()) max_done.store(done);
+      });
+  EXPECT_EQ(max_done.load(), 10u);
 }
 
 }  // namespace

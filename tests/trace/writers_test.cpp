@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "trace/atomic_file.hpp"
+
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -35,6 +37,55 @@ TEST(CsvWriter, WritesHeaderAndRows) {
     csv.end_row();
   }
   EXPECT_EQ(slurp(f.path), "a,b,c\n1,2.5,x\n");
+}
+
+TEST(CsvWriter, PublishesAtomicallyOnDestruction) {
+  TempFile f{"atomic.csv"};
+  std::remove(f.path.c_str());
+  {
+    CsvWriter csv{f.path};
+    csv.header({"a"});
+    csv.field(std::int64_t{1}).end_row();
+    // Mid-write, only the staging file exists: a crash here leaves the
+    // final path untouched instead of truncated.
+    EXPECT_FALSE(std::ifstream{f.path}.good());
+    EXPECT_TRUE(std::ifstream{f.path + ".tmp"}.good());
+  }
+  EXPECT_EQ(slurp(f.path), "a\n1\n");
+  EXPECT_FALSE(std::ifstream{f.path + ".tmp"}.good());
+}
+
+TEST(JsonWriter, PublishesAtomicallyOnDestruction) {
+  TempFile f{"atomic.json"};
+  std::remove(f.path.c_str());
+  {
+    JsonWriter json{f.path};
+    json.begin_object();
+    json.kv("x", std::int64_t{1});
+    json.end_object();
+    EXPECT_FALSE(std::ifstream{f.path}.good());
+    EXPECT_TRUE(std::ifstream{f.path + ".tmp"}.good());
+  }
+  EXPECT_NE(slurp(f.path).find("\"x\": 1"), std::string::npos);
+  EXPECT_FALSE(std::ifstream{f.path + ".tmp"}.good());
+}
+
+TEST(AtomicFile, WriteFilePublishesContentAndCleansUp) {
+  TempFile f{"atomic_write.txt"};
+  std::string error;
+  ASSERT_TRUE(atomic_write_file(f.path, "payload\n", &error)) << error;
+  EXPECT_EQ(slurp(f.path), "payload\n");
+  EXPECT_FALSE(std::ifstream{f.path + ".tmp"}.good());
+
+  // Overwrite is atomic too: the old content is replaced wholesale.
+  ASSERT_TRUE(atomic_write_file(f.path, "v2\n", &error)) << error;
+  EXPECT_EQ(slurp(f.path), "v2\n");
+}
+
+TEST(AtomicFile, WriteFileFailsCleanlyOnBadDirectory) {
+  std::string error;
+  EXPECT_FALSE(atomic_write_file("/tmp/no_such_dir_xmp_test/out.txt", "x", &error));
+  EXPECT_FALSE(error.empty());
 }
 
 TEST(CsvWriter, QuotesSpecialCharacters) {
