@@ -11,7 +11,7 @@
 //                 [--drops-csv=drops.csv]
 //                 [--trace=timeline.json] [--trace-csv=timeline.csv]
 //                 [--trace-filter=cwnd,gain,queue] [--trace-capacity=262144]
-//                 [--metrics=metrics.json]
+//                 [--metrics=metrics.json] [--shards=N]
 //       Run one Fat-Tree evaluation and print the paper's summary metrics.
 //       --routing selects how switches spread over equal-cost up-ports
 //       (default pinned = the paper's per-tag deterministic paths; ecmp
@@ -27,6 +27,11 @@
 //       chrome://tracing); --metrics dumps the run's counters/histograms.
 //       Observation never perturbs the simulation: a traced run produces
 //       the same summary, byte for byte, as an untraced one.
+//       --shards=N runs the sharded conservative-sync engine on N worker
+//       threads (one logical shard per pod regardless of N, so every N —
+//       including 1 — produces identical results). Permutation pattern
+//       only; incompatible with --coexist, --routing=flowlet,
+//       --invariants and --rehome.
 //
 //   xmpsim fluid  --capacity-gbps=1 --flows=3 [--beta=4] [--rtt-us=300]
 //       Closed-form BOS equilibrium on a single bottleneck (paper §2.1).
@@ -287,6 +292,33 @@ core::ExperimentConfig config_from(const Args& args, bool& ok) {
   cfg.rand_min_bytes *= scale;
   cfg.rand_max_bytes *= scale;
 
+  cfg.shards = static_cast<int>(flag_i(args, "shards", 0, 0, 4096, ok));
+  if (cfg.shards > 0) {
+    // The sharded engine supports a precise subset of the serial feature
+    // set (DESIGN.md §11); everything else is an up-front one-line reject.
+    if (cfg.pattern != core::Pattern::Permutation) {
+      std::fprintf(stderr, "xmpsim: --shards requires --pattern=permutation (got %s)\n",
+                   pattern.c_str());
+      ok = false;
+    }
+    if (cfg.scheme_b) {
+      std::fprintf(stderr, "xmpsim: --shards is incompatible with --coexist\n");
+      ok = false;
+    }
+    if (cfg.routing.kind == route::PolicyKind::Flowlet) {
+      std::fprintf(stderr, "xmpsim: --shards is incompatible with --routing=flowlet\n");
+      ok = false;
+    }
+    if (cfg.check_invariants) {
+      std::fprintf(stderr, "xmpsim: --shards is incompatible with --invariants\n");
+      ok = false;
+    }
+    if (cfg.scheme.max_rehomes > 0) {
+      std::fprintf(stderr, "xmpsim: --shards is incompatible with --rehome\n");
+      ok = false;
+    }
+  }
+
   cfg.obs.trace_json = args.get("trace", "");
   cfg.obs.trace_csv = args.get("trace-csv", "");
   cfg.obs.metrics_json = args.get("metrics", "");
@@ -367,6 +399,16 @@ void print_summary(const core::ExperimentConfig& cfg, const core::ExperimentResu
     std::printf(", subflow rehomes %llu", static_cast<unsigned long long>(res.path_rehomes));
   }
   std::printf("\n");
+  if (res.sharded) {
+    std::printf("sharded: %d logical shards, lookahead %.1f us, %llu epochs, %llu barriers, "
+                "%llu handoff pkts, %llu micro-steps, %llu replays\n",
+                res.shard.logical_shards, res.shard.lookahead_us,
+                static_cast<unsigned long long>(res.shard.epochs),
+                static_cast<unsigned long long>(res.shard.barriers),
+                static_cast<unsigned long long>(res.shard.handoff_packets),
+                static_cast<unsigned long long>(res.shard.micro_steps),
+                static_cast<unsigned long long>(res.shard.replays));
+  }
   if (res.aborted_flows > 0) {
     std::printf("aborted flows (all subflows dead): %llu\n",
                 static_cast<unsigned long long>(res.aborted_flows));

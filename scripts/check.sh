@@ -10,6 +10,11 @@
 #   scripts/check.sh all        # default, then asan, then tsan
 #   scripts/check.sh routing    # default build + routing-policy smoke matrix
 #   scripts/check.sh sweep      # default build + sweep kill/resume smoke
+#   scripts/check.sh shard      # default build + sharded-engine CLI smoke
+#
+# The tsan mode also runs the "shard" ctest label (the sharded engine's
+# worker pool) under ThreadSanitizer; the default mode finishes with the
+# shard CLI smoke (scripts/shard_smoke.sh: --shards=1/2/4 byte-compare).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -55,19 +60,36 @@ run_sweep() {
   scripts/sweep_resume_smoke.sh build
 }
 
+run_shard_smoke() {
+  echo "== shard smoke =="
+  cmake --preset default
+  cmake --build --preset default -j "$jobs" --target xmpsim
+  scripts/shard_smoke.sh build
+}
+
+# The sharded engine's worker pool under ThreadSanitizer: exactly the tests
+# labeled "shard" (tests/core/sharded_engine_test.cpp), on top of the tsan
+# preset's name-filtered suite.
+run_shard_tsan() {
+  echo "== shard lane (tsan) =="
+  ctest --test-dir build-tsan -L shard -j "$jobs" --output-on-failure
+}
+
 case "${1:-default}" in
-  default) run_preset default; run_chaos build 210 ;;
+  default) run_preset default; run_chaos build 210; run_shard_smoke ;;
   asan)    run_preset asan-ubsan; run_chaos build-asan 42 ;;
-  tsan)    run_preset tsan; run_chaos build-tsan 14 ;;
+  tsan)    run_preset tsan; run_shard_tsan; run_chaos build-tsan 14 ;;
   routing) run_routing ;;
   sweep)   run_sweep ;;
+  shard)   run_shard_smoke ;;
   all)
     run_preset default; run_chaos build 210
     run_preset asan-ubsan; run_chaos build-asan 42
-    run_preset tsan; run_chaos build-tsan 14
+    run_preset tsan; run_shard_tsan; run_chaos build-tsan 14
     run_routing
     run_sweep
+    run_shard_smoke
     ;;
-  *) echo "usage: $0 [default|asan|tsan|all|routing|sweep]" >&2; exit 2 ;;
+  *) echo "usage: $0 [default|asan|tsan|all|routing|sweep|shard]" >&2; exit 2 ;;
 esac
 echo "OK"

@@ -1,0 +1,68 @@
+#!/usr/bin/env bash
+# Sharded-engine smoke: the same experiment through the CLI at --shards=1,
+# 2 and 4, asserting the summary JSON, timeline CSV and metrics dump are
+# all byte-for-byte identical across N (worker-count invariance is the
+# engine's core guarantee — logical shards are fixed by the topology, so N
+# only changes wall-clock, never results).
+# Also asserts the up-front one-line rejections for unsupported feature
+# combinations exit 2 without running anything.
+#
+#   scripts/shard_smoke.sh [build-dir]   # default: build
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+build="${1:-build}"
+bin="$build/apps/xmpsim"
+[ -x "$bin" ] || { echo "missing $bin (build first)" >&2; exit 2; }
+
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+base=(run --pattern=permutation --scheme=xmp --subflows=2 --k=4
+      --rounds=1 --duration=0.05 --seed=11)
+
+for n in 1 2 4; do
+  echo "== shard smoke: --shards=$n =="
+  "$bin" "${base[@]}" "--shards=$n" "--json=$tmp/summary-$n.json" \
+    "--trace-csv=$tmp/trace-$n.csv" "--metrics=$tmp/metrics-$n.json" \
+    > "$tmp/out-$n.txt"
+  grep -q '"sharding":' "$tmp/summary-$n.json" || {
+    echo "FAIL(--shards=$n): summary JSON has no sharding block" >&2
+    exit 1
+  }
+done
+
+for n in 2 4; do
+  for f in summary-X.json trace-X.csv metrics-X.json; do
+    cmp "$tmp/${f/X/1}" "$tmp/${f/X/$n}" || {
+      echo "FAIL: --shards=$n ${f%%-*} differs from --shards=1 (determinism broken)" >&2
+      exit 1
+    }
+  done
+done
+echo "shards=1/2/4 summary/trace/metrics byte-identical"
+
+# Unsupported combinations must be rejected up front with exit 2.
+expect_exit2() {
+  local why="$1"; shift
+  set +e
+  "$bin" "$@" > /dev/null 2> "$tmp/reject-err.txt"
+  local rc=$?
+  set -e
+  if [ "$rc" -ne 2 ]; then
+    echo "FAIL($why): expected exit 2, got $rc" >&2
+    cat "$tmp/reject-err.txt" >&2
+    exit 1
+  fi
+  [ -s "$tmp/reject-err.txt" ] || {
+    echo "FAIL($why): no diagnostic on stderr" >&2
+    exit 1
+  }
+}
+expect_exit2 "random pattern"  run --pattern=random  --scheme=xmp --k=4 --duration=0.01 --shards=2
+expect_exit2 "coexist"         run --pattern=permutation --scheme=xmp --coexist=dctcp --k=4 --duration=0.01 --shards=2
+expect_exit2 "flowlet routing" run --pattern=permutation --scheme=xmp --routing=flowlet --k=4 --duration=0.01 --shards=2
+expect_exit2 "invariants"      run --pattern=permutation --scheme=xmp --invariants --k=4 --duration=0.01 --shards=2
+expect_exit2 "rehome"          run --pattern=permutation --scheme=xmp --rehome=1 --k=4 --duration=0.01 --shards=2
+echo "unsupported combinations rejected with exit 2"
+echo "OK"

@@ -50,6 +50,7 @@ double ExperimentResults::job_completion_over_ms(double threshold_ms) const {
 }
 
 ExperimentResults run_experiment(const ExperimentConfig& cfg) {
+  if (cfg.shards > 0) return run_experiment_sharded(cfg);
   // Observation is installed for this thread only (ParallelRunner gives
   // every sweep job its own worker thread and its own observers) and is
   // strictly passive: nothing below reads the tracer or registry, so a run

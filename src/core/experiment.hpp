@@ -86,6 +86,16 @@ struct ExperimentConfig {
   /// Run the opt-in InvariantChecker probe alongside the experiment.
   bool check_invariants = false;
 
+  /// Worker threads for the sharded conservative-sync engine; 0 runs the
+  /// serial engine (the default, byte-for-byte the legacy behavior). Any
+  /// value >= 1 selects the sharded engine: the fabric is partitioned into
+  /// one *logical* shard per pod (fixed by the topology, never by this
+  /// knob), so results are bit-identical across every `shards` value.
+  /// Sharded runs support the Permutation pattern only, and neither
+  /// flowlet routing, invariant checking, subflow re-homing nor a
+  /// coexistence scheme_b (the serial engine covers those).
+  int shards = 0;
+
   /// Trace/metrics exports (inactive unless a path is set).
   ObsConfig obs;
 };
@@ -161,6 +171,21 @@ struct ExperimentResults {
   std::uint64_t invariant_checks = 0;
   std::vector<std::string> invariant_violations;
 
+  /// Sharded-engine accounting (zeroed in serial runs). Every field is a
+  /// function of the logical shard structure only — independent of the
+  /// worker count — so it belongs in deterministic summary output.
+  struct ShardStats {
+    int logical_shards = 0;       ///< fixed by the topology (k for a Fat-Tree)
+    double lookahead_us = 0.0;    ///< min cross-shard propagation delay
+    std::uint64_t epochs = 0;     ///< conservative windows executed
+    std::uint64_t barriers = 0;   ///< synchronisation points (incl. serial segments)
+    std::uint64_t handoff_packets = 0;  ///< packets crossing shard boundaries
+    std::uint64_t micro_steps = 0;      ///< events run one-at-a-time in serial segments
+    std::uint64_t replays = 0;          ///< attempts discarded by the round-flip gate
+  };
+  ShardStats shard;
+  bool sharded = false;
+
   [[nodiscard]] double avg_goodput_mbps() const { return goodput.mean(); }
   [[nodiscard]] double avg_goodput_b_mbps() const { return goodput_b.mean(); }
 
@@ -174,5 +199,12 @@ struct ExperimentResults {
 /// workload and the scheme from the config, runs to completion, and
 /// collects the paper's metrics.
 [[nodiscard]] ExperimentResults run_experiment(const ExperimentConfig& cfg);
+
+/// The sharded conservative-sync engine behind run_experiment when
+/// cfg.shards >= 1 (exposed for tests; run_experiment dispatches here).
+/// Preconditions (asserted; the CLI rejects them with a diagnostic):
+/// Permutation pattern, no scheme_b, no flowlet routing, no invariant
+/// checking, no subflow re-homing.
+[[nodiscard]] ExperimentResults run_experiment_sharded(const ExperimentConfig& cfg);
 
 }  // namespace xmp::core

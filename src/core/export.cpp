@@ -134,6 +134,21 @@ void export_summary_json(const ExperimentConfig& cfg, const ExperimentResults& r
   json.kv("path_rehomes", results.path_rehomes);
   json.end_object();
 
+  if (results.sharded) {
+    // Every field is a function of the logical shard structure, never of
+    // the worker count, so the block is safe in byte-compared output.
+    json.key("sharding");
+    json.begin_object();
+    json.kv("logical_shards", static_cast<std::int64_t>(results.shard.logical_shards));
+    json.kv("lookahead_us", results.shard.lookahead_us);
+    json.kv("epochs", results.shard.epochs);
+    json.kv("barriers", results.shard.barriers);
+    json.kv("handoff_packets", results.shard.handoff_packets);
+    json.kv("micro_steps", results.shard.micro_steps);
+    json.kv("replays", results.shard.replays);
+    json.end_object();
+  }
+
   json.key("goodput_mbps");
   json.begin_object();
   write_distribution(json, "all", results.goodput);

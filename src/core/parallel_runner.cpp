@@ -63,6 +63,79 @@ std::vector<ExperimentResults> ParallelRunner::run(const std::vector<ExperimentC
   return results;
 }
 
+WorkerPool::WorkerPool(unsigned width) : width_{width} {
+  if (width_ == 0) {
+    width_ = std::thread::hardware_concurrency();
+    if (width_ == 0) width_ = 1;
+  }
+  threads_.reserve(width_ - 1);
+  for (unsigned i = 1; i < width_; ++i) {
+    threads_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    const std::lock_guard<std::mutex> lock{mu_};
+    stop_ = true;
+  }
+  cv_start_.notify_all();
+  for (auto& th : threads_) th.join();
+}
+
+void WorkerPool::run(int n_shards, const ShardTask& task) {
+  if (n_shards <= 0) return;
+  if (width_ == 1) {
+    for (int s = 0; s < n_shards; ++s) task(s);
+    return;
+  }
+  {
+    const std::lock_guard<std::mutex> lock{mu_};
+    task_ = &task;
+    n_shards_ = n_shards;
+    running_ = width_ - 1;
+    ++generation_;
+  }
+  cv_start_.notify_all();
+  run_share(0);  // the caller is worker 0
+  std::unique_lock<std::mutex> lock{mu_};
+  cv_done_.wait(lock, [this] { return running_ == 0; });
+  task_ = nullptr;
+  if (first_error_) {
+    std::exception_ptr e = first_error_;
+    first_error_ = nullptr;
+    std::rethrow_exception(e);
+  }
+}
+
+void WorkerPool::run_share(unsigned index) {
+  for (int s = static_cast<int>(index); s < n_shards_; s += static_cast<int>(width_)) {
+    try {
+      (*task_)(s);
+    } catch (...) {
+      const std::lock_guard<std::mutex> lock{mu_};
+      if (!first_error_) first_error_ = std::current_exception();
+    }
+  }
+}
+
+void WorkerPool::worker_loop(unsigned index) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock{mu_};
+      cv_start_.wait(lock, [this, seen] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+    }
+    run_share(index);
+    {
+      const std::lock_guard<std::mutex> lock{mu_};
+      if (--running_ == 0) cv_done_.notify_one();
+    }
+  }
+}
+
 std::vector<ExperimentConfig> seed_sweep(const ExperimentConfig& base,
                                          const std::vector<std::uint64_t>& seeds) {
   std::vector<ExperimentConfig> out;

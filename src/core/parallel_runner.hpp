@@ -1,7 +1,11 @@
 #pragma once
 
+#include <condition_variable>
 #include <cstddef>
+#include <exception>
 #include <functional>
+#include <mutex>
+#include <thread>
 #include <vector>
 
 #include "core/experiment.hpp"
@@ -50,6 +54,53 @@ class ParallelRunner {
 
  private:
   unsigned workers_;
+};
+
+/// Persistent barrier-synchronised worker pool for the sharded engine.
+///
+/// Unlike ParallelRunner (which load-balances independent jobs through a
+/// shared counter), shard-to-worker assignment here is *static*: shard s
+/// always executes on worker (s % width). That pins every shard's
+/// scheduler, links and flows to one thread for the whole run — no
+/// migration, no false sharing surprises, and the assignment is a pure
+/// function of (s, width), never of timing.
+///
+/// run() is a barrier: it returns only after every shard's task finished.
+/// The calling thread participates as worker 0, so width == 1 degrades to
+/// a plain inline loop with no synchronisation at all. The first exception
+/// thrown by any task is rethrown from run() after the barrier.
+class WorkerPool {
+ public:
+  /// `width == 0` picks std::thread::hardware_concurrency() (at least 1).
+  explicit WorkerPool(unsigned width);
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  [[nodiscard]] unsigned width() const { return width_; }
+
+  using ShardTask = std::function<void(int shard)>;
+  /// Execute task(s) for every s in [0, n_shards), shard s on worker
+  /// (s % width). Blocks until all complete.
+  void run(int n_shards, const ShardTask& task);
+
+ private:
+  void worker_loop(unsigned index);
+  void run_share(unsigned index);
+
+  unsigned width_;
+  std::vector<std::thread> threads_;
+
+  std::mutex mu_;
+  std::condition_variable cv_start_;
+  std::condition_variable cv_done_;
+  std::uint64_t generation_ = 0;  ///< bumped per run(); wakes the workers
+  const ShardTask* task_ = nullptr;
+  int n_shards_ = 0;
+  unsigned running_ = 0;  ///< helper workers still inside the current run
+  bool stop_ = false;
+  std::exception_ptr first_error_;
 };
 
 /// Expand `base` into one config per seed (convenience for seed sweeps).

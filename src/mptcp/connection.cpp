@@ -119,7 +119,11 @@ class MptcpConnection::Context final : public CouplingContext {
 
 MptcpConnection::MptcpConnection(sim::Scheduler& sched, net::Host& src, net::Host& dst,
                                  const Config& cfg)
-    : sched_{sched},
+    : MptcpConnection{sched, sched, src, dst, cfg} {}
+
+MptcpConnection::MptcpConnection(sim::Scheduler& src_sched, sim::Scheduler& dst_sched,
+                                 net::Host& src, net::Host& dst, const Config& cfg)
+    : sched_{src_sched},
       src_{src},
       dst_{dst},
       cfg_{cfg},
@@ -149,9 +153,9 @@ MptcpConnection::MptcpConnection(sim::Scheduler& sched, net::Host& src, net::Hos
 
     Subflow sf;
     sf.receiver = std::make_unique<transport::TcpReceiver>(
-        sched_, dst_, src_.id(), cfg_.id, static_cast<std::uint16_t>(i), tag, rc);
+        dst_sched, dst_, src_.id(), cfg_.id, static_cast<std::uint16_t>(i), tag, rc);
     sf.sender = std::make_unique<transport::TcpSender>(
-        sched_, src_, dst_.id(), cfg_.id, static_cast<std::uint16_t>(i), tag, *source_,
+        src_sched, src_, dst_.id(), cfg_.id, static_cast<std::uint16_t>(i), tag, *source_,
         make_subflow_cc(), sc);
     // Reinjection needs siblings; death detection works even solo.
     if (cfg_.n_subflows > 1 || cfg_.dead_after_rtos > 0) sf.sender->set_observer(this);

@@ -2,6 +2,7 @@
 
 #include <cassert>
 
+#include "net/handoff.hpp"
 #include "obs/hooks.hpp"
 #include "obs/metrics.hpp"
 #include "obs/timeline.hpp"
@@ -68,6 +69,25 @@ void Link::start_transmission() {
   busy_ += tx;
   bytes_sent_ += p.size_bytes;
 
+  if (remote_ != nullptr) {
+    // Shard-boundary link: hand the packet to the cross-shard channel; the
+    // barrier drain schedules its delivery on the destination shard. The
+    // src-owned mirror keeps conservation accounting (set_down,
+    // live_in_flight) working without touching destination-shard state.
+    const std::int64_t deliver_t_ns = (sched_.now() + tx + prop_delay_).ns();
+    while (!remote_in_flight_.empty() &&
+           remote_in_flight_.front().deliver_t_ns + remote_->min_delay_ns() <
+               sched_.now().ns()) {
+      remote_in_flight_.pop_front();  // certainly delivered (see header)
+    }
+    remote_in_flight_.push_back(RemoteInFlight{deliver_t_ns, epoch_});
+    remote_->push(RemotePacket{this, std::move(p), deliver_t_ns, epoch_});
+    sched_.schedule_in(tx, [this, e = epoch_] {
+      if (e == epoch_) on_transmit_complete();
+    });
+    return;
+  }
+
   // Deliver to the sink after serialization + propagation. The packet rides
   // in the in-flight FIFO, so the event captures only `this`.
   in_flight_.push_back(InFlight{std::move(p), epoch_});
@@ -77,6 +97,24 @@ void Link::start_transmission() {
   sched_.schedule_in(tx, [this, e = epoch_] {
     if (e == epoch_) on_transmit_complete();
   });
+}
+
+void Link::remote_deliver_head() {
+  assert(!remote_arrivals_.empty());
+  RemoteArrival head = std::move(remote_arrivals_.front());
+  remote_arrivals_.pop_front();
+  if (head.epoch != epoch_) return;  // lost to set_down; counted there
+  // Running on the destination shard's engine: its clock, not sched_'s
+  // (the source shard's), is the delivery time.
+  const sim::Time now = sim::current_scheduler()->now();
+  if (head.pkt.corrupt) {
+    ++drops_.corrupt;  // failed checksum at the receiving end
+    note_drop(now, id_, obs::DropCause::Corrupt);
+    return;
+  }
+  ++delivered_;
+  if (auto* m = obs::metrics(); m != nullptr) [[unlikely]] m->packets_delivered.inc();
+  sink_.receive(std::move(head.pkt));
 }
 
 void Link::deliver_head() {
@@ -112,6 +150,16 @@ void Link::set_down(bool down) {
     for (const InFlight& f : in_flight_) {
       if (f.epoch == epoch_) ++drops_.admin_down;
     }
+    // Boundary mode: faults apply at barriers, where every event with
+    // t < now has run, so mirror entries with deliver_t < now were
+    // delivered and the rest are lost in flight. Their parked/scheduled
+    // deliveries discard on the stale epoch without double counting.
+    while (!remote_in_flight_.empty() && remote_in_flight_.front().deliver_t_ns < sched_.now().ns()) {
+      remote_in_flight_.pop_front();
+    }
+    for (const RemoteInFlight& f : remote_in_flight_) {
+      if (f.epoch == epoch_) ++drops_.admin_down;
+    }
     ++epoch_;  // cancels in-flight deliveries and the pending tx-complete
     transmitting_ = false;
     Packet discard;
@@ -124,6 +172,12 @@ std::size_t Link::live_in_flight() const {
   std::size_t n = 0;
   for (const InFlight& f : in_flight_) {
     if (f.epoch == epoch_) ++n;
+  }
+  // Boundary mode (probed only at quiesced instants, where everything with
+  // t <= now has been dispatched): mirror entries still ahead of the clock
+  // are on the wire.
+  for (const RemoteInFlight& f : remote_in_flight_) {
+    if (f.epoch == epoch_ && f.deliver_t_ns > sched_.now().ns()) ++n;
   }
   return n;
 }

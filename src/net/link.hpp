@@ -12,6 +12,8 @@
 
 namespace xmp::net {
 
+class HandoffChannel;
+
 /// Anything that can accept a packet (the receiving end of a link).
 class PacketSink {
  public:
@@ -110,6 +112,24 @@ class Link final {
   /// were already counted as admin_down when the link went down).
   [[nodiscard]] std::size_t live_in_flight() const;
 
+  // --- sharded (conservative-sync) boundary mode ---
+  /// Make this a shard-boundary link: transmitted packets go to `ch`
+  /// instead of the local in-flight FIFO and are delivered on the
+  /// destination shard's scheduler after the barrier drain. Wired once at
+  /// topology construction (net::Network); never in serial runs.
+  void set_remote_handoff(HandoffChannel* ch) { remote_ = ch; }
+  [[nodiscard]] bool is_boundary() const { return remote_ != nullptr; }
+
+  /// Park one drained packet for delivery (ShardFabric::drain_all, shards
+  /// quiesced).
+  void accept_remote_arrival(Packet&& pkt, std::uint64_t epoch) {
+    remote_arrivals_.push_back(RemoteArrival{std::move(pkt), epoch});
+  }
+
+  /// Deliver the oldest parked arrival; runs on the *destination* shard's
+  /// scheduler, so timestamps come from sim::current_scheduler().
+  void remote_deliver_head();
+
  private:
   void start_transmission();
   void on_transmit_complete();
@@ -135,6 +155,33 @@ class Link final {
     std::uint64_t epoch;
   };
   std::deque<InFlight> in_flight_;
+
+  // --- boundary-mode state. Thread ownership is partitioned: the source
+  // shard writes offered_/queue_/busy_/bytes_sent_/drops_.{queue,fault}
+  // and the two deques below marked "src"; the destination shard writes
+  // delivered_ and drops_.corrupt; epoch_/down_/drops_.admin_down change
+  // only at barriers with every shard quiesced. Distinct members, so no
+  // two threads ever touch the same word. ---
+  HandoffChannel* remote_ = nullptr;
+
+  /// src-owned conservation mirror of packets handed to the channel; lets
+  /// set_down() count still-propagating cross-shard packets as admin_down
+  /// exactly like the serial in_flight_ FIFO. Pruned lazily: an entry is
+  /// certainly delivered once deliver_t + pair_min_delay < now, because
+  /// the destination clock can lag the source clock by at most one epoch
+  /// (= at most the pair's min propagation delay).
+  struct RemoteInFlight {
+    std::int64_t deliver_t_ns;
+    std::uint64_t epoch;
+  };
+  std::deque<RemoteInFlight> remote_in_flight_;
+
+  /// dst-consumed FIFO of packets scheduled for delivery at the barrier.
+  struct RemoteArrival {
+    Packet pkt;
+    std::uint64_t epoch;
+  };
+  std::deque<RemoteArrival> remote_arrivals_;
 
   bool transmitting_ = false;
   bool down_ = false;

@@ -59,6 +59,10 @@ const char* TimelineTracer::kind_name(EventKind k) {
       return "job_retry";
     case EventKind::JobExhausted:
       return "job_exhausted";
+    case EventKind::ShardEpoch:
+      return "shard_epoch";
+    case EventKind::ShardBarrier:
+      return "shard_barrier";
   }
   return "?";
 }
@@ -96,6 +100,8 @@ std::uint32_t TimelineTracer::category_of(EventKind k) {
     case EventKind::JobOutcome:
     case EventKind::JobRetry:
     case EventKind::JobExhausted:
+    case EventKind::ShardEpoch:
+    case EventKind::ShardBarrier:
       return cat::kHarness;
   }
   return 0;
@@ -207,6 +213,8 @@ void TimelineTracer::export_chrome_json(const std::string& path) const {
         break;
       case EventKind::Fault:
       case EventKind::SchedSample:
+      case EventKind::ShardEpoch:
+      case EventKind::ShardBarrier:
         break;
     }
   });
@@ -455,12 +463,76 @@ void TimelineTracer::export_chrome_json(const std::string& path) const {
         json.kv("attempts", e.a);
         json.end_object();
         break;
+
+      case EventKind::ShardEpoch:
+        event_common(json, e.aux != 0 ? "epoch (serial)" : "epoch", "i", kSchedPid, e.t_ns);
+        json.kv("s", "g");
+        json.key("args");
+        json.begin_object();
+        json.kv("epoch", static_cast<std::int64_t>(e.id));
+        json.kv("end_us", e.a);
+        json.end_object();
+        break;
+      case EventKind::ShardBarrier:
+        event_common(json, "barrier", "i", kSchedPid, e.t_ns);
+        json.kv("s", "g");
+        json.key("args");
+        json.begin_object();
+        json.kv("epoch", static_cast<std::int64_t>(e.id));
+        json.kv("handoff_packets", e.a);
+        json.end_object();
+        break;
     }
     json.end_object();
   });
 
   json.end_array();
   json.end_object();
+}
+
+std::unique_ptr<TimelineTracer> TimelineTracer::merged(
+    const std::vector<const TimelineTracer*>& streams) {
+  std::size_t total = 0;
+  for (const TimelineTracer* s : streams) {
+    if (s != nullptr) total += s->size();
+  }
+  Config mc;
+  mc.capacity = total > 0 ? total : 1;
+  mc.categories = cat::kAll;
+  auto out = std::make_unique<TimelineTracer>(mc);
+
+  // Each stream is already time-ordered, so a single stable pick of the
+  // earliest head is a k-way merge keyed (t_ns, stream, position): equal
+  // timestamps resolve by stream order (caller puts the control strand
+  // first), then by position within the stream.
+  struct Cursor {
+    std::vector<TimelineEvent> events;
+    std::size_t next = 0;
+  };
+  std::vector<Cursor> cursors(streams.size());
+  for (std::size_t i = 0; i < streams.size(); ++i) {
+    if (streams[i] == nullptr) continue;
+    cursors[i].events.reserve(streams[i]->size());
+    streams[i]->for_each([&](const TimelineEvent& e) { cursors[i].events.push_back(e); });
+    for (const auto& [id, name] : streams[i]->flow_names_) out->flow_names_[id] = name;
+    for (const auto& [id, name] : streams[i]->link_names_) out->link_names_[id] = name;
+  }
+  for (;;) {
+    std::size_t best = streams.size();
+    for (std::size_t i = 0; i < cursors.size(); ++i) {
+      const Cursor& c = cursors[i];
+      if (c.next >= c.events.size()) continue;
+      if (best == streams.size() ||
+          c.events[c.next].t_ns < cursors[best].events[cursors[best].next].t_ns) {
+        best = i;
+      }
+    }
+    if (best == streams.size()) break;
+    const TimelineEvent& e = cursors[best].events[cursors[best].next++];
+    out->record(e.kind, category_of(e.kind), sim::Time::nanoseconds(e.t_ns), e.id, e.subflow,
+                e.aux, e.a, e.b);
+  }
+  return out;
 }
 
 }  // namespace xmp::obs

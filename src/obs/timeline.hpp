@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -37,6 +38,10 @@ enum class EventKind : std::uint8_t {
   JobRetry,     ///< failed job scheduled for respawn (id = job, a = attempt,
                 ///< b = backoff seconds)
   JobExhausted, ///< job gave up after its last retry (id = job, a = attempts)
+  ShardEpoch,   ///< sharded engine released a parallel epoch (id = epoch
+                ///< index, a = epoch end µs, aux: 1 = serial/micro-stepped)
+  ShardBarrier, ///< sharded engine completed a barrier (id = epoch index,
+                ///< a = handoff packets drained at this barrier)
 };
 
 /// How one orchestrated job attempt ended (TimelineEvent::aux for
@@ -194,6 +199,14 @@ class TimelineTracer {
     record(EventKind::JobExhausted, cat::kHarness, t, job, 0, 0,
            static_cast<double>(attempts), 0.0);
   }
+  // Sharded-engine epoch lifecycle (t is simulated time of the boundary).
+  void shard_epoch(sim::Time t, std::uint32_t epoch, double end_us, bool serial) {
+    record(EventKind::ShardEpoch, cat::kHarness, t, epoch, 0, serial ? 1 : 0, end_us, 0.0);
+  }
+  void shard_barrier(sim::Time t, std::uint32_t epoch, std::uint64_t drained) {
+    record(EventKind::ShardBarrier, cat::kHarness, t, epoch, 0, 0,
+           static_cast<double>(drained), 0.0);
+  }
 
   // --- track naming (setup path; last call per id wins) ---
   void name_flow(std::uint32_t flow, std::string name) { flow_names_[flow] = std::move(name); }
@@ -222,6 +235,16 @@ class TimelineTracer {
   /// subflow), qlen (per link process) and the scheduler; instant events
   /// for marks, drops, faults, deaths and flow lifecycle.
   void export_chrome_json(const std::string& path) const;
+
+  /// Deterministically merge several tracers' retained events into one
+  /// tracer (for export). Each input stream is time-ordered on its own;
+  /// the merge orders by (t_ns, stream index, position within stream), so
+  /// the result depends only on stream contents and order — never on how
+  /// many threads produced them. Track-name maps are unioned (later
+  /// streams win on collision). The result has capacity == total events
+  /// and category mask kAll, so nothing is re-filtered or overwritten.
+  [[nodiscard]] static std::unique_ptr<TimelineTracer> merged(
+      const std::vector<const TimelineTracer*>& streams);
 
   [[nodiscard]] static const char* kind_name(EventKind k);
   /// Category of a kind (exactly one bit of cat::).

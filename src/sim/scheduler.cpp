@@ -14,6 +14,19 @@ constexpr EventId encode(std::uint32_t gen, std::uint32_t idx) {
   return (static_cast<EventId>(gen) << 32) | (idx + 1);
 }
 
+/// Marks this scheduler as the one dispatching on the current thread for
+/// the duration of a run loop; restores the previous value on exit so
+/// nested run_until() calls (tests do this) unwind correctly.
+struct TlsSchedulerScope {
+  explicit TlsSchedulerScope(Scheduler* s) : prev{detail::tls_scheduler} {
+    detail::tls_scheduler = s;
+  }
+  ~TlsSchedulerScope() { detail::tls_scheduler = prev; }
+  TlsSchedulerScope(const TlsSchedulerScope&) = delete;
+  TlsSchedulerScope& operator=(const TlsSchedulerScope&) = delete;
+  Scheduler* prev;
+};
+
 }  // namespace
 
 std::uint32_t Scheduler::pending_slot_of(EventId id) const {
@@ -201,40 +214,75 @@ bool Scheduler::pop_next(std::int64_t bound_ns, Time& t, EventCallback& cb) {
   return true;
 }
 
+void Scheduler::dispatch(Time t, EventCallback& cb) {
+  assert(t >= now_);
+  now_ = t;
+  ++dispatched_;
+  if (auto* tr = obs::tracer(); tr != nullptr) [[unlikely]] {
+    if ((dispatched_ & tr->sched_sample_mask()) == 0) {
+      tr->sched_sample(now_, pending(), dispatched_);
+    }
+  }
+  cb();
+}
+
 void Scheduler::run() {
+  TlsSchedulerScope scope{this};
   stopped_ = false;
   Time t;
   EventCallback cb;
   while (!stopped_ && pop_next(std::numeric_limits<std::int64_t>::max(), t, cb)) {
-    assert(t >= now_);
-    now_ = t;
-    ++dispatched_;
-    if (auto* tr = obs::tracer(); tr != nullptr) [[unlikely]] {
-      if ((dispatched_ & tr->sched_sample_mask()) == 0) {
-        tr->sched_sample(now_, pending(), dispatched_);
-      }
-    }
-    cb();
+    dispatch(t, cb);
   }
 }
 
 void Scheduler::run_until(Time t) {
+  TlsSchedulerScope scope{this};
   stopped_ = false;
   Time et;
   EventCallback cb;
   while (!stopped_ && pop_next(t.ns(), et, cb)) {
-    now_ = et;
-    ++dispatched_;
-    if (auto* tr = obs::tracer(); tr != nullptr) [[unlikely]] {
-      if ((dispatched_ & tr->sched_sample_mask()) == 0) {
-        tr->sched_sample(now_, pending(), dispatched_);
-      }
-    }
-    cb();
+    dispatch(et, cb);
   }
   // Advance the clock to the horizon only on a quiet completion; a stop()
   // freezes time at the stopping event (so measurement windows stay tight).
   if (!stopped_ && now_ < t) now_ = t;
+}
+
+void Scheduler::run_before(Time bound) {
+  TlsSchedulerScope scope{this};
+  stopped_ = false;
+  Time et;
+  EventCallback cb;
+  // pop_next's bound is inclusive; the epoch boundary itself is excluded.
+  while (!stopped_ && pop_next(bound.ns() - 1, et, cb)) {
+    dispatch(et, cb);
+  }
+}
+
+bool Scheduler::step_one() {
+  TlsSchedulerScope scope{this};
+  Time t;
+  EventCallback cb;
+  if (!pop_next(std::numeric_limits<std::int64_t>::max(), t, cb)) return false;
+  dispatch(t, cb);
+  return true;
+}
+
+Time Scheduler::next_time() {
+  trim_tail();
+  const bool tail_has = tail_head_ < tail_.size();
+  std::int64_t best = std::numeric_limits<std::int64_t>::max();
+  bool any = false;
+  if (!heap_.empty()) {
+    best = heap_.front().t_ns;
+    any = true;
+  }
+  if (tail_has && (!any || tail_[tail_head_].t_ns < best)) {
+    best = tail_[tail_head_].t_ns;
+    any = true;
+  }
+  return any ? Time::nanoseconds(best) : Time::infinity();
 }
 
 }  // namespace xmp::sim

@@ -67,6 +67,29 @@ class Scheduler {
   /// stays at the stopping event's time.
   void run_until(Time t);
 
+  /// Run all events with timestamp strictly < `bound` and leave the clock at
+  /// the last dispatched event. The conservative-sync epoch loop uses this:
+  /// an event landing exactly on the epoch boundary belongs to the *next*
+  /// epoch (it may be affected by cross-shard arrivals at `bound`), so the
+  /// boundary itself is excluded. The caller advances the clock to the
+  /// barrier time afterwards via advance_clock_to().
+  void run_before(Time bound);
+
+  /// Dispatch exactly one event (the earliest pending), advancing the clock
+  /// to its timestamp. Returns false if no event is pending. Serial
+  /// micro-stepping across shards is built from this.
+  bool step_one();
+
+  /// Timestamp of the earliest pending event, or Time::infinity() if none.
+  [[nodiscard]] Time next_time();
+
+  /// Move the clock forward to `t` (no-op if already past). Barriers use
+  /// this to align every shard's clock on the epoch boundary so that
+  /// relative delays stay correct after the handoff drain.
+  void advance_clock_to(Time t) {
+    if (now_ < t) now_ = t;
+  }
+
   /// Request the run loop to return after the current event.
   void stop() { stopped_ = true; }
 
@@ -134,6 +157,8 @@ class Scheduler {
   /// and callback out. Returns false when no such event exists.
   bool pop_next(std::int64_t bound_ns, Time& t, EventCallback& cb);
 
+  void dispatch(Time t, EventCallback& cb);
+
   std::vector<Slot> slots_;
   std::vector<std::uint32_t> pos_;  ///< per-slot location (heap pos or tail index)
   std::vector<HeapEntry> heap_;
@@ -146,5 +171,16 @@ class Scheduler {
   std::uint64_t dispatched_ = 0;
   bool stopped_ = false;
 };
+
+namespace detail {
+/// Scheduler whose run loop is executing on this thread (nullptr outside a
+/// run loop). Lets code that may run on behalf of a *remote* shard — e.g. a
+/// boundary link delivering into its destination shard — read the clock of
+/// the engine actually dispatching it instead of the one it was built with.
+inline thread_local Scheduler* tls_scheduler = nullptr;
+}  // namespace detail
+
+/// The scheduler currently dispatching events on this thread, if any.
+[[nodiscard]] inline Scheduler* current_scheduler() { return detail::tls_scheduler; }
 
 }  // namespace xmp::sim

@@ -11,8 +11,14 @@ FatTree::FatTree(net::Network& netw, const Config& cfg) : cfg_{cfg} {
   hosts_per_pod_ = half * half;
 
   // --- create switches ---
+  // Shard annotation (inert without a fabric): one logical shard per pod.
+  // Core switches are spread round-robin over the pod shards, so every
+  // shard owns ~(k/4) cores and the per-shard event load stays balanced.
+  // Only begin_shard() calls are added — creation order (and with it every
+  // NodeId and LinkId) is exactly the serial build's.
   std::vector<std::vector<net::Switch*>> edge(k), agg(k);
   for (int p = 0; p < k; ++p) {
+    netw.begin_shard(p);
     for (int i = 0; i < half; ++i) {
       edge[p].push_back(&netw.add_switch());
       agg[p].push_back(&netw.add_switch());
@@ -21,7 +27,10 @@ FatTree::FatTree(net::Network& netw, const Config& cfg) : cfg_{cfg} {
   // core[g][j]: core group g is wired to aggregation switch #g of each pod.
   std::vector<std::vector<net::Switch*>> core(half);
   for (int g = 0; g < half; ++g) {
-    for (int j = 0; j < half; ++j) core[g].push_back(&netw.add_switch());
+    for (int j = 0; j < half; ++j) {
+      netw.begin_shard((g * half + j) % k);
+      core[g].push_back(&netw.add_switch());
+    }
   }
   for (int p = 0; p < k; ++p) {
     edge_switches_.insert(edge_switches_.end(), edge[p].begin(), edge[p].end());
@@ -33,6 +42,7 @@ FatTree::FatTree(net::Network& netw, const Config& cfg) : cfg_{cfg} {
 
   // --- hosts + rack layer ---
   for (int p = 0; p < k; ++p) {
+    netw.begin_shard(p);
     for (int e = 0; e < half; ++e) {
       for (int h = 0; h < half; ++h) {
         net::Host& host = netw.add_host();

@@ -53,6 +53,10 @@ class FatTree final : public HostPool {
   /// Number of distinct equal-cost paths between inter-pod hosts: (k/2)^2.
   [[nodiscard]] int inter_pod_paths() const { return (cfg_.k / 2) * (cfg_.k / 2); }
 
+  /// Logical shards the construction annotates (one per pod; cores spread
+  /// round-robin). Fixed by the topology, never by the worker count.
+  [[nodiscard]] int n_shards() const { return cfg_.k; }
+
   /// All switches of a layer, in build order (edge/agg: pod-major; core:
   /// group-major). A core switch uniquely identifies one inter-pod path,
   /// which path-diversity tests and routing-table audits exploit.

@@ -7,11 +7,20 @@ namespace xmp::topo {
 LeafSpine::LeafSpine(net::Network& netw, const Config& cfg) : cfg_{cfg} {
   assert(cfg_.n_leaves > 0 && cfg_.n_spines > 0 && cfg_.hosts_per_leaf > 0);
 
-  for (int l = 0; l < cfg_.n_leaves; ++l) leaves_.push_back(&netw.add_switch());
-  for (int s = 0; s < cfg_.n_spines; ++s) spines_.push_back(&netw.add_switch());
+  // Shard annotation (inert without a fabric): one logical shard per leaf,
+  // spines spread round-robin. Creation order is exactly the serial build's.
+  for (int l = 0; l < cfg_.n_leaves; ++l) {
+    netw.begin_shard(l);
+    leaves_.push_back(&netw.add_switch());
+  }
+  for (int s = 0; s < cfg_.n_spines; ++s) {
+    netw.begin_shard(s % cfg_.n_leaves);
+    spines_.push_back(&netw.add_switch());
+  }
 
   // Hosts onto leaves.
   for (int l = 0; l < cfg_.n_leaves; ++l) {
+    netw.begin_shard(l);
     for (int h = 0; h < cfg_.hosts_per_leaf; ++h) {
       net::Host& host = netw.add_host();
       const std::size_t before = netw.links().size();

@@ -43,6 +43,10 @@ class LeafSpine final : public HostPool {
   /// Distinct equal-cost paths between hosts on different leaves.
   [[nodiscard]] int cross_leaf_paths() const { return cfg_.n_spines; }
 
+  /// Logical shards the construction annotates (one per leaf; spines
+  /// spread round-robin). Fixed by the topology, never by the worker count.
+  [[nodiscard]] int n_shards() const { return cfg_.n_leaves; }
+
   [[nodiscard]] const std::vector<net::Link*>& host_links() const { return host_links_; }
   [[nodiscard]] const std::vector<net::Link*>& fabric_links() const { return fabric_links_; }
 

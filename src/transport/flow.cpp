@@ -52,7 +52,11 @@ ReceiverConfig receiver_config_for(const CcConfig& cfg) {
 }
 
 Flow::Flow(sim::Scheduler& sched, net::Host& src, net::Host& dst, const Config& cfg)
-    : sched_{sched}, id_{cfg.id}, size_bytes_{cfg.size_bytes} {
+    : Flow{sched, sched, src, dst, cfg} {}
+
+Flow::Flow(sim::Scheduler& src_sched, sim::Scheduler& dst_sched, net::Host& src, net::Host& dst,
+           const Config& cfg)
+    : sched_{src_sched}, id_{cfg.id}, size_bytes_{cfg.size_bytes} {
   const std::uint16_t tag = cfg.path_tag_explicit
                                 ? cfg.path_tag
                                 : static_cast<std::uint16_t>(net::mix64(cfg.id));
@@ -65,8 +69,9 @@ Flow::Flow(sim::Scheduler& sched, net::Host& src, net::Host& dst, const Config& 
   ReceiverConfig rc = receiver_config_for(cfg.cc);
   if (cfg.tune_receiver) cfg.tune_receiver(rc);
 
-  receiver_ = std::make_unique<TcpReceiver>(sched, dst, src.id(), cfg.id, /*subflow=*/0, tag, rc);
-  sender_ = std::make_unique<TcpSender>(sched, src, dst.id(), cfg.id, /*subflow=*/0, tag,
+  receiver_ =
+      std::make_unique<TcpReceiver>(dst_sched, dst, src.id(), cfg.id, /*subflow=*/0, tag, rc);
+  sender_ = std::make_unique<TcpSender>(src_sched, src, dst.id(), cfg.id, /*subflow=*/0, tag,
                                         *source_, make_cc(cfg.cc), sc);
 }
 

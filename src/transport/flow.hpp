@@ -48,6 +48,13 @@ class Flow {
 
   Flow(sim::Scheduler& sched, net::Host& src, net::Host& dst, const Config& cfg);
 
+  /// Sharded variant: the sender (and its timers) live on the source
+  /// host's shard scheduler, the receiver (and its delayed-ACK timer) on
+  /// the destination's. With the same scheduler twice this is exactly the
+  /// serial constructor.
+  Flow(sim::Scheduler& src_sched, sim::Scheduler& dst_sched, net::Host& src, net::Host& dst,
+       const Config& cfg);
+
   Flow(const Flow&) = delete;
   Flow& operator=(const Flow&) = delete;
 

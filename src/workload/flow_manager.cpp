@@ -28,6 +28,11 @@ void note_flow_done(const FlowRecord& rec, bool aborted) {
 
 }  // namespace
 
+sim::Time FlowManager::now_time() const {
+  sim::Scheduler* cs = sim::current_scheduler();
+  return cs != nullptr ? cs->now() : sched_.now();
+}
+
 std::size_t FlowManager::new_record(int src_idx, int dst_idx, std::int64_t bytes, bool large) {
   FlowRecord rec;
   rec.id = next_id_++;
@@ -35,7 +40,7 @@ std::size_t FlowManager::new_record(int src_idx, int dst_idx, std::int64_t bytes
   rec.dst_host = dst_idx;
   rec.bytes = bytes;
   rec.large = large;
-  rec.start = sched_.now();
+  rec.start = now_time();
   records_.push_back(rec);
   if (auto* tr = obs::tracer(); tr != nullptr) [[unlikely]] {
     tr->flow_start(rec.start, rec.id, bytes, large);
@@ -48,11 +53,12 @@ std::size_t FlowManager::new_record(int src_idx, int dst_idx, std::int64_t bytes
 
 void FlowManager::finish_record(std::size_t idx, std::function<void()>& on_done) {
   FlowRecord& rec = records_[idx];
-  rec.finish = sched_.now();
+  rec.finish = now_time();
   rec.completed = true;
   if (rec.large) {
-    assert(active_large_ > 0);
-    --active_large_;
+    [[maybe_unused]] const std::size_t prev =
+        active_large_.fetch_sub(1, std::memory_order_relaxed);
+    assert(prev > 0);
   }
   note_flow_done(rec, /*aborted=*/false);
   if (on_done) on_done();
@@ -62,7 +68,7 @@ void FlowManager::start_large_flow(net::Host& src, net::Host& dst, int src_idx, 
                                    std::int64_t bytes, std::function<void()> on_done) {
   const std::size_t rec = new_record(src_idx, dst_idx, bytes, /*large=*/true);
   const net::FlowId id = records_[rec].id;
-  ++active_large_;
+  active_large_.fetch_add(1, std::memory_order_relaxed);
 
   if (!spec_.multipath()) {
     transport::Flow::Config fc;
@@ -70,7 +76,8 @@ void FlowManager::start_large_flow(net::Host& src, net::Host& dst, int src_idx, 
     fc.size_bytes = bytes;
     fc.cc.kind = spec_.kind == SchemeSpec::Kind::Dctcp ? transport::CcConfig::Kind::Dctcp
                                                        : transport::CcConfig::Kind::Reno;
-    auto flow = std::make_unique<transport::Flow>(sched_, src, dst, fc);
+    auto flow = std::make_unique<transport::Flow>(sched_for(src_idx), sched_for(dst_idx), src,
+                                                  dst, fc);
     flow->set_on_complete(
         [this, rec, done = std::move(on_done)]() mutable { finish_record(rec, done); });
     flow->start();
@@ -98,7 +105,8 @@ void FlowManager::start_large_flow(net::Host& src, net::Host& dst, int src_idx, 
     default:
       assert(false && "unexpected multipath scheme");
   }
-  auto conn = std::make_unique<mptcp::MptcpConnection>(sched_, src, dst, mc);
+  auto conn = std::make_unique<mptcp::MptcpConnection>(sched_for(src_idx), sched_for(dst_idx),
+                                                       src, dst, mc);
   const std::size_t slot = multis_.size();  // stable: multis_ never shrinks
   multis_.push_back(LargeMulti{rec, std::move(conn), std::move(on_done)});
   mptcp::MptcpConnection& c = *multis_[slot].conn;
@@ -110,12 +118,13 @@ void FlowManager::start_large_flow(net::Host& src, net::Host& dst, int src_idx, 
 void FlowManager::finish_multi(std::size_t slot, bool aborted) {
   LargeMulti& m = multis_.at(slot);
   FlowRecord& rec = records_[m.record];
-  rec.finish = sched_.now();
+  rec.finish = now_time();
   rec.completed = !aborted;
   rec.aborted = aborted;
-  assert(active_large_ > 0);
-  --active_large_;
-  if (aborted) ++aborted_large_;
+  [[maybe_unused]] const std::size_t prev =
+      active_large_.fetch_sub(1, std::memory_order_relaxed);
+  assert(prev > 0);
+  if (aborted) aborted_large_.fetch_add(1, std::memory_order_relaxed);
   note_flow_done(rec, aborted);
   // The caller's completion hook fires for aborts too: an aborted transfer
   // is *over* (workload round-robins must not wait for it forever).
@@ -130,7 +139,8 @@ void FlowManager::start_small_flow(net::Host& src, net::Host& dst, int src_idx, 
   fc.id = records_[rec].id;
   fc.size_bytes = bytes;
   fc.cc.kind = transport::CcConfig::Kind::Reno;  // small flows use TCP
-  auto flow = std::make_unique<transport::Flow>(sched_, src, dst, fc);
+  auto flow = std::make_unique<transport::Flow>(sched_for(src_idx), sched_for(dst_idx), src, dst,
+                                                fc);
   flow->set_on_complete(
       [this, rec, done = std::move(on_done)]() mutable { finish_record(rec, done); });
   flow->start();

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -43,6 +44,14 @@ class FlowManager {
   FlowManager(sim::Scheduler& sched, SchemeSpec spec, net::FlowId id_base = 1)
       : sched_{sched}, spec_{spec}, next_id_{id_base} {}
 
+  /// Sharded runs: resolve the shard scheduler owning topology host `i`.
+  /// When set, new transfers place their sender on the source host's
+  /// scheduler and their receiver on the destination's; unset keeps every
+  /// endpoint on the constructor scheduler (the serial path, untouched).
+  void set_schedulers(std::function<sim::Scheduler&(int host_idx)> fn) {
+    sched_lookup_ = std::move(fn);
+  }
+
   /// Start a large flow now. `on_done` (optional) fires at completion,
   /// after the record is finalized.
   void start_large_flow(net::Host& src, net::Host& dst, int src_idx, int dst_idx,
@@ -54,8 +63,12 @@ class FlowManager {
 
   [[nodiscard]] const std::vector<FlowRecord>& records() const { return records_; }
   [[nodiscard]] const SchemeSpec& scheme() const { return spec_; }
-  [[nodiscard]] std::size_t active_large_flows() const { return active_large_; }
-  [[nodiscard]] std::size_t aborted_large_flows() const { return aborted_large_; }
+  [[nodiscard]] std::size_t active_large_flows() const {
+    return active_large_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::size_t aborted_large_flows() const {
+    return aborted_large_.load(std::memory_order_relaxed);
+  }
   /// Subflow re-homes performed across all multipath connections.
   [[nodiscard]] std::uint64_t subflow_rehomes() const;
 
@@ -77,12 +90,23 @@ class FlowManager {
   std::size_t new_record(int src_idx, int dst_idx, std::int64_t bytes, bool large);
   void finish_record(std::size_t idx, std::function<void()>& on_done);
   void finish_multi(std::size_t slot, bool aborted);
+  /// Local simulated time: the scheduler currently dispatching (sharded
+  /// completions land on the endpoint's shard), else the serial scheduler.
+  [[nodiscard]] sim::Time now_time() const;
+  [[nodiscard]] sim::Scheduler& sched_for(int host_idx) const {
+    return sched_lookup_ ? sched_lookup_(host_idx) : sched_;
+  }
 
   sim::Scheduler& sched_;
   SchemeSpec spec_;
   net::FlowId next_id_;
-  std::size_t active_large_ = 0;
-  std::size_t aborted_large_ = 0;
+  std::function<sim::Scheduler&(int)> sched_lookup_;
+  // Concurrent finishes on different shards touch disjoint records_ rows but
+  // share these tallies; new_record/push_back only ever run in the serial
+  // (barrier / micro-step) phase, so the vector itself never reallocates
+  // under a parallel reader.
+  std::atomic<std::size_t> active_large_{0};
+  std::atomic<std::size_t> aborted_large_{0};
 
   struct LargeSingle {
     std::size_t record;

@@ -19,7 +19,7 @@ void PermutationTraffic::start_round() {
     if (perm[i] == i) std::swap(perm[i], perm[(i + 1) % n]);
   }
 
-  outstanding_ = n;
+  outstanding_.store(n, std::memory_order_relaxed);
   for (int src = 0; src < n; ++src) {
     const int dst = perm[src];
     const std::int64_t bytes = rng_.uniform_int(cfg_.min_bytes, cfg_.max_bytes);
@@ -29,7 +29,15 @@ void PermutationTraffic::start_round() {
 }
 
 void PermutationTraffic::on_flow_done() {
-  if (--outstanding_ > 0) return;
+  if (outstanding_.fetch_sub(1, std::memory_order_relaxed) > 1) return;
+  if (parallel_phase_.load(std::memory_order_relaxed)) {
+    // Last flow of the round finished inside a parallel epoch. The flip
+    // fans out to every shard, so it cannot run here: flag the engine,
+    // which discards this attempt and replays the epoch serially (where
+    // this callback fires again, taking the branch below).
+    deferred_done_.store(true, std::memory_order_relaxed);
+    return;
+  }
   ++completed_rounds_;
   if (completed_rounds_ < cfg_.rounds) {
     start_round();

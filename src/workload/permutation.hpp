@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 
@@ -33,6 +34,22 @@ class PermutationTraffic {
   /// Fires when the configured number of rounds has completed.
   void set_on_done(std::function<void()> fn) { on_done_ = std::move(fn); }
 
+  // --- Sharded-engine sync gate -------------------------------------------
+  // A round flip (start_round / on_done_) touches every shard, so it must
+  // run in a serial context. The engine marks parallel epochs; if the last
+  // flow of a round completes inside one, the flip is *deferred* and the
+  // flag tells the engine to replay that epoch serially.
+
+  /// Flows of the current round still in flight.
+  [[nodiscard]] int pending_flows() const { return outstanding_.load(std::memory_order_relaxed); }
+  /// Engine hook: bracket parallel epoch execution.
+  void set_parallel_phase(bool on) { parallel_phase_.store(on, std::memory_order_relaxed); }
+  /// True once a round completion was deferred (the round did NOT flip; the
+  /// engine must replay from a serial context). Sticky for the attempt.
+  [[nodiscard]] bool deferred_done() const {
+    return deferred_done_.load(std::memory_order_relaxed);
+  }
+
  private:
   void start_round();
   void on_flow_done();
@@ -43,7 +60,9 @@ class PermutationTraffic {
   sim::Rng rng_;
   Config cfg_;
   int completed_rounds_ = 0;
-  int outstanding_ = 0;
+  std::atomic<int> outstanding_{0};
+  std::atomic<bool> parallel_phase_{false};
+  std::atomic<bool> deferred_done_{false};
   std::function<void()> on_done_;
 };
 
