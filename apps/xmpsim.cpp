@@ -12,6 +12,8 @@
 //                 [--trace=timeline.json] [--trace-csv=timeline.csv]
 //                 [--trace-filter=cwnd,gain,queue] [--trace-capacity=262144]
 //                 [--metrics=metrics.json] [--shards=N]
+//                 [--checkpoint-every=SIMTIME] [--checkpoint-dir=DIR]
+//                 [--restore=FILE]
 //       Run one Fat-Tree evaluation and print the paper's summary metrics.
 //       --routing selects how switches spread over equal-cost up-ports
 //       (default pinned = the paper's per-tag deterministic paths; ecmp
@@ -32,6 +34,20 @@
 //       including 1 — produces identical results). Permutation pattern
 //       only; incompatible with --coexist, --routing=flowlet,
 //       --invariants and --rehome.
+//       --checkpoint-every=T writes a verified snapshot (ckpt_<seq>.bin in
+//       --checkpoint-dir, default ".") every T *simulated* seconds at a
+//       quiescent point; --restore=FILE resumes a run from a snapshot and
+//       produces summary/trace/metrics byte-identical to the uninterrupted
+//       run. SIGTERM halts at the next quiescent point, writes a final
+//       checkpoint and a partial summary, and exits 143. Checkpointing is
+//       incompatible with --coexist, --routing=flowlet and --rehome, and
+//       --checkpoint-every with --invariants (see `replay` for that).
+//
+//   xmpsim replay --restore=FILE [--trace=...] [--invariants] ...
+//       Re-run a snapshot to completion without writing new checkpoints —
+//       for replaying a crash-point capture under extra observability
+//       (--trace, --trace-csv, --metrics, --invariants). The snapshot's
+//       config fingerprint must match the flags given.
 //
 //   xmpsim fluid  --capacity-gbps=1 --flows=3 [--beta=4] [--rtt-us=300]
 //       Closed-form BOS equilibrium on a single bottleneck (paper §2.1).
@@ -69,6 +85,9 @@
 // prints one line naming the flag, the offending value and the accepted
 // range, then exits 2 (never an assert).
 
+#include <csignal>
+
+#include <atomic>
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
@@ -77,6 +96,7 @@
 #include <string>
 #include <vector>
 
+#include "core/checkpoint.hpp"
 #include "core/export.hpp"
 #include "core/job_manifest.hpp"
 #include "core/orchestrator.hpp"
@@ -89,6 +109,13 @@
 namespace {
 
 using namespace xmp;
+
+/// Flipped by the SIGTERM handler; polled by the engine at quiescent
+/// points. Installed only when checkpointing is configured, so plain runs
+/// keep the default (terminating) disposition.
+std::atomic<bool> g_stop{false};
+
+extern "C" void on_sigterm(int) { g_stop.store(true); }
 
 class Args {
  public:
@@ -330,6 +357,38 @@ core::ExperimentConfig config_from(const Args& args, bool& ok) {
     std::fprintf(stderr, "xmpsim: bad --trace-filter: %s\n", filter_error.c_str());
     ok = false;
   }
+
+  cfg.checkpoint.every =
+      sim::Time::seconds(flag_d(args, "checkpoint-every", 0.0, 1e-6, 3600, ok));
+  cfg.checkpoint.dir = args.get("checkpoint-dir", ".");
+  if (cfg.checkpoint.dir.empty()) {
+    std::fprintf(stderr, "xmpsim: bad --checkpoint-dir= (expected a directory path)\n");
+    ok = false;
+    cfg.checkpoint.dir = ".";
+  }
+  cfg.checkpoint.restore_path = args.get("restore", "");
+  if (cfg.checkpoint.every > sim::Time::zero() || !cfg.checkpoint.restore_path.empty()) {
+    // Checkpoint hooks cover a precise subset of the feature set; everything
+    // outside it is an up-front one-line reject, never a corrupt snapshot.
+    if (cfg.scheme_b) {
+      std::fprintf(stderr, "xmpsim: checkpointing is incompatible with --coexist\n");
+      ok = false;
+    }
+    if (cfg.routing.kind == route::PolicyKind::Flowlet) {
+      std::fprintf(stderr, "xmpsim: checkpointing is incompatible with --routing=flowlet\n");
+      ok = false;
+    }
+    if (cfg.scheme.max_rehomes > 0) {
+      std::fprintf(stderr, "xmpsim: checkpointing is incompatible with --rehome\n");
+      ok = false;
+    }
+  }
+  if (cfg.check_invariants && cfg.checkpoint.every > sim::Time::zero()) {
+    std::fprintf(stderr,
+                 "xmpsim: --invariants is incompatible with --checkpoint-every "
+                 "(use 'xmpsim replay --restore=FILE --invariants' instead)\n");
+    ok = false;
+  }
   return cfg;
 }
 
@@ -409,6 +468,13 @@ void print_summary(const core::ExperimentConfig& cfg, const core::ExperimentResu
                 static_cast<unsigned long long>(res.shard.micro_steps),
                 static_cast<unsigned long long>(res.shard.replays));
   }
+  // Lineage-cumulative totals: a resumed run inherits its ancestors'
+  // counts, so this line is byte-identical to an uninterrupted run's.
+  if (res.ckpt.written > 0) {
+    std::printf("checkpoints: %llu written, %llu bytes, last %s\n",
+                static_cast<unsigned long long>(res.ckpt.written),
+                static_cast<unsigned long long>(res.ckpt.bytes), res.ckpt.last_path.c_str());
+  }
   if (res.aborted_flows > 0) {
     std::printf("aborted flows (all subflows dead): %llu\n",
                 static_cast<unsigned long long>(res.aborted_flows));
@@ -421,10 +487,43 @@ void print_summary(const core::ExperimentConfig& cfg, const core::ExperimentResu
   }
 }
 
-int cmd_run(const Args& args) {
+int cmd_run_impl(const Args& args, bool replay_mode) {
   bool ok = true;
-  const auto cfg = config_from(args, ok);
+  auto cfg = config_from(args, ok);
+  if (replay_mode) {
+    if (cfg.checkpoint.restore_path.empty()) {
+      std::fprintf(stderr, "xmpsim: replay needs --restore=FILE\n");
+      ok = false;
+    }
+    if (cfg.checkpoint.every > sim::Time::zero()) {
+      std::fprintf(stderr,
+                   "xmpsim: replay never writes checkpoints (drop --checkpoint-every)\n");
+      ok = false;
+    }
+  }
   if (!ok) return 2;
+
+  if (!cfg.checkpoint.restore_path.empty()) {
+    // Probe before building the world: a truncated, bit-flipped or
+    // mismatched snapshot is a one-line exit 2, not a deep engine error.
+    core::ckpt::Header h;
+    std::string err;
+    if (!core::ckpt::probe_file(cfg.checkpoint.restore_path, core::ckpt::config_fingerprint(cfg),
+                                h, &err)) {
+      std::fprintf(stderr, "xmpsim: restore failed: %s\n", err.c_str());
+      return 2;
+    }
+    std::fprintf(stderr, "resuming from %s (seq %llu, t=%.6fs)\n",
+                 cfg.checkpoint.restore_path.c_str(), static_cast<unsigned long long>(h.seq),
+                 sim::Time::nanoseconds(h.t_ns).sec());
+  }
+  if (!replay_mode && cfg.checkpoint.every > sim::Time::zero()) {
+    struct sigaction sa = {};
+    sa.sa_handler = on_sigterm;
+    ::sigaction(SIGTERM, &sa, nullptr);
+    cfg.checkpoint.stop_requested = &g_stop;
+  }
+
   const auto res = core::run_experiment(cfg);
   print_summary(cfg, res);
   const std::string csv = args.get("csv", "");
@@ -442,10 +541,21 @@ int cmd_run(const Args& args) {
     core::export_link_drops_csv(res, drops_csv);
     std::printf("wrote %s\n", drops_csv.c_str());
   }
+  if (res.ckpt.interrupted) {
+    // The partial summary above covers [0, halt); 143 = "terminated by
+    // SIGTERM" so wrappers distinguish an interrupted run from a finished
+    // one. The final checkpoint is the resume point.
+    std::fprintf(stderr, "xmpsim: interrupted at t=%.6fs; resume with --restore=%s\n",
+                 res.sim_duration.sec(), res.ckpt.last_path.c_str());
+    return 143;
+  }
   // Surface invariant violations in the exit code so scripted chaos runs
   // fail loudly instead of silently shipping a broken summary.
   return res.invariant_violations.empty() ? 0 : 3;
 }
+
+int cmd_run(const Args& args) { return cmd_run_impl(args, /*replay_mode=*/false); }
+int cmd_replay(const Args& args) { return cmd_run_impl(args, /*replay_mode=*/true); }
 
 int cmd_fluid(const Args& args) {
   bool ok = true;
@@ -483,6 +593,12 @@ bool build_sweep_grid(const Args& args, SweepSpec& spec) {
   spec.param = args.get("param", "mark-k");
   spec.values = flag_list(args, "values", ok);
   if (!ok) return false;
+  if (!args.get("restore", "").empty()) {
+    // Per-job restore decisions belong to the campaign orchestrator (it
+    // probes each job's checkpoint directory on retry).
+    std::fprintf(stderr, "xmpsim: --restore applies to 'run'/'replay', not 'sweep'\n");
+    return false;
+  }
   if (spec.values.empty()) {
     std::fprintf(stderr, "xmpsim: sweep needs --values=a,b,c\n");
     return false;
@@ -676,6 +792,12 @@ int cmd_sweep(const Args& args) {
   // Fast path: trusted in-process sweep on a thread pool.
   SweepSpec spec;
   if (!build_sweep_grid(args, spec)) return 2;
+  if (!spec.grid.empty() && spec.grid[0].checkpoint.every > sim::Time::zero()) {
+    std::fprintf(stderr,
+                 "xmpsim: --checkpoint-every in a sweep needs --out=DIR (per-job checkpoint "
+                 "directories live in the campaign dir)\n");
+    return 2;
+  }
 
   bool ok = true;
   const std::int64_t jobs = flag_i(args, "jobs", 0, 1, 4096, ok);  // absent = hardware cores
@@ -724,7 +846,7 @@ int cmd_topo(const Args& args) {
 
 void usage() {
   std::fprintf(stderr,
-               "usage: xmpsim <run|fluid|sweep|topo> [--key=value ...]\n"
+               "usage: xmpsim <run|replay|fluid|sweep|topo> [--key=value ...]\n"
                "see the header of apps/xmpsim.cpp for the full flag list\n");
 }
 
@@ -738,6 +860,7 @@ int main(int argc, char** argv) {
   const std::string cmd = argv[1];
   Args args{argc, argv};
   if (cmd == "run") return cmd_run(args);
+  if (cmd == "replay") return cmd_replay(args);
   if (cmd == "fluid") return cmd_fluid(args);
   if (cmd == "sweep") return cmd_sweep(args);
   if (cmd == "topo") return cmd_topo(args);

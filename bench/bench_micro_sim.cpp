@@ -5,6 +5,11 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "core/checkpoint.hpp"
 #include "core/xmp.hpp"
 
 using namespace xmp;
@@ -174,6 +179,64 @@ BENCHMARK(BM_ShardedEpoch)
     ->Args({16, 4})
     ->UseRealTime()
     ->Unit(benchmark::kMillisecond);
+
+void BM_CheckpointWrite(benchmark::State& state) {
+  // The checkpoint write hot path (DESIGN.md §12): serialize a payload of
+  // range(0) KB through the Saver, CRC it and publish atomically
+  // (temp file + rename). 64 KB matches a real k=4 snapshot; 1 MB bounds
+  // larger topologies. The payload mix mirrors save_world: mostly u64/i64
+  // counters with a sprinkling of f64 samples.
+  const std::size_t kb = static_cast<std::size_t>(state.range(0));
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "bm_ckpt.bin").string();
+  std::uint64_t seq = 0;
+  for (auto _ : state) {
+    core::ckpt::Saver s;
+    const std::size_t words = kb * 1024 / 8;
+    for (std::size_t i = 0; i < words; ++i) {
+      if (i % 8 == 7) {
+        s.f64(static_cast<double>(i) * 1e-3);
+      } else {
+        s.u64(i * 0x9E3779B97F4A7C15ull);
+      }
+    }
+    core::ckpt::Header h;
+    h.fingerprint = 0xBADC0FFEE;
+    h.t_ns = 1'000'000;
+    h.seq = ++seq;
+    const bool ok = core::ckpt::write_file(path, h, s.data(), nullptr);
+    benchmark::DoNotOptimize(ok);
+  }
+  std::remove(path.c_str());
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations() * kb * 1024));
+}
+BENCHMARK(BM_CheckpointWrite)->Arg(64)->Arg(1024);
+
+void BM_CheckpointRestore(benchmark::State& state) {
+  // The matching read path: open, header + CRC verification, payload into
+  // memory. This is the per-retry cost the orchestrator pays to resume a
+  // job from its newest snapshot.
+  const std::size_t kb = static_cast<std::size_t>(state.range(0));
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "bm_ckpt_r.bin").string();
+  core::ckpt::Saver s;
+  for (std::size_t i = 0; i < kb * 1024 / 8; ++i) s.u64(i * 0x9E3779B97F4A7C15ull);
+  core::ckpt::Header h;
+  h.fingerprint = 0xBADC0FFEE;
+  h.t_ns = 1'000'000;
+  h.seq = 1;
+  core::ckpt::write_file(path, h, s.data(), nullptr);
+  for (auto _ : state) {
+    core::ckpt::Header rh;
+    std::string payload;
+    const bool ok = core::ckpt::read_file(path, 0xBADC0FFEE, rh, payload, nullptr);
+    benchmark::DoNotOptimize(ok);
+    benchmark::DoNotOptimize(payload.data());
+  }
+  std::remove(path.c_str());
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations() * kb * 1024));
+}
+BENCHMARK(BM_CheckpointRestore)->Arg(64)->Arg(1024);
 
 }  // namespace
 

@@ -11,6 +11,7 @@
 #   scripts/check.sh routing    # default build + routing-policy smoke matrix
 #   scripts/check.sh sweep      # default build + sweep kill/resume smoke
 #   scripts/check.sh shard      # default build + sharded-engine CLI smoke
+#   scripts/check.sh ckpt       # default build + checkpoint kill/resume smoke
 #
 # The tsan mode also runs the "shard" ctest label (the sharded engine's
 # worker pool) under ThreadSanitizer; the default mode finishes with the
@@ -67,6 +68,15 @@ run_shard_smoke() {
   scripts/shard_smoke.sh build
 }
 
+# SIGKILL + --restore byte-identity, corrupt-snapshot rejection, SIGTERM
+# exit-143 and replay (scripts/ckpt_smoke.sh), serial and sharded.
+run_ckpt_smoke() {
+  echo "== ckpt smoke =="
+  cmake --preset default
+  cmake --build --preset default -j "$jobs" --target xmpsim
+  scripts/ckpt_smoke.sh build
+}
+
 # The sharded engine's worker pool under ThreadSanitizer: exactly the tests
 # labeled "shard" (tests/core/sharded_engine_test.cpp), on top of the tsan
 # preset's name-filtered suite.
@@ -76,12 +86,13 @@ run_shard_tsan() {
 }
 
 case "${1:-default}" in
-  default) run_preset default; run_chaos build 210; run_shard_smoke ;;
+  default) run_preset default; run_chaos build 210; run_shard_smoke; run_ckpt_smoke ;;
   asan)    run_preset asan-ubsan; run_chaos build-asan 42 ;;
   tsan)    run_preset tsan; run_shard_tsan; run_chaos build-tsan 14 ;;
   routing) run_routing ;;
   sweep)   run_sweep ;;
   shard)   run_shard_smoke ;;
+  ckpt)    run_ckpt_smoke ;;
   all)
     run_preset default; run_chaos build 210
     run_preset asan-ubsan; run_chaos build-asan 42
@@ -89,7 +100,8 @@ case "${1:-default}" in
     run_routing
     run_sweep
     run_shard_smoke
+    run_ckpt_smoke
     ;;
-  *) echo "usage: $0 [default|asan|tsan|all|routing|sweep|shard]" >&2; exit 2 ;;
+  *) echo "usage: $0 [default|asan|tsan|all|routing|sweep|shard|ckpt]" >&2; exit 2 ;;
 esac
 echo "OK"

@@ -1,7 +1,10 @@
 #include "core/experiment.hpp"
 
+#include <cstdio>
+#include <cstdlib>
 #include <memory>
 
+#include "core/checkpoint.hpp"
 #include "faults/fault_controller.hpp"
 #include "faults/invariant_checker.hpp"
 #include "net/network.hpp"
@@ -106,13 +109,14 @@ ExperimentResults run_experiment(const ExperimentConfig& cfg) {
                                                       net::FlowId{1} << 24);
   }
 
-  // --- fault injection (no-op when the plan is empty) ---
+  // --- fault injection (no-op when the plan is empty). arm() is deferred:
+  // on a fresh start it runs in the legacy order below; on a restore the
+  // checkpoint re-arms the pending plan events instead. ---
   std::unique_ptr<faults::FaultController> fault_ctl;
   if (!cfg.fault_plan.empty()) {
     faults::FaultController::Config fcc;
     fcc.seed = cfg.fault_seed;
     fault_ctl = std::make_unique<faults::FaultController>(sched, netw, cfg.fault_plan, fcc);
-    fault_ctl->arm();
   }
 
   std::unique_ptr<faults::InvariantChecker> inv;
@@ -138,7 +142,8 @@ ExperimentResults run_experiment(const ExperimentConfig& cfg) {
             fb->for_each_active_connection([&v](mptcp::MptcpConnection& c) { v(c); });
           });
     }
-    inv->start();
+    // start() is deferred: on a restore it must schedule after the clock
+    // and sequence counter have been restored.
   }
 
   // --- workload ---
@@ -148,6 +153,9 @@ ExperimentResults run_experiment(const ExperimentConfig& cfg) {
   std::unique_ptr<workload::IncastTraffic> incast;
   std::unique_ptr<workload::RandomTraffic> incast_bg;
 
+  // Generators are constructed on both the fresh and the restore path (the
+  // rng.split() draws happen here, identically); start() is deferred so a
+  // restore can rebuild their state instead.
   switch (cfg.pattern) {
     case Pattern::Permutation: {
       workload::PermutationTraffic::Config pc;
@@ -156,7 +164,6 @@ ExperimentResults run_experiment(const ExperimentConfig& cfg) {
       pc.rounds = cfg.permutation_rounds;
       perm = std::make_unique<workload::PermutationTraffic>(sched, tree, flows_a, rng.split(), pc);
       perm->set_on_done([&sched] { sched.stop(); });
-      perm->start();
       break;
     }
     case Pattern::Random: {
@@ -172,8 +179,6 @@ ExperimentResults run_experiment(const ExperimentConfig& cfg) {
         rand_b = std::make_unique<workload::RandomTraffic>(sched, tree, *flows_b, rng.split(), rc_b);
       }
       rand_a = std::make_unique<workload::RandomTraffic>(sched, tree, flows_a, rng.split(), rc);
-      rand_a->start();
-      if (rand_b) rand_b->start();
       break;
     }
     case Pattern::Incast: {
@@ -184,8 +189,6 @@ ExperimentResults run_experiment(const ExperimentConfig& cfg) {
       rc.max_bytes = cfg.rand_max_bytes;
       rc.exclude_same_rack = true;  // paper footnote 8
       incast_bg = std::make_unique<workload::RandomTraffic>(sched, tree, flows_a, rng.split(), rc);
-      incast->start();
-      incast_bg->start();
       break;
     }
   }
@@ -208,8 +211,6 @@ ExperimentResults run_experiment(const ExperimentConfig& cfg) {
     if (flows_b) sample(*flows_b);
     return 0.0;
   }};
-  rtt_tick.start();
-
   stats::UtilizationWindow util{sched};
   std::vector<net::Link*> all_links;
   std::array<std::pair<std::size_t, std::size_t>, 3> layer_ranges;
@@ -222,16 +223,299 @@ ExperimentResults run_experiment(const ExperimentConfig& cfg) {
       off += ls.size();
     }
   }
-  util.open(all_links);
+
+  // --- checkpoint plumbing (DESIGN.md §12) ---
+  const bool ckpt_on = cfg.checkpoint.enabled();
+  const bool restoring = !cfg.checkpoint.restore_path.empty();
+  const std::uint64_t fp = ckpt_on ? ckpt::config_fingerprint(cfg) : 0;
+  std::uint64_t ckpt_seq = 0;      // last sequence number used
+  std::uint64_t ckpt_written = 0;  // lineage-cumulative snapshot count
+  std::uint64_t ckpt_bytes = 0;    // lineage-cumulative snapshot bytes
+
+  // Saved flow-completion callbacks come back as CallbackTags; resolve them
+  // against the generators of this (identically constructed) world.
+  const workload::FlowManager::BindFn bind =
+      [&](const workload::CallbackTag& tag) -> std::function<void()> {
+    using Tag = workload::CallbackTag;
+    switch (tag.kind) {
+      case Tag::kPermutation:
+        return [g = perm.get()] { g->restored_flow_done(); };
+      case Tag::kRandom: {
+        workload::RandomTraffic* g =
+            cfg.pattern == Pattern::Incast ? incast_bg.get() : rand_a.get();
+        return [g, src = static_cast<int>(tag.a), dst = static_cast<int>(tag.b)] {
+          g->restored_flow_done(src, dst);
+        };
+      }
+      case Tag::kIncastRequest:
+        return [g = incast.get(), job = static_cast<std::size_t>(tag.a),
+                server = static_cast<int>(tag.b), client = static_cast<int>(tag.c)] {
+          g->restored_request_done(job, server, client);
+        };
+      case Tag::kIncastResponse:
+        return [g = incast.get(), job = static_cast<std::size_t>(tag.a)] {
+          g->restored_response_done(job);
+        };
+      default:
+        return nullptr;
+    }
+  };
+
+  auto save_world = [&](ckpt::Saver& s) {
+    s.tag("SCHD");
+    s.time(sched.now());
+    s.u64(sched.next_seq());
+    s.u64(sched.dispatched());
+    s.tag("LNKS");
+    s.u64(netw.links().size());
+    for (const auto& l : netw.links()) l->save_state(s);
+    s.tag("SWCH");
+    s.u64(netw.switches().size());
+    for (const net::Switch* sw : netw.switches()) sw->save_state(s);
+    s.tag("HOST");
+    s.u64(netw.hosts().size());
+    for (const net::Host* h : netw.hosts()) h->save_state(s);
+    s.tag("RTEM");
+    routes.save_state(s);
+    s.tag("FLTC");
+    s.b(fault_ctl != nullptr);
+    if (fault_ctl) fault_ctl->save_state(s);
+    s.tag("FLWA");
+    flows_a.save_state(s);
+    s.tag("WKLD");
+    switch (cfg.pattern) {
+      case Pattern::Permutation:
+        perm->save_state(s);
+        break;
+      case Pattern::Random:
+        rand_a->save_state(s);
+        break;
+      case Pattern::Incast:
+        incast->save_state(s);
+        incast_bg->save_state(s);
+        break;
+    }
+    s.tag("PROB");
+    rtt_tick.save_state(s);
+    util.save_state(s);
+    // The RTT gauge accumulates into the results object, not the probe, so
+    // its pre-checkpoint samples must ride along explicitly.
+    for (const auto& d : res.rtt_by_category) d.save_state(s);
+    // Observability state rides along so a resumed run's exports match an
+    // uninterrupted run's byte for byte. Presence flags let a checkpoint
+    // taken without --trace be replayed with it (and vice versa).
+    s.tag("OBSV");
+    s.b(tracer != nullptr);
+    if (tracer) {
+      s.u64(tracer->size());
+      tracer->for_each([&](const obs::TimelineEvent& e) {
+        s.i64(e.t_ns);
+        s.f64(e.a);
+        s.f64(e.b);
+        s.u32(e.id);
+        s.u8(static_cast<std::uint8_t>(e.kind));
+        s.u8(e.subflow);
+        s.u16(e.aux);
+      });
+      s.u64(tracer->dropped());
+    }
+    s.b(registry != nullptr);
+    if (registry) registry->save_state(s);
+  };
+
+  auto restore_world = [&](ckpt::Loader& l) -> bool {
+    l.tag("SCHD");
+    const sim::Time now = l.time();
+    const std::uint64_t next_seq = l.u64();
+    const std::uint64_t disp = l.u64();
+    if (!l.ok()) return false;
+    sched.restore_clock(now, next_seq, disp);
+    l.tag("LNKS");
+    const std::uint64_t nl = l.u64();
+    if (l.ok() && nl != netw.links().size()) return false;
+    for (std::uint64_t i = 0; i < nl && l.ok(); ++i) netw.links()[i]->restore_state(l);
+    l.tag("SWCH");
+    const std::uint64_t nsw = l.u64();
+    if (l.ok() && nsw != netw.switches().size()) return false;
+    for (std::uint64_t i = 0; i < nsw && l.ok(); ++i) netw.switches()[i]->restore_state(l);
+    l.tag("HOST");
+    const std::uint64_t nh = l.u64();
+    if (l.ok() && nh != netw.hosts().size()) return false;
+    for (std::uint64_t i = 0; i < nh && l.ok(); ++i) netw.hosts()[i]->restore_state(l);
+    l.tag("RTEM");
+    routes.restore_state(l);
+    l.tag("FLTC");
+    if (l.b() && fault_ctl) fault_ctl->restore_state(l);
+    l.tag("FLWA");
+    flows_a.restore_state(l, [&](int h) -> net::Host& { return tree.host(h); }, bind);
+    l.tag("WKLD");
+    switch (cfg.pattern) {
+      case Pattern::Permutation:
+        perm->restore_state(l);
+        break;
+      case Pattern::Random:
+        rand_a->restore_state(l);
+        break;
+      case Pattern::Incast:
+        incast->restore_state(l);
+        incast_bg->restore_state(l);
+        break;
+    }
+    l.tag("PROB");
+    rtt_tick.restore_state(l);
+    util.restore_state(l, all_links);
+    for (auto& d : res.rtt_by_category) d.restore_state(l);
+    l.tag("OBSV");
+    if (l.b()) {
+      const std::uint64_t ne = l.u64();
+      std::vector<obs::TimelineEvent> evs;
+      for (std::uint64_t i = 0; i < ne && l.ok(); ++i) {
+        obs::TimelineEvent e;
+        e.t_ns = l.i64();
+        e.a = l.f64();
+        e.b = l.f64();
+        e.id = l.u32();
+        e.kind = static_cast<obs::EventKind>(l.u8());
+        e.subflow = l.u8();
+        e.aux = l.u16();
+        evs.push_back(e);
+      }
+      const std::uint64_t ev_dropped = l.u64();
+      if (tracer && l.ok()) tracer->restore_snapshot(evs, ev_dropped);
+    }
+    if (l.b()) {
+      if (registry) {
+        registry->restore_state(l);
+      } else {
+        obs::MetricsRegistry discard;  // consume the section to stay aligned
+        discard.restore_state(l);
+      }
+    }
+    return l.done();
+  };
+
+  auto write_checkpoint = [&]() {
+    ckpt::Saver s;
+    save_world(s);
+    ckpt::Header h;
+    h.fingerprint = fp;
+    h.t_ns = sched.now().ns();
+    h.seq = ++ckpt_seq;
+    h.prev_written = ckpt_written;
+    h.prev_bytes = ckpt_bytes;
+    const std::string path = cfg.checkpoint.dir + "/" + ckpt::file_name(h.seq);
+    std::string err;
+    if (!ckpt::write_file(path, h, s.data(), &err)) {
+      std::fprintf(stderr, "xmpsim: checkpoint write failed: %s\n", err.c_str());
+      return;  // the run continues; the previous snapshot stays the fallback
+    }
+    const std::uint64_t file_bytes = ckpt::kHeaderBytes + s.data().size();
+    ckpt_written += 1;
+    ckpt_bytes += file_bytes;
+    res.ckpt.last_path = path;
+    if (registry) {
+      registry->counter("harness.ckpt.written").set(ckpt_written);
+      registry->counter("harness.ckpt.bytes").set(ckpt_bytes);
+    }
+    // Recorded *after* the snapshot was serialized: the event describes this
+    // file, so it can only appear in the next one (restores synthesize it).
+    if (tracer) tracer->ckpt_write(sched.now(), h.seq, file_bytes);
+  };
+
+  // --- restore or fresh start ---
+  if (restoring) {
+    ckpt::Header h;
+    std::string payload;
+    std::string err;
+    if (!ckpt::read_file(cfg.checkpoint.restore_path, fp, h, payload, &err)) {
+      std::fprintf(stderr, "xmpsim: restore failed: %s\n", err.c_str());
+      std::exit(2);
+    }
+    ckpt::Loader l{payload};
+    if (!restore_world(l)) {
+      std::fprintf(stderr, "xmpsim: restore failed: %s: malformed payload\n",
+                   cfg.checkpoint.restore_path.c_str());
+      std::exit(2);
+    }
+    ckpt_seq = h.seq;
+    ckpt_written = h.prev_written + 1;
+    ckpt_bytes = h.prev_bytes + ckpt::kHeaderBytes + payload.size();
+    res.ckpt.restored = true;
+    res.ckpt.restored_seq = h.seq;
+    res.ckpt.restored_t = sim::Time::nanoseconds(h.t_ns);
+    if (registry) {
+      registry->counter("harness.ckpt.written").set(ckpt_written);
+      registry->counter("harness.ckpt.bytes").set(ckpt_bytes);
+    }
+    // The snapshot predates its own ckpt_write event; synthesize it so the
+    // resumed trace matches an uninterrupted run's.
+    if (tracer) {
+      tracer->ckpt_write(sim::Time::nanoseconds(h.t_ns), h.seq,
+                         ckpt::kHeaderBytes + payload.size());
+    }
+    if (inv) inv->start();  // replay-only: a fresh checker over the resumed run
+  } else {
+    // Legacy scheduling order — byte-compatible with the pre-checkpoint
+    // engine: faults, invariant checker, workload, probes.
+    if (fault_ctl) fault_ctl->arm();
+    if (inv) inv->start();
+    switch (cfg.pattern) {
+      case Pattern::Permutation:
+        perm->start();
+        break;
+      case Pattern::Random:
+        rand_a->start();
+        if (rand_b) rand_b->start();
+        break;
+      case Pattern::Incast:
+        incast->start();
+        incast_bg->start();
+        break;
+    }
+    rtt_tick.start();
+    util.open(all_links);
+  }
 
   // --- run ---
-  sched.run_until(cfg.duration);
+  if (!ckpt_on) {
+    sched.run_until(cfg.duration);
+  } else {
+    if (cfg.checkpoint.stop_requested) sched.set_external_stop(cfg.checkpoint.stop_requested);
+    const sim::Time every = cfg.checkpoint.every;
+    // Segmented run: each segment ends at the next absolute multiple of
+    // `every` (so a resumed run checkpoints at the same sim times as an
+    // uninterrupted one) or at the horizon, whichever is earlier.
+    while (true) {
+      sim::Time target = cfg.duration;
+      bool boundary = false;
+      if (every > sim::Time::zero()) {
+        const std::int64_t next = (sched.now().ns() / every.ns() + 1) * every.ns();
+        if (next < cfg.duration.ns()) {
+          target = sim::Time::nanoseconds(next);
+          boundary = true;
+        }
+      }
+      sched.run_until(target);
+      if (cfg.checkpoint.stop_requested && cfg.checkpoint.stop_requested->load()) {
+        // Halted between events — always a quiescent point in a serial DES.
+        write_checkpoint();
+        res.ckpt.interrupted = true;
+        break;
+      }
+      if (sched.stopped()) break;  // the workload ended the run early
+      if (!boundary) break;        // reached the horizon
+      write_checkpoint();
+    }
+    sched.set_external_stop(nullptr);
+  }
 
   // --- collect ---
+  // close() returns an empty vector when no sim time elapsed (e.g. a run
+  // interrupted at t=0): no window, no samples.
   const auto utils = util.close();
   for (int l = 0; l < 3; ++l) {
     for (std::size_t i = layer_ranges[l].first; i < layer_ranges[l].second; ++i) {
-      res.utilization_by_layer[l].add(utils[i]);
+      if (!utils.empty()) res.utilization_by_layer[l].add(utils[i]);
       res.queue_occupancy_by_layer[l].add(all_links[i]->queue().mean_occupancy(sched.now()));
     }
   }
@@ -276,6 +560,8 @@ ExperimentResults run_experiment(const ExperimentConfig& cfg) {
   if (incast) res.jobs = incast->jobs();
   res.sim_duration = sched.now();
   res.events_dispatched = sched.dispatched();
+  res.ckpt.written = ckpt_written;
+  res.ckpt.bytes = ckpt_bytes;
 
   res.drops = stats::collect_drops(netw);
   for (const auto& l : netw.links()) {

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <optional>
 #include <vector>
@@ -38,6 +39,26 @@ struct ObsConfig {
 };
 
 [[nodiscard]] const char* pattern_name(Pattern p);
+
+/// In-run checkpoint/restore settings (DESIGN.md §12). Deliberately excluded
+/// from the config fingerprint: the same logical run may be checkpointed at
+/// different cadences, restored, or replayed with extra observability.
+struct CheckpointConfig {
+  /// Snapshot cadence in sim time; zero disables periodic checkpoints.
+  sim::Time every = sim::Time::zero();
+  /// Directory receiving ckpt_<seq>.bin files (must exist; "." by default).
+  std::string dir = ".";
+  /// Resume from this checkpoint file instead of starting fresh.
+  std::string restore_path;
+  /// External stop flag (SIGTERM handler). When it flips, the run halts at
+  /// the next inter-event point, writes a final checkpoint (if a dir is
+  /// configured) and returns with ckpt.interrupted set.
+  const std::atomic<bool>* stop_requested = nullptr;
+
+  [[nodiscard]] bool enabled() const {
+    return every > sim::Time::zero() || !restore_path.empty() || stop_requested != nullptr;
+  }
+};
 
 /// Declarative configuration of one Fat-Tree evaluation run (the setting of
 /// the paper's Tables 1–3 and Figures 8–11).
@@ -98,6 +119,9 @@ struct ExperimentConfig {
 
   /// Trace/metrics exports (inactive unless a path is set).
   ObsConfig obs;
+
+  /// In-run checkpoint/restore (inactive by default).
+  CheckpointConfig checkpoint;
 };
 
 /// Everything the paper reports from one run.
@@ -185,6 +209,21 @@ struct ExperimentResults {
   };
   ShardStats shard;
   bool sharded = false;
+
+  /// Checkpoint accounting (zeroed when checkpointing is off). `written` and
+  /// `bytes` are lineage-cumulative: a restored run inherits the totals of
+  /// the checkpoints that led to it, so the final numbers match an
+  /// uninterrupted run of the same config.
+  struct CkptStats {
+    std::uint64_t written = 0;
+    std::uint64_t bytes = 0;
+    bool restored = false;        ///< this run resumed from a checkpoint
+    std::uint64_t restored_seq = 0;
+    sim::Time restored_t = sim::Time::zero();
+    bool interrupted = false;     ///< external stop cut the run short
+    std::string last_path;        ///< newest checkpoint written by this run
+  };
+  CkptStats ckpt;
 
   [[nodiscard]] double avg_goodput_mbps() const { return goodput.mean(); }
   [[nodiscard]] double avg_goodput_b_mbps() const { return goodput_b.mean(); }

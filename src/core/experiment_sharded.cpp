@@ -1,10 +1,13 @@
 #include <cassert>
+#include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <set>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "core/checkpoint.hpp"
 #include "core/experiment.hpp"
 #include "core/parallel_runner.hpp"
 #include "faults/fault_controller.hpp"
@@ -62,8 +65,16 @@ struct AttemptOutcome {
   ExperimentResults res;
 };
 
+/// A checkpoint image read once by run_experiment_sharded and restored by
+/// every attempt (replayed attempts re-restore the same bytes, so the
+/// abort-and-replay gate composes with --restore).
+struct RestoreImage {
+  ckpt::Header h;
+  std::string payload;
+};
+
 AttemptOutcome attempt(const ExperimentConfig& cfg, const std::set<std::int64_t>& forced,
-                       WorkerPool& pool, std::uint64_t replays) {
+                       WorkerPool& pool, std::uint64_t replays, const RestoreImage* restore) {
   AttemptOutcome out;
 
   // --- observation: one tracer per shard plus one for the control strand
@@ -135,7 +146,7 @@ AttemptOutcome attempt(const ExperimentConfig& cfg, const std::set<std::int64_t>
     faults::FaultController::Config fcc;
     fcc.seed = cfg.fault_seed;
     fault_ctl = std::make_unique<faults::FaultController>(control, netw, cfg.fault_plan, fcc);
-    fault_ctl->arm();
+    // arm() is deferred to the restore-or-fresh branch below.
   }
 
   // --- workload (Permutation only; the caller asserted the pattern) ---
@@ -154,7 +165,7 @@ AttemptOutcome attempt(const ExperimentConfig& cfg, const std::set<std::int64_t>
     sim::Scheduler* cs = sim::current_scheduler();
     final_time = cs != nullptr ? cs->now() : control.now();
   });
-  perm->start();
+  // start() is deferred to the restore-or-fresh branch below.
 
   // --- probes (control strand; they run with the fabric quiesced) ---
   ExperimentResults res;
@@ -168,7 +179,6 @@ AttemptOutcome attempt(const ExperimentConfig& cfg, const std::set<std::int64_t>
         });
     return 0.0;
   }};
-  rtt_tick.start();
 
   stats::UtilizationWindow util{control};
   std::vector<net::Link*> all_links;
@@ -182,7 +192,6 @@ AttemptOutcome attempt(const ExperimentConfig& cfg, const std::set<std::int64_t>
       off += ls.size();
     }
   }
-  util.open(all_links);
 
   // --- the epoch engine ---
   const sim::Time horizon = cfg.duration;
@@ -218,8 +227,257 @@ AttemptOutcome attempt(const ExperimentConfig& cfg, const std::set<std::int64_t>
     return who;
   };
 
-  sim::Time start = sim::Time::zero();
   std::uint32_t epoch_idx = 0;
+
+  // --- checkpoint plumbing (DESIGN.md §12; sharded payload layout) ---
+  // Snapshots happen only at barriers, where handoff channels are drained
+  // and every clock is aligned — the sharded engine's quiescent points.
+  const bool ckpt_on = cfg.checkpoint.enabled();
+  const std::uint64_t fp = ckpt_on ? ckpt::config_fingerprint(cfg) : 0;
+  std::uint64_t ckpt_seq = 0;      // last sequence number used
+  std::uint64_t ckpt_written = 0;  // lineage-cumulative snapshot count
+  std::uint64_t ckpt_bytes = 0;    // lineage-cumulative snapshot bytes
+
+  const workload::FlowManager::BindFn bind =
+      [&](const workload::CallbackTag& tag) -> std::function<void()> {
+    if (tag.kind == workload::CallbackTag::kPermutation) {
+      return [g = perm.get()] { g->restored_flow_done(); };
+    }
+    return nullptr;  // the CLI gates the sharded engine to Permutation
+  };
+
+  auto save_tracer = [](ckpt::Saver& s, const obs::TimelineTracer& t) {
+    s.u64(t.size());
+    t.for_each([&](const obs::TimelineEvent& e) {
+      s.i64(e.t_ns);
+      s.f64(e.a);
+      s.f64(e.b);
+      s.u32(e.id);
+      s.u8(static_cast<std::uint8_t>(e.kind));
+      s.u8(e.subflow);
+      s.u16(e.aux);
+    });
+    s.u64(t.dropped());
+  };
+  // Consumes one tracer section; applies it when `t` is non-null (presence
+  // flags let an untraced checkpoint be replayed with --trace and vice versa).
+  auto load_tracer = [](ckpt::Loader& l, obs::TimelineTracer* t) {
+    const std::uint64_t ne = l.u64();
+    std::vector<obs::TimelineEvent> evs;
+    for (std::uint64_t i = 0; i < ne && l.ok(); ++i) {
+      obs::TimelineEvent e;
+      e.t_ns = l.i64();
+      e.a = l.f64();
+      e.b = l.f64();
+      e.id = l.u32();
+      e.kind = static_cast<obs::EventKind>(l.u8());
+      e.subflow = l.u8();
+      e.aux = l.u16();
+      evs.push_back(e);
+    }
+    const std::uint64_t ev_dropped = l.u64();
+    if (t != nullptr && l.ok()) t->restore_snapshot(evs, ev_dropped);
+  };
+
+  auto save_world = [&](ckpt::Saver& s) {
+    s.tag("SCHD");
+    s.time(control.now());
+    s.u64(control.next_seq());
+    s.u64(control.dispatched());
+    s.tag("SHRD");
+    s.u64(static_cast<std::uint64_t>(n_shards));
+    for (int sh = 0; sh < n_shards; ++sh) {
+      const sim::Scheduler& ss = fabric.sched(sh);
+      s.time(ss.now());
+      s.u64(ss.next_seq());
+      s.u64(ss.dispatched());
+    }
+    s.tag("LNKS");
+    s.u64(netw.links().size());
+    for (const auto& l : netw.links()) {
+      l->save_state(s, l->is_boundary() ? &fabric.sched(netw.link_dst_shard(l->id())) : nullptr);
+    }
+    s.tag("SWCH");
+    s.u64(netw.switches().size());
+    for (const net::Switch* sw : netw.switches()) sw->save_state(s);
+    s.tag("HOST");
+    s.u64(netw.hosts().size());
+    for (const net::Host* h : netw.hosts()) h->save_state(s);
+    s.tag("RTEM");
+    routes.save_state(s);
+    s.tag("FLTC");
+    s.b(fault_ctl != nullptr);
+    if (fault_ctl) fault_ctl->save_state(s);
+    s.tag("FLWA");
+    flows_a.save_state(s);
+    s.tag("WKLD");
+    perm->save_state(s);
+    s.tag("PROB");
+    rtt_tick.save_state(s);
+    util.save_state(s);
+    // The RTT gauge accumulates into the results object, not the probe, so
+    // its pre-checkpoint samples must ride along explicitly.
+    for (const auto& d : res.rtt_by_category) d.save_state(s);
+    // Epoch accounting rides along so a resumed run's summary (epochs,
+    // barriers, micro-steps) matches an uninterrupted run's. `replays` is
+    // process-local by design and deliberately not saved.
+    s.tag("SHST");
+    s.u64(stats.epochs);
+    s.u64(stats.barriers);
+    s.u64(stats.handoff_packets);
+    s.u64(stats.micro_steps);
+    s.u32(epoch_idx);
+    s.tag("OBSV");
+    s.b(control_tracer != nullptr);
+    if (control_tracer) {
+      save_tracer(s, *control_tracer);
+      s.u64(shard_tracers.size());
+      for (const auto& t : shard_tracers) save_tracer(s, *t);
+    }
+    s.b(registry != nullptr);
+    if (registry) registry->save_state(s);
+  };
+
+  auto restore_world = [&](ckpt::Loader& l) -> bool {
+    l.tag("SCHD");
+    {
+      const sim::Time now = l.time();
+      const std::uint64_t next_seq = l.u64();
+      const std::uint64_t disp = l.u64();
+      if (!l.ok()) return false;
+      control.restore_clock(now, next_seq, disp);
+    }
+    l.tag("SHRD");
+    if (l.u64() != static_cast<std::uint64_t>(n_shards)) return false;
+    for (int sh = 0; sh < n_shards && l.ok(); ++sh) {
+      const sim::Time now = l.time();
+      const std::uint64_t next_seq = l.u64();
+      const std::uint64_t disp = l.u64();
+      if (!l.ok()) return false;
+      fabric.sched(sh).restore_clock(now, next_seq, disp);
+    }
+    l.tag("LNKS");
+    const std::uint64_t nl = l.u64();
+    if (l.ok() && nl != netw.links().size()) return false;
+    for (std::uint64_t i = 0; i < nl && l.ok(); ++i) {
+      net::Link* link = netw.links()[i].get();
+      link->restore_state(
+          l, link->is_boundary() ? &fabric.sched(netw.link_dst_shard(link->id())) : nullptr);
+    }
+    l.tag("SWCH");
+    const std::uint64_t nsw = l.u64();
+    if (l.ok() && nsw != netw.switches().size()) return false;
+    for (std::uint64_t i = 0; i < nsw && l.ok(); ++i) netw.switches()[i]->restore_state(l);
+    l.tag("HOST");
+    const std::uint64_t nh = l.u64();
+    if (l.ok() && nh != netw.hosts().size()) return false;
+    for (std::uint64_t i = 0; i < nh && l.ok(); ++i) netw.hosts()[i]->restore_state(l);
+    l.tag("RTEM");
+    routes.restore_state(l);
+    l.tag("FLTC");
+    if (l.b() && fault_ctl) fault_ctl->restore_state(l);
+    l.tag("FLWA");
+    flows_a.restore_state(l, [&](int h) -> net::Host& { return tree.host(h); }, bind);
+    l.tag("WKLD");
+    perm->restore_state(l);
+    l.tag("PROB");
+    rtt_tick.restore_state(l);
+    util.restore_state(l, all_links);
+    for (auto& d : res.rtt_by_category) d.restore_state(l);
+    l.tag("SHST");
+    stats.epochs = l.u64();
+    stats.barriers = l.u64();
+    stats.handoff_packets = l.u64();
+    stats.micro_steps = l.u64();
+    epoch_idx = l.u32();
+    l.tag("OBSV");
+    if (l.b()) {
+      load_tracer(l, control_tracer.get());
+      const std::uint64_t nt = l.u64();
+      for (std::uint64_t i = 0; i < nt && l.ok(); ++i) {
+        load_tracer(l, i < shard_tracers.size() ? shard_tracers[i].get() : nullptr);
+      }
+    }
+    if (l.b()) {
+      if (registry) {
+        registry->restore_state(l);
+      } else {
+        obs::MetricsRegistry discard;  // consume the section to stay aligned
+        discard.restore_state(l);
+      }
+    }
+    return l.done();
+  };
+
+  auto write_checkpoint = [&]() {
+    ckpt::Saver s;
+    save_world(s);
+    ckpt::Header h;
+    h.fingerprint = fp;
+    h.t_ns = control.now().ns();
+    h.seq = ++ckpt_seq;
+    h.prev_written = ckpt_written;
+    h.prev_bytes = ckpt_bytes;
+    const std::string path = cfg.checkpoint.dir + "/" + ckpt::file_name(h.seq);
+    std::string err;
+    if (!ckpt::write_file(path, h, s.data(), &err)) {
+      std::fprintf(stderr, "xmpsim: checkpoint write failed: %s\n", err.c_str());
+      return;  // the run continues; the previous snapshot stays the fallback
+    }
+    const std::uint64_t file_bytes = ckpt::kHeaderBytes + s.data().size();
+    ckpt_written += 1;
+    ckpt_bytes += file_bytes;
+    res.ckpt.last_path = path;
+    if (registry) {
+      registry->counter("harness.ckpt.written").set(ckpt_written);
+      registry->counter("harness.ckpt.bytes").set(ckpt_bytes);
+    }
+    if (control_tracer) control_tracer->ckpt_write(control.now(), h.seq, file_bytes);
+  };
+
+  // --- restore or fresh start ---
+  if (restore != nullptr) {
+    ckpt::Loader l{restore->payload};
+    if (!restore_world(l)) {
+      std::fprintf(stderr, "xmpsim: restore failed: %s: malformed payload\n",
+                   cfg.checkpoint.restore_path.c_str());
+      std::exit(2);
+    }
+    ckpt_seq = restore->h.seq;
+    ckpt_written = restore->h.prev_written + 1;
+    ckpt_bytes = restore->h.prev_bytes + ckpt::kHeaderBytes + restore->payload.size();
+    res.ckpt.restored = true;
+    res.ckpt.restored_seq = restore->h.seq;
+    res.ckpt.restored_t = sim::Time::nanoseconds(restore->h.t_ns);
+    if (registry) {
+      registry->counter("harness.ckpt.written").set(ckpt_written);
+      registry->counter("harness.ckpt.bytes").set(ckpt_bytes);
+    }
+    // The snapshot predates its own ckpt_write event; synthesize it so the
+    // resumed trace matches an uninterrupted run's.
+    if (control_tracer) {
+      control_tracer->ckpt_write(sim::Time::nanoseconds(restore->h.t_ns), restore->h.seq,
+                                 ckpt::kHeaderBytes + restore->payload.size());
+    }
+  } else {
+    // Legacy scheduling order — byte-compatible with the pre-checkpoint
+    // engine: faults, workload, probes.
+    if (fault_ctl) fault_ctl->arm();
+    perm->start();
+    rtt_tick.start();
+    util.open(all_links);
+  }
+
+  const std::atomic<bool>* stop_flag = cfg.checkpoint.stop_requested;
+  const sim::Time every = cfg.checkpoint.every;
+  // The next periodic boundary is a pure function of the clock, so a
+  // resumed run checkpoints at the same sim times as an uninterrupted one.
+  sim::Time next_ckpt = sim::Time::infinity();
+  if (every > sim::Time::zero()) {
+    next_ckpt = sim::Time::nanoseconds((control.now().ns() / every.ns() + 1) * every.ns());
+  }
+
+  sim::Time start = control.now();
 
   while (!done && start < horizon) {
     const bool forced_serial = forced.count(start.ns()) > 0;
@@ -248,6 +506,9 @@ AttemptOutcome attempt(const ExperimentConfig& cfg, const std::set<std::int64_t>
         all_clocks_to(t);
         seg_t = t;
         if (done) break;
+        // Clocks are aligned and handoffs drained right here, so an external
+        // stop can cut the segment short and still checkpoint safely below.
+        if (stop_flag != nullptr && stop_flag->load()) break;
       }
       ++stats.barriers;
       if (auto* tr = obs::tracer(); tr != nullptr) [[unlikely]] {
@@ -295,9 +556,23 @@ AttemptOutcome attempt(const ExperimentConfig& cfg, const std::set<std::int64_t>
       start = b;
     }
     ++epoch_idx;
+
+    // ---- quiescent point: channels drained, every clock == start ----
+    if (ckpt_on && !done) {
+      if (stop_flag != nullptr && stop_flag->load()) {
+        write_checkpoint();
+        res.ckpt.interrupted = true;
+        final_time = start;  // partial summary covers [0, halt)
+        break;
+      }
+      if (start >= next_ckpt) {
+        write_checkpoint();
+        next_ckpt = sim::Time::nanoseconds((start.ns() / every.ns() + 1) * every.ns());
+      }
+    }
   }
 
-  if (!done) {
+  if (!done && !res.ckpt.interrupted) {
     // Horizon pass: the serial engine's run_until bound is inclusive, so
     // events at exactly t == horizon still run (canonical order; equal-time
     // events on different shards cannot interact within the instant).
@@ -309,10 +584,12 @@ AttemptOutcome attempt(const ExperimentConfig& cfg, const std::set<std::int64_t>
 
   // --- collect (mirrors the serial engine, with the control clock standing
   // in for the single serial scheduler) ---
+  // close() returns an empty vector when no sim time elapsed (e.g. a run
+  // interrupted at t=0): no window, no samples.
   const auto utils = util.close();
   for (int l = 0; l < 3; ++l) {
     for (std::size_t i = layer_ranges[l].first; i < layer_ranges[l].second; ++i) {
-      res.utilization_by_layer[l].add(utils[i]);
+      if (!utils.empty()) res.utilization_by_layer[l].add(utils[i]);
       res.queue_occupancy_by_layer[l].add(all_links[i]->queue().mean_occupancy(control.now()));
     }
   }
@@ -376,6 +653,8 @@ AttemptOutcome attempt(const ExperimentConfig& cfg, const std::set<std::int64_t>
   res.shard.handoff_packets = stats.handoff_packets;
   res.shard.micro_steps = stats.micro_steps;
   res.shard.replays = replays;
+  res.ckpt.written = ckpt_written;
+  res.ckpt.bytes = ckpt_bytes;
 
   // --- observability exports (after collection) ---
   if (registry) {
@@ -414,10 +693,23 @@ ExperimentResults run_experiment_sharded(const ExperimentConfig& cfg) {
   assert(!cfg.check_invariants && "sharded engine: invariant probing is serial-only");
   assert(cfg.scheme.max_rehomes == 0 && "sharded engine: subflow re-homing is serial-only");
 
+  // A restore image is read and verified once; every attempt (including
+  // round-flip replays) restores from the same in-memory bytes.
+  std::unique_ptr<RestoreImage> restore;
+  if (!cfg.checkpoint.restore_path.empty()) {
+    restore = std::make_unique<RestoreImage>();
+    std::string err;
+    if (!ckpt::read_file(cfg.checkpoint.restore_path, ckpt::config_fingerprint(cfg), restore->h,
+                         restore->payload, &err)) {
+      std::fprintf(stderr, "xmpsim: restore failed: %s\n", err.c_str());
+      std::exit(2);
+    }
+  }
+
   WorkerPool pool{static_cast<unsigned>(cfg.shards)};
   std::set<std::int64_t> forced;  // epoch starts pinned serial by failed attempts
   for (;;) {
-    AttemptOutcome out = attempt(cfg, forced, pool, forced.size());
+    AttemptOutcome out = attempt(cfg, forced, pool, forced.size(), restore.get());
     if (out.ok) return std::move(out.res);
     // Abort-and-replay: deterministic world construction makes the replay
     // reach the same epoch with the same state, now micro-stepped serially.

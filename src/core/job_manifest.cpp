@@ -57,6 +57,12 @@ bool JobManifest::save(const std::string& dir, std::string* error) const {
       json.kv("attempts", static_cast<std::int64_t>(j.attempts));
       json.kv("result", j.result_file);
       json.kv("error", j.last_error);
+      if (!j.lineage.empty()) {
+        json.key("lineage");
+        json.begin_array();
+        for (const auto& l : j.lineage) json.value(l);
+        json.end_array();
+      }
       json.end_object();
     }
     json.end_array();
@@ -105,6 +111,12 @@ bool JobManifest::load(const std::string& dir, JobManifest& out, std::string* er
     if (jv.has("attempts")) j.attempts = static_cast<int>(jv.at("attempts").number);
     if (jv.has("result")) j.result_file = jv.at("result").str;
     if (jv.has("error")) j.last_error = jv.at("error").str;
+    if (jv.has("lineage") && jv.at("lineage").is_array()) {
+      for (const auto& l : jv.at("lineage").array) {
+        if (!l.is_string()) return fail("lineage entries must be strings");
+        j.lineage.push_back(l.str);
+      }
+    }
     if (j.index != out.jobs.size()) return fail("job indices must be dense and ordered");
     out.jobs.push_back(std::move(j));
   }

@@ -32,6 +32,10 @@ struct JobEntry {
   int attempts = 0;         ///< child processes spawned so far for this job
   std::string result_file;  ///< campaign-dir-relative result JSON ("job_<i>.json")
   std::string last_error;   ///< "", "exit N", "signal N", "timeout", "missing result"
+  /// Checkpoint lineage, one entry per spawned attempt: "fresh" for a clean
+  /// start, or the ckpt_<seq>.bin file the attempt resumed from. Empty when
+  /// the campaign runs without --checkpoint-every.
+  std::vector<std::string> lineage;
 };
 
 /// Per-campaign sweep manifest, persisted as sweep_manifest.json in the

@@ -6,6 +6,12 @@
 // Promoted from the test utilities so the sweep orchestrator can parse its
 // own manifests and per-job result files; still not a general-purpose
 // parser (no streaming, whole document in memory).
+//
+// Hardened against hostile input: nesting is capped (kMaxDepth) so a
+// "[[[[..." bomb cannot overflow the stack, unescaped control characters
+// (including NUL bytes) in strings are rejected per RFC 8259, and every
+// truncation path fails with a clean one-line error instead of reading out
+// of bounds.
 
 #include <cctype>
 #include <cstdint>
@@ -55,8 +61,23 @@ class MiniJsonParser {
     return v;
   }
 
+  /// Containers deeper than this are rejected ("nesting too deep"), keeping
+  /// the recursive descent's stack usage bounded on hostile input.
+  static constexpr std::size_t kMaxDepth = 256;
+
  private:
   explicit MiniJsonParser(const std::string& text) : text_{text} {}
+
+  /// RAII nesting guard for parse_object/parse_array.
+  struct DepthGuard {
+    explicit DepthGuard(MiniJsonParser& p) : p_{p} {
+      if (++p_.depth_ > kMaxDepth) p_.fail("nesting too deep");
+    }
+    ~DepthGuard() { --p_.depth_; }
+    DepthGuard(const DepthGuard&) = delete;
+    DepthGuard& operator=(const DepthGuard&) = delete;
+    MiniJsonParser& p_;
+  };
 
   [[noreturn]] void fail(const std::string& what) const {
     throw std::runtime_error("mini_json: " + what + " at offset " + std::to_string(pos_));
@@ -120,6 +141,7 @@ class MiniJsonParser {
   }
 
   JsonValue parse_object() {
+    const DepthGuard guard{*this};
     JsonValue v;
     v.kind = JsonValue::Kind::Object;
     expect('{');
@@ -145,6 +167,7 @@ class MiniJsonParser {
   }
 
   JsonValue parse_array() {
+    const DepthGuard guard{*this};
     JsonValue v;
     v.kind = JsonValue::Kind::Array;
     expect('[');
@@ -172,6 +195,11 @@ class MiniJsonParser {
       if (pos_ >= text_.size()) fail("unterminated string");
       const char c = text_[pos_++];
       if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        // RFC 8259 §7: control characters (NUL included) must be escaped.
+        --pos_;
+        fail("unescaped control character in string");
+      }
       if (c == '\\') {
         if (pos_ >= text_.size()) fail("unterminated escape");
         const char e = text_[pos_++];
@@ -269,6 +297,7 @@ class MiniJsonParser {
 
   const std::string& text_;
   std::size_t pos_ = 0;
+  std::size_t depth_ = 0;
 };
 
 /// Parse an entire JSON file. Returns false (and sets *error) when the file

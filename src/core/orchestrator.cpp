@@ -7,9 +7,11 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <stdexcept>
 #include <thread>
 
+#include "core/checkpoint.hpp"
 #include "core/mini_json.hpp"
 #include "obs/metrics.hpp"
 #include "obs/timeline.hpp"
@@ -65,6 +67,8 @@ CampaignOutcome Orchestrator::run(const std::vector<ExperimentConfig>& grid,
   obs::Counter* c_exhausted = m != nullptr ? &m->counter("harness.jobs_exhausted") : nullptr;
   obs::Counter* c_salvaged = m != nullptr ? &m->counter("harness.results_salvaged") : nullptr;
   obs::Counter* c_resumed = m != nullptr ? &m->counter("harness.jobs_resumed") : nullptr;
+  obs::Counter* c_ckpt_restores = m != nullptr ? &m->counter("harness.ckpt.restores") : nullptr;
+  obs::Counter* c_ckpt_fallbacks = m != nullptr ? &m->counter("harness.ckpt.fallbacks") : nullptr;
   obs::Histogram* h_attempt_ms = m != nullptr ? &m->histogram("harness.attempt_ms") : nullptr;
 
   const auto t0 = Clock::now();
@@ -217,6 +221,46 @@ CampaignOutcome Orchestrator::run(const std::vector<ExperimentConfig>& grid,
       JobEntry& j = manifest.jobs[pick];
       j.state = JobState::Running;
       ++j.attempts;
+
+      // Checkpoint-aware retry: every attempt of a checkpointing job writes
+      // into the campaign's per-job directory; a retry resumes from the
+      // newest snapshot that still verifies (CRC + fingerprint), falling
+      // back through older ones — or a fresh start — when the newest is
+      // truncated or bit-flipped. The lineage column makes the decision
+      // auditable per attempt in sweep_manifest.json.
+      ExperimentConfig eff = grid[pick];
+      if (eff.checkpoint.every > sim::Time::zero()) {
+        const std::string ckpt_dir =
+            cfg_.campaign_dir + "/ckpt_job_" + std::to_string(pick);
+        std::error_code ec;
+        std::filesystem::create_directories(ckpt_dir, ec);
+        eff.checkpoint.dir = ckpt_dir;
+        std::string resumed_from = "fresh";
+        // A retry within this campaign process (attempts > 1) or a job that
+        // already ran in a resumed campaign (non-empty lineage) prefers the
+        // newest snapshot it left behind.
+        if (j.attempts > 1 || !j.lineage.empty()) {
+          const std::uint64_t fp = ckpt::config_fingerprint(eff);
+          const std::string best = ckpt::newest_valid(ckpt_dir, fp, /*verbose=*/true);
+          if (!best.empty()) {
+            eff.checkpoint.restore_path = best;
+            resumed_from = best.substr(best.find_last_of('/') + 1);
+            if (c_ckpt_restores != nullptr) c_ckpt_restores->inc();
+            ckpt::Header h;
+            if (cfg_.tracer != nullptr && ckpt::probe_file(best, fp, h)) {
+              std::error_code fec;
+              const auto sz = std::filesystem::file_size(best, fec);
+              cfg_.tracer->ckpt_restore(trace_now(), h.seq, fec ? 0 : sz,
+                                        sim::Time::nanoseconds(h.t_ns).us());
+            }
+          } else if (c_ckpt_fallbacks != nullptr) {
+            // A prior attempt ran but left no usable snapshot: fresh start.
+            c_ckpt_fallbacks->inc();
+          }
+        }
+        j.lineage.push_back(resumed_from);
+      }
+
       manifest.save(cfg_.campaign_dir);
       if (c_spawns != nullptr) c_spawns->inc();
       if (cfg_.tracer != nullptr) {
@@ -232,7 +276,7 @@ CampaignOutcome Orchestrator::run(const std::vector<ExperimentConfig>& grid,
         // the parent's state (manifest, tracer, stdio) is not ours to touch.
         int code = 125;
         try {
-          code = body(pick, grid[pick], cfg_.campaign_dir + "/" + j.result_file, j.attempts - 1);
+          code = body(pick, eff, cfg_.campaign_dir + "/" + j.result_file, j.attempts - 1);
         } catch (...) {
           code = 125;
         }

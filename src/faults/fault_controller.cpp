@@ -1,5 +1,6 @@
 #include "faults/fault_controller.hpp"
 
+#include <algorithm>
 #include <cassert>
 
 #include "net/types.hpp"
@@ -38,10 +39,14 @@ FaultController::FaultController(sim::Scheduler& sched, net::Network& net, Fault
     : sched_{sched}, net_{net}, plan_{std::move(plan)}, cfg_{cfg} {}
 
 void FaultController::arm() {
+  event_ids_.assign(plan_.events.size(), sim::kInvalidEventId);
   for (std::size_t i = 0; i < plan_.events.size(); ++i) {
     // Capture the index, not the event: the plan vector is stable for the
     // controller's lifetime and the capture stays pointer-sized.
-    sched_.schedule_at(plan_.events[i].at, [this, i] { apply(plan_.events[i]); });
+    event_ids_[i] = sched_.schedule_at(plan_.events[i].at, [this, i] {
+      event_ids_[i] = sim::kInvalidEventId;
+      apply(plan_.events[i]);
+    });
   }
 }
 
@@ -120,6 +125,74 @@ void FaultController::start_loss(net::LinkId link, const LossModel& m) {
 void FaultController::stop_loss(net::LinkId link) {
   net_.link(link).set_fault_hook(nullptr);
   losses_.erase(link);
+}
+
+void FaultController::save_state(core::ckpt::Saver& s) const {
+  s.u64(events_applied_);
+  s.u64(plan_.events.size());
+  for (std::size_t i = 0; i < plan_.events.size(); ++i) {
+    const bool pending = i < event_ids_.size() && event_ids_[i] != sim::kInvalidEventId;
+    s.b(pending);
+    if (pending) {
+      sim::Scheduler::PendingKey k;
+      [[maybe_unused]] const bool live = sched_.key_of(event_ids_[i], k);
+      assert(live && "fault plan timer id stale");
+      s.i64(k.t_ns);
+      s.u64(k.seq);
+    }
+  }
+  // Active loss processes, in link-id order (the map is unordered).
+  std::vector<net::LinkId> links;
+  links.reserve(losses_.size());
+  for (const auto& [link, proc] : losses_) links.push_back(link);
+  std::sort(links.begin(), links.end());
+  s.u64(links.size());
+  for (const net::LinkId link : links) {
+    const LossProcess& proc = *losses_.at(link);
+    s.u32(link);
+    const LossModel& m = proc.model();
+    s.u8(static_cast<std::uint8_t>(m.kind));
+    s.f64(m.p_loss);
+    s.f64(m.p_corrupt);
+    s.f64(m.p_good_bad);
+    s.f64(m.p_bad_good);
+    s.f64(m.loss_good);
+    s.f64(m.loss_bad);
+    proc.save_state(s);
+  }
+}
+
+void FaultController::restore_state(core::ckpt::Loader& l) {
+  events_applied_ = l.u64();
+  const std::uint64_t n = l.u64();
+  assert(!l.ok() || n == plan_.events.size());
+  event_ids_.assign(plan_.events.size(), sim::kInvalidEventId);
+  for (std::uint64_t i = 0; i < n && i < plan_.events.size() && l.ok(); ++i) {
+    if (!l.b()) continue;
+    const std::int64_t t_ns = l.i64();
+    const std::uint64_t seq = l.u64();
+    const std::size_t idx = static_cast<std::size_t>(i);
+    event_ids_[idx] = sched_.restore_at(sim::Time::nanoseconds(t_ns), seq, [this, idx] {
+      event_ids_[idx] = sim::kInvalidEventId;
+      apply(plan_.events[idx]);
+    });
+  }
+  const std::uint64_t nl = l.u64();
+  for (std::uint64_t i = 0; i < nl && l.ok(); ++i) {
+    const net::LinkId link = l.u32();
+    LossModel m;
+    m.kind = static_cast<LossModel::Kind>(l.u8());
+    m.p_loss = l.f64();
+    m.p_corrupt = l.f64();
+    m.p_good_bad = l.f64();
+    m.p_bad_good = l.f64();
+    m.loss_good = l.f64();
+    m.loss_bad = l.f64();
+    auto proc = std::make_unique<LossProcess>(m, cfg_.seed, link);
+    proc->restore_state(l);
+    net_.link(link).set_fault_hook(proc.get());
+    losses_[link] = std::move(proc);
+  }
 }
 
 }  // namespace xmp::faults

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <unordered_map>
@@ -26,6 +27,19 @@ class LossProcess final : public net::Link::FaultHook {
   [[nodiscard]] net::Link::FaultAction on_send(const net::Packet& p) override;
 
   [[nodiscard]] const LossModel& model() const { return model_; }
+
+  /// Checkpoint the channel RNG and Gilbert–Elliott state (the model itself
+  /// is reconstructed from the saved LossModel by the controller).
+  void save_state(core::ckpt::Saver& s) const {
+    for (const std::uint64_t w : rng_.state()) s.u64(w);
+    s.b(bad_state_);
+  }
+  void restore_state(core::ckpt::Loader& l) {
+    std::array<std::uint64_t, 4> st{};
+    for (auto& w : st) w = l.u64();
+    rng_.restore_state(st);
+    bad_state_ = l.b();
+  }
 
  private:
   LossModel model_;
@@ -67,6 +81,15 @@ class FaultController {
   [[nodiscard]] std::size_t events_applied() const { return events_applied_; }
   [[nodiscard]] const FaultPlan& plan() const { return plan_; }
 
+  /// Checkpoint applied-event progress, the pending plan timers' keys and
+  /// every active loss process. restore_state() expects an *un-armed*
+  /// controller over the same plan: it re-arms only the still-pending
+  /// events and re-installs the loss hooks (the already-applied topology
+  /// effects — down links, disabled marking — live in the net-layer state
+  /// and are restored there).
+  void save_state(core::ckpt::Saver& s) const;
+  void restore_state(core::ckpt::Loader& l);
+
  private:
   void apply(const FaultEvent& e);
   void set_switch_down(int idx, bool down);
@@ -80,6 +103,9 @@ class FaultController {
   FaultPlan plan_;
   Config cfg_;
   std::size_t events_applied_ = 0;
+  /// Pending plan-event timers, parallel to plan_.events (invalid once
+  /// fired); tracked so checkpoints can re-arm the remaining schedule.
+  std::vector<sim::EventId> event_ids_;
   std::unordered_map<net::LinkId, std::unique_ptr<LossProcess>> losses_;
 };
 

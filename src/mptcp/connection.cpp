@@ -161,6 +161,7 @@ MptcpConnection::MptcpConnection(sim::Scheduler& src_sched, sim::Scheduler& dst_
     if (cfg_.n_subflows > 1 || cfg_.dead_after_rtos > 0) sf.sender->set_observer(this);
     subflows_.push_back(std::move(sf));
   }
+  start_timers_.assign(subflows_.size(), sim::kInvalidEventId);
 }
 
 MptcpConnection::~MptcpConnection() = default;
@@ -195,7 +196,10 @@ void MptcpConnection::start() {
     if (offset == sim::Time::zero()) {
       start_subflow(i);
     } else {
-      sched_.schedule_in(offset, [this, i] { start_subflow(i); });
+      start_timers_[static_cast<std::size_t>(i)] = sched_.schedule_in(offset, [this, i] {
+        start_timers_[static_cast<std::size_t>(i)] = sim::kInvalidEventId;
+        start_subflow(i);
+      });
     }
   }
 }
@@ -301,6 +305,61 @@ void MptcpConnection::on_source_done() {
   finished_ = true;
   finish_time_ = sched_.now();
   if (on_complete_) on_complete_();
+}
+
+void MptcpConnection::save_state(core::ckpt::Saver& s) const {
+  s.b(started_);
+  s.b(finished_);
+  s.b(aborted_);
+  s.time(start_time_);
+  s.time(finish_time_);
+  s.i64(path_mgr_.rehomes_used());
+  source_->save_state(s);
+  s.u64(subflows_.size());
+  for (std::size_t i = 0; i < subflows_.size(); ++i) {
+    const Subflow& sf = subflows_[i];
+    s.b(sf.started);
+    s.b(sf.dead);
+    const bool timer = start_timers_[i] != sim::kInvalidEventId;
+    s.b(timer);
+    if (timer) {
+      sim::Scheduler::PendingKey k;
+      [[maybe_unused]] const bool live = sched_.key_of(start_timers_[i], k);
+      assert(live && "subflow start timer id stale");
+      s.i64(k.t_ns);
+      s.u64(k.seq);
+    }
+    sf.sender->save_state(s);
+    sf.receiver->save_state(s);
+  }
+}
+
+void MptcpConnection::restore_state(core::ckpt::Loader& l) {
+  started_ = l.b();
+  finished_ = l.b();
+  aborted_ = l.b();
+  start_time_ = l.time();
+  finish_time_ = l.time();
+  path_mgr_.restore_rehomes_used(static_cast<int>(l.i64()));
+  source_->restore_state(l);
+  const std::uint64_t n = l.u64();
+  assert(!l.ok() || n == subflows_.size());
+  for (std::size_t i = 0; i < subflows_.size() && i < n && l.ok(); ++i) {
+    Subflow& sf = subflows_[i];
+    sf.started = l.b();
+    sf.dead = l.b();
+    if (l.b()) {
+      const std::int64_t t_ns = l.i64();
+      const std::uint64_t seq = l.u64();
+      const int idx = static_cast<int>(i);
+      start_timers_[i] = sched_.restore_at(sim::Time::nanoseconds(t_ns), seq, [this, idx] {
+        start_timers_[static_cast<std::size_t>(idx)] = sim::kInvalidEventId;
+        start_subflow(idx);
+      });
+    }
+    sf.sender->restore_state(l);
+    sf.receiver->restore_state(l);
+  }
 }
 
 std::int64_t MptcpConnection::delivered_bytes() const {

@@ -113,6 +113,13 @@ class MptcpConnection : private transport::SenderObserver {
 
   [[nodiscard]] const CouplingContext& context() const;
 
+  /// Checkpoint connection progress, the shared source pool, the re-home
+  /// budget, every subflow's sender/receiver, and pending start-offset
+  /// timers. The completion/abort callbacks are not saved — the owner
+  /// re-binds them after restore.
+  void save_state(core::ckpt::Saver& s) const;
+  void restore_state(core::ckpt::Loader& l);
+
  private:
   struct Subflow {
     std::unique_ptr<transport::TcpSender> sender;
@@ -143,6 +150,9 @@ class MptcpConnection : private transport::SenderObserver {
   std::unique_ptr<Context> ctx_;
   std::unique_ptr<transport::FixedSource> source_;
   std::vector<Subflow> subflows_;
+  /// Pending start-offset timers, one slot per subflow (invalid once fired);
+  /// tracked so checkpoints can re-arm staggered establishment.
+  std::vector<sim::EventId> start_timers_;
   sim::Time start_time_ = sim::Time::zero();
   sim::Time finish_time_ = sim::Time::zero();
   bool started_ = false;

@@ -38,9 +38,10 @@ std::uint64_t ShardFabric::drain_all() {
         Link* link = rp.link;
         link->accept_remote_arrival(std::move(rp.pkt), rp.link_epoch);
         // Captures a single pointer, so the callback stays inline (no
-        // allocation on the handoff path).
-        ds.schedule_at(sim::Time::nanoseconds(rp.deliver_t_ns),
-                       [link] { link->remote_deliver_head(); });
+        // allocation on the handoff path). The id is tracked on the link so
+        // a barrier checkpoint can save the pending delivery's key.
+        link->track_remote_delivery(ds.schedule_at(
+            sim::Time::nanoseconds(rp.deliver_t_ns), [link] { link->remote_deliver_head(); }));
         ++handed_off;
       }
       items.clear();

@@ -82,25 +82,36 @@ void Link::start_transmission() {
     }
     remote_in_flight_.push_back(RemoteInFlight{deliver_t_ns, epoch_});
     remote_->push(RemotePacket{this, std::move(p), deliver_t_ns, epoch_});
-    sched_.schedule_in(tx, [this, e = epoch_] {
-      if (e == epoch_) on_transmit_complete();
-    });
+    tx_events_.push_back(
+        TxDone{sched_.schedule_in(tx, [this, e = epoch_] { complete_tx(e); }), epoch_});
     return;
   }
 
   // Deliver to the sink after serialization + propagation. The packet rides
   // in the in-flight FIFO, so the event captures only `this`.
   in_flight_.push_back(InFlight{std::move(p), epoch_});
-  sched_.schedule_in(tx + prop_delay_, [this] { deliver_head(); });
+  delivery_events_.push_back(sched_.schedule_in(tx + prop_delay_, [this] { deliver_head(); }));
   // Transmitter frees up after serialization only; a stale completion from
   // before a set_down() must not restart the (possibly reopened) link.
-  sched_.schedule_in(tx, [this, e = epoch_] {
-    if (e == epoch_) on_transmit_complete();
-  });
+  tx_events_.push_back(
+      TxDone{sched_.schedule_in(tx, [this, e = epoch_] { complete_tx(e); }), epoch_});
+}
+
+void Link::complete_tx(std::uint64_t epoch) {
+  // Retire the checkpoint-tracking entry for this event (unique per epoch:
+  // within one epoch at most one transmit-complete is ever pending).
+  for (auto it = tx_events_.begin(); it != tx_events_.end(); ++it) {
+    if (it->epoch == epoch) {
+      tx_events_.erase(it);
+      break;
+    }
+  }
+  if (epoch == epoch_) on_transmit_complete();
 }
 
 void Link::remote_deliver_head() {
   assert(!remote_arrivals_.empty());
+  if (!remote_delivery_events_.empty()) remote_delivery_events_.pop_front();
   RemoteArrival head = std::move(remote_arrivals_.front());
   remote_arrivals_.pop_front();
   if (head.epoch != epoch_) return;  // lost to set_down; counted there
@@ -119,6 +130,8 @@ void Link::remote_deliver_head() {
 
 void Link::deliver_head() {
   assert(!in_flight_.empty());
+  assert(!delivery_events_.empty());
+  delivery_events_.pop_front();  // this event; stale-epoch entries pop too
   InFlight head = std::move(in_flight_.front());
   in_flight_.pop_front();
   if (head.epoch != epoch_) return;  // lost to set_down; counted there
@@ -166,6 +179,115 @@ void Link::set_down(bool down) {
     while (queue_->dequeue(discard, sched_.now())) ++drops_.admin_down;  // flushed on closure
   }
   for (StateListener* l : state_listeners_) l->on_link_state(*this, down_);
+}
+
+void Link::save_state(core::ckpt::Saver& s, sim::Scheduler* remote_sched) const {
+  s.b(transmitting_);
+  s.b(down_);
+  s.u64(bytes_sent_);
+  s.time(busy_);
+  s.u64(epoch_);
+  s.u64(offered_);
+  s.u64(delivered_);
+  s.u64(drops_.queue);
+  s.u64(drops_.admin_down);
+  s.u64(drops_.fault);
+  s.u64(drops_.corrupt);
+  queue_->save_state(s);
+
+  assert(in_flight_.size() == delivery_events_.size());
+  s.u64(in_flight_.size());
+  for (std::size_t i = 0; i < in_flight_.size(); ++i) {
+    sim::Scheduler::PendingKey k;
+    [[maybe_unused]] const bool live = sched_.key_of(delivery_events_[i], k);
+    assert(live && "delivery event lost");
+    s.i64(k.t_ns);
+    s.u64(k.seq);
+    s.u64(in_flight_[i].epoch);
+    save_packet(s, in_flight_[i].pkt);
+  }
+
+  s.u64(tx_events_.size());
+  for (const TxDone& e : tx_events_) {
+    sim::Scheduler::PendingKey k;
+    [[maybe_unused]] const bool live = sched_.key_of(e.id, k);
+    assert(live && "tx-complete event lost");
+    s.i64(k.t_ns);
+    s.u64(k.seq);
+    s.u64(e.epoch);
+  }
+
+  s.u64(remote_in_flight_.size());
+  for (const RemoteInFlight& f : remote_in_flight_) {
+    s.i64(f.deliver_t_ns);
+    s.u64(f.epoch);
+  }
+
+  assert(remote_arrivals_.size() == remote_delivery_events_.size());
+  s.u64(remote_arrivals_.size());
+  for (std::size_t i = 0; i < remote_arrivals_.size(); ++i) {
+    assert(remote_sched != nullptr && "boundary link needs its destination scheduler");
+    sim::Scheduler::PendingKey k;
+    [[maybe_unused]] const bool live = remote_sched->key_of(remote_delivery_events_[i], k);
+    assert(live && "remote delivery event lost");
+    s.i64(k.t_ns);
+    s.u64(k.seq);
+    s.u64(remote_arrivals_[i].epoch);
+    save_packet(s, remote_arrivals_[i].pkt);
+  }
+}
+
+void Link::restore_state(core::ckpt::Loader& l, sim::Scheduler* remote_sched) {
+  transmitting_ = l.b();
+  down_ = l.b();  // listeners are NOT notified: their state restores separately
+  bytes_sent_ = l.u64();
+  busy_ = l.time();
+  epoch_ = l.u64();
+  offered_ = l.u64();
+  delivered_ = l.u64();
+  drops_.queue = l.u64();
+  drops_.admin_down = l.u64();
+  drops_.fault = l.u64();
+  drops_.corrupt = l.u64();
+  queue_->restore_state(l);
+
+  const std::uint64_t n_flight = l.u64();
+  for (std::uint64_t i = 0; i < n_flight && l.ok(); ++i) {
+    const std::int64_t t_ns = l.i64();
+    const std::uint64_t seq = l.u64();
+    const std::uint64_t epoch = l.u64();
+    in_flight_.push_back(InFlight{load_packet(l), epoch});
+    delivery_events_.push_back(
+        sched_.restore_at(sim::Time::nanoseconds(t_ns), seq, [this] { deliver_head(); }));
+  }
+
+  const std::uint64_t n_tx = l.u64();
+  for (std::uint64_t i = 0; i < n_tx && l.ok(); ++i) {
+    const std::int64_t t_ns = l.i64();
+    const std::uint64_t seq = l.u64();
+    const std::uint64_t epoch = l.u64();
+    tx_events_.push_back(TxDone{
+        sched_.restore_at(sim::Time::nanoseconds(t_ns), seq, [this, epoch] { complete_tx(epoch); }),
+        epoch});
+  }
+
+  const std::uint64_t n_remote = l.u64();
+  for (std::uint64_t i = 0; i < n_remote && l.ok(); ++i) {
+    const std::int64_t t_ns = l.i64();
+    const std::uint64_t epoch = l.u64();
+    remote_in_flight_.push_back(RemoteInFlight{t_ns, epoch});
+  }
+
+  const std::uint64_t n_arrivals = l.u64();
+  for (std::uint64_t i = 0; i < n_arrivals && l.ok(); ++i) {
+    const std::int64_t t_ns = l.i64();
+    const std::uint64_t seq = l.u64();
+    const std::uint64_t epoch = l.u64();
+    remote_arrivals_.push_back(RemoteArrival{load_packet(l), epoch});
+    assert(remote_sched != nullptr && "boundary link needs its destination scheduler");
+    remote_delivery_events_.push_back(remote_sched->restore_at(
+        sim::Time::nanoseconds(t_ns), seq, [this] { remote_deliver_head(); }));
+  }
 }
 
 std::size_t Link::live_in_flight() const {

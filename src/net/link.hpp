@@ -130,9 +130,24 @@ class Link final {
   /// scheduler, so timestamps come from sim::current_scheduler().
   void remote_deliver_head();
 
+  /// Sharded engine: record the id of a remote_deliver_head() event just
+  /// scheduled against this link (kept 1:1 FIFO with the parked arrivals
+  /// for checkpointing).
+  void track_remote_delivery(sim::EventId id) { remote_delivery_events_.push_back(id); }
+
+  /// Checkpoint the link: queue contents, counters, in-flight packets and
+  /// the (time, sequence) keys of the pending delivery / transmit-complete
+  /// events. On restore the events are re-armed under their original keys,
+  /// so dispatch order is unchanged. `remote_sched` is the destination
+  /// shard's engine for boundary links (their parked deliveries live
+  /// there); null for serial links.
+  void save_state(core::ckpt::Saver& s, sim::Scheduler* remote_sched = nullptr) const;
+  void restore_state(core::ckpt::Loader& l, sim::Scheduler* remote_sched = nullptr);
+
  private:
   void start_transmission();
   void on_transmit_complete();
+  void complete_tx(std::uint64_t epoch);
   void deliver_head();
 
   sim::Scheduler& sched_;
@@ -182,6 +197,21 @@ class Link final {
     std::uint64_t epoch;
   };
   std::deque<RemoteArrival> remote_arrivals_;
+
+  // --- checkpoint bookkeeping (never read by the simulation itself) ---
+  /// Pending deliver_head events, 1:1 FIFO with in_flight_ (stale-epoch
+  /// entries included: their events are still pending and pop both deques).
+  std::deque<sim::EventId> delivery_events_;
+  /// Pending transmit-complete events by epoch. At most one per epoch, but
+  /// stale-epoch events linger until they fire, so this is a (tiny) vector.
+  struct TxDone {
+    sim::EventId id;
+    std::uint64_t epoch;
+  };
+  std::vector<TxDone> tx_events_;
+  /// Pending remote_deliver_head events, 1:1 FIFO with remote_arrivals_
+  /// (boundary links; populated via track_remote_delivery).
+  std::deque<sim::EventId> remote_delivery_events_;
 
   bool transmitting_ = false;
   bool down_ = false;

@@ -69,6 +69,16 @@ class Switch final : public Node {
 
   [[nodiscard]] std::uint64_t forwarded() const { return forwarded_; }
   [[nodiscard]] std::uint64_t unroutable() const { return unroutable_; }
+
+  void save_state(core::ckpt::Saver& s) const {
+    s.u64(forwarded_);
+    s.u64(unroutable_);
+  }
+  void restore_state(core::ckpt::Loader& l) {
+    forwarded_ = l.u64();
+    unroutable_ = l.u64();
+  }
+
   [[nodiscard]] std::size_t port_count() const { return ports_.size(); }
   [[nodiscard]] Link& port(std::size_t i) { return *ports_.at(i); }
   [[nodiscard]] const std::vector<std::size_t>& up_ports() const { return up_ports_; }
@@ -113,6 +123,15 @@ class Host final : public Node {
 
   [[nodiscard]] std::uint64_t delivered() const { return delivered_; }
   [[nodiscard]] std::uint64_t undeliverable() const { return undeliverable_; }
+
+  void save_state(core::ckpt::Saver& s) const {
+    s.u64(delivered_);
+    s.u64(undeliverable_);
+  }
+  void restore_state(core::ckpt::Loader& l) {
+    delivered_ = l.u64();
+    undeliverable_ = l.u64();
+  }
 
  private:
   static std::uint64_t key(FlowId flow, std::uint16_t subflow, PacketType type) {

@@ -39,6 +39,25 @@ class PacketRing {
     --count_;
   }
 
+  void save_state(core::ckpt::Saver& s) const {
+    s.u64(count_);
+    for (std::size_t i = 0; i < count_; ++i) {
+      std::size_t at = head_ + i;
+      if (at >= capacity_) at -= capacity_;
+      save_packet(s, buf_[at]);
+    }
+  }
+
+  /// Refill from a checkpoint; physical head position is canonicalized to 0
+  /// (the ring's layout is invisible to FIFO behavior).
+  void restore_state(core::ckpt::Loader& l) {
+    buf_.clear();
+    head_ = 0;
+    count_ = 0;
+    const std::uint64_t n = l.u64();
+    for (std::uint64_t i = 0; i < n && l.ok(); ++i) push_back(load_packet(l));
+  }
+
  private:
   std::size_t capacity_;
   std::size_t head_ = 0;
@@ -94,11 +113,19 @@ class Queue {
   void set_owner(std::uint32_t link_id) { owner_ = link_id; }
   [[nodiscard]] std::uint32_t owner() const { return owner_; }
 
+  /// Checkpoint the queued packets, counters and occupancy integral (the
+  /// integral feeds results, so it must survive exactly). Disciplines with
+  /// extra state (RED) extend via save_extra/restore_extra.
+  void save_state(core::ckpt::Saver& s) const;
+  void restore_state(core::ckpt::Loader& l);
+
  protected:
   /// FIFO admission used by subclasses after their drop/mark decision.
   /// `now` feeds the occupancy integral.
   bool push_tail(Packet&& p, sim::Time now);
   virtual void on_dequeue(const Packet& /*p*/, sim::Time /*now*/) {}
+  virtual void save_extra(core::ckpt::Saver& /*s*/) const {}
+  virtual void restore_extra(core::ckpt::Loader& /*l*/) {}
 
   // --- observability (single predictable branch when disabled) ---
   /// Activity-driven depth sample: piggybacks on enqueue/dequeue, rate-
@@ -193,6 +220,10 @@ class RedQueue final : public Queue {
 
   /// RNG hook so runs stay deterministic; defaults to a fixed seed stream.
   void set_random01(double (*fn)(std::uint64_t), std::uint64_t seed);
+
+ protected:
+  void save_extra(core::ckpt::Saver& s) const override;
+  void restore_extra(core::ckpt::Loader& l) override;
 
  private:
   double random01();

@@ -3,6 +3,7 @@
 #include <bit>
 #include <cassert>
 
+#include "core/checkpoint.hpp"
 #include "trace/writers.hpp"
 
 namespace xmp::obs {
@@ -124,6 +125,69 @@ void MetricsRegistry::dump(trace::JsonWriter& json) const {
     json.end_object();
   }
   json.end_object();
+}
+
+namespace {
+
+bool is_ckpt_meter(const std::string& name) {
+  return name.rfind("harness.ckpt.", 0) == 0;
+}
+
+}  // namespace
+
+void MetricsRegistry::save_state(core::ckpt::Saver& s) const {
+  std::lock_guard<std::mutex> lock{mu_};
+  std::uint64_t nc = 0;
+  for (const auto& [name, c] : counters_) {
+    if (!is_ckpt_meter(name)) ++nc;
+  }
+  s.u64(nc);
+  for (const auto& [name, c] : counters_) {
+    if (is_ckpt_meter(name)) continue;
+    s.str(name);
+    s.u64(c->get());
+  }
+  s.u64(gauges_.size());
+  for (const auto& [name, g] : gauges_) {
+    s.str(name);
+    s.f64(g->get());
+  }
+  s.u64(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    s.str(name);
+    s.u64(h->count());
+    s.u64(h->sum());
+    s.u64(h->max_seen());
+    for (int b = 0; b < Histogram::kBuckets; ++b) s.u64(h->bucket(b));
+  }
+}
+
+void MetricsRegistry::restore_state(core::ckpt::Loader& l) {
+  const std::uint64_t nc = l.u64();
+  for (std::uint64_t i = 0; i < nc && l.ok(); ++i) {
+    const std::string name = l.str();
+    const std::uint64_t v = l.u64();
+    if (!l.ok()) break;
+    counter(name).set(v);
+  }
+  const std::uint64_t ng = l.u64();
+  for (std::uint64_t i = 0; i < ng && l.ok(); ++i) {
+    const std::string name = l.str();
+    const double v = l.f64();
+    if (!l.ok()) break;
+    gauge(name).set(v);
+  }
+  const std::uint64_t nh = l.u64();
+  for (std::uint64_t i = 0; i < nh && l.ok(); ++i) {
+    const std::string name = l.str();
+    const std::uint64_t count = l.u64();
+    const std::uint64_t sum = l.u64();
+    const std::uint64_t max = l.u64();
+    std::array<std::uint64_t, Histogram::kBuckets> buckets{};
+    for (int b = 0; b < Histogram::kBuckets; ++b) buckets[static_cast<std::size_t>(b)] = l.u64();
+    if (!l.ok()) break;
+    histogram(name).restore(buckets, count, sum, max);
+  }
 }
 
 void MetricsRegistry::dump_to_file(const std::string& path) const {

@@ -12,6 +12,11 @@ namespace xmp::trace {
 class JsonWriter;
 }
 
+namespace xmp::core::ckpt {
+class Saver;
+class Loader;
+}  // namespace xmp::core::ckpt
+
 namespace xmp::obs {
 
 /// Monotone event counter. Increment is a single relaxed atomic add — no
@@ -21,6 +26,8 @@ class Counter {
  public:
   void inc(std::uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
   [[nodiscard]] std::uint64_t get() const { return v_.load(std::memory_order_relaxed); }
+  /// Overwrite the value — checkpoint restore only, never on a hot path.
+  void set(std::uint64_t v) { v_.store(v, std::memory_order_relaxed); }
 
  private:
   std::atomic<std::uint64_t> v_{0};
@@ -61,6 +68,18 @@ class Histogram {
   [[nodiscard]] double percentile(double p) const;
   [[nodiscard]] std::uint64_t max_seen() const { return max_.load(std::memory_order_relaxed); }
 
+  /// Overwrite all state — checkpoint restore only, never on a hot path.
+  void restore(const std::array<std::uint64_t, kBuckets>& buckets, std::uint64_t count,
+               std::uint64_t sum, std::uint64_t max) {
+    for (int i = 0; i < kBuckets; ++i) {
+      buckets_[static_cast<std::size_t>(i)].store(buckets[static_cast<std::size_t>(i)],
+                                                  std::memory_order_relaxed);
+    }
+    count_.store(count, std::memory_order_relaxed);
+    sum_.store(sum, std::memory_order_relaxed);
+    max_.store(max, std::memory_order_relaxed);
+  }
+
  private:
   std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
   std::atomic<std::uint64_t> count_{0};
@@ -87,6 +106,14 @@ class MetricsRegistry {
   void dump(trace::JsonWriter& json) const;
   /// dump() to a fresh JSON file (one top-level object).
   void dump_to_file(const std::string& path) const;
+
+  /// Checkpoint every instrument by (sorted) name. Names starting with
+  /// "harness.ckpt." are excluded: those meter the checkpoint machinery
+  /// itself and are reconstructed from checkpoint-file headers on restore.
+  void save_state(core::ckpt::Saver& s) const;
+  /// Restore by name; unknown names are (re-)registered, so restore works
+  /// whether or not the instrumentation sites have run yet.
+  void restore_state(core::ckpt::Loader& l);
 
  private:
   mutable std::mutex mu_;

@@ -63,6 +63,10 @@ const char* TimelineTracer::kind_name(EventKind k) {
       return "shard_epoch";
     case EventKind::ShardBarrier:
       return "shard_barrier";
+    case EventKind::CkptWrite:
+      return "ckpt_write";
+    case EventKind::CkptRestore:
+      return "ckpt_restore";
   }
   return "?";
 }
@@ -102,6 +106,8 @@ std::uint32_t TimelineTracer::category_of(EventKind k) {
     case EventKind::JobExhausted:
     case EventKind::ShardEpoch:
     case EventKind::ShardBarrier:
+    case EventKind::CkptWrite:
+    case EventKind::CkptRestore:
       return cat::kHarness;
   }
   return 0;
@@ -215,6 +221,8 @@ void TimelineTracer::export_chrome_json(const std::string& path) const {
       case EventKind::SchedSample:
       case EventKind::ShardEpoch:
       case EventKind::ShardBarrier:
+      case EventKind::CkptWrite:
+      case EventKind::CkptRestore:
         break;
     }
   });
@@ -480,6 +488,25 @@ void TimelineTracer::export_chrome_json(const std::string& path) const {
         json.begin_object();
         json.kv("epoch", static_cast<std::int64_t>(e.id));
         json.kv("handoff_packets", e.a);
+        json.end_object();
+        break;
+      case EventKind::CkptWrite:
+        event_common(json, "checkpoint write", "i", kSchedPid, e.t_ns);
+        json.kv("s", "g");
+        json.key("args");
+        json.begin_object();
+        json.kv("seq", static_cast<std::int64_t>(e.id));
+        json.kv("bytes", e.a);
+        json.end_object();
+        break;
+      case EventKind::CkptRestore:
+        event_common(json, "checkpoint restore", "i", kSchedPid, e.t_ns);
+        json.kv("s", "g");
+        json.key("args");
+        json.begin_object();
+        json.kv("seq", static_cast<std::int64_t>(e.id));
+        json.kv("bytes", e.a);
+        json.kv("ckpt_us", e.b);
         json.end_object();
         break;
     }

@@ -42,6 +42,9 @@ enum class EventKind : std::uint8_t {
                 ///< index, a = epoch end µs, aux: 1 = serial/micro-stepped)
   ShardBarrier, ///< sharded engine completed a barrier (id = epoch index,
                 ///< a = handoff packets drained at this barrier)
+  CkptWrite,    ///< checkpoint published (id = checkpoint seq, a = bytes)
+  CkptRestore,  ///< run resumed from a checkpoint (id = checkpoint seq,
+                ///< a = bytes, b = checkpoint sim-time µs)
 };
 
 /// How one orchestrated job attempt ended (TimelineEvent::aux for
@@ -207,6 +210,16 @@ class TimelineTracer {
     record(EventKind::ShardBarrier, cat::kHarness, t, epoch, 0, 0,
            static_cast<double>(drained), 0.0);
   }
+  // Checkpoint lifecycle. ckpt_write carries sim time of the snapshot;
+  // ckpt_restore is recorded by whoever resumes (orchestrator: wall clock).
+  void ckpt_write(sim::Time t, std::uint64_t seq, std::uint64_t bytes) {
+    record(EventKind::CkptWrite, cat::kHarness, t, static_cast<std::uint32_t>(seq), 0, 0,
+           static_cast<double>(bytes), 0.0);
+  }
+  void ckpt_restore(sim::Time t, std::uint64_t seq, std::uint64_t bytes, double ckpt_us) {
+    record(EventKind::CkptRestore, cat::kHarness, t, static_cast<std::uint32_t>(seq), 0, 0,
+           static_cast<double>(bytes), ckpt_us);
+  }
 
   // --- track naming (setup path; last call per id wins) ---
   void name_flow(std::uint32_t flow, std::string name) { flow_names_[flow] = std::move(name); }
@@ -225,6 +238,22 @@ class TimelineTracer {
     for (std::size_t i = 0; i < count_; ++i) {
       fn(ring_[(start + i) % cfg_.capacity]);
     }
+  }
+
+  /// Replace the ring contents with a checkpointed event stream (oldest
+  /// first, already filtered by the saved run's category mask). The ring is
+  /// rebuilt in canonical layout — events at [0, n), head at n % capacity —
+  /// so a restored tracer appends exactly where the saved one would have.
+  /// Excess events beyond capacity keep only the tail, as the live ring
+  /// would have.
+  void restore_snapshot(const std::vector<TimelineEvent>& events, std::uint64_t dropped) {
+    dropped_ = dropped;
+    const std::size_t n = events.size();
+    const std::size_t keep = n > cfg_.capacity ? cfg_.capacity : n;
+    dropped_ += n - keep;
+    for (std::size_t i = 0; i < keep; ++i) ring_[i] = events[n - keep + i];
+    count_ = keep;
+    head_ = keep % cfg_.capacity;
   }
 
   // --- export ---

@@ -1,5 +1,6 @@
 #include "route/policy.hpp"
 
+#include <algorithm>
 #include <cassert>
 
 #include "net/types.hpp"
@@ -179,6 +180,70 @@ std::size_t SwitchTable::pick_flowlet(const net::Packet& p) {
   }
   e.last_ns = now_ns;
   return e.member;
+}
+
+void SwitchTable::save_state(core::ckpt::Saver& s) const {
+  s.u64(members_.size());
+  for (const Member& m : members_) {
+    s.b(m.alive);
+    s.u64(m.forwarded);
+  }
+  s.u64(collisions_);
+  s.u64(repaths_);
+  s.u64(flow_count_.size());
+  for (const std::uint32_t v : flow_count_) s.u32(v);
+  // The maps are unordered; serialize in key order for stable bytes.
+  std::vector<std::uint64_t> keys;
+  keys.reserve(flow_port_.size());
+  for (const auto& [k, v] : flow_port_) keys.push_back(k);
+  std::sort(keys.begin(), keys.end());
+  s.u64(keys.size());
+  for (const std::uint64_t k : keys) {
+    s.u64(k);
+    s.u32(flow_port_.at(k));
+  }
+  keys.clear();
+  keys.reserve(flowlets_.size());
+  for (const auto& [k, e] : flowlets_) keys.push_back(k);
+  std::sort(keys.begin(), keys.end());
+  s.u64(keys.size());
+  for (const std::uint64_t k : keys) {
+    const FlowletEntry& e = flowlets_.at(k);
+    s.u64(k);
+    s.i64(e.last_ns);
+    s.u32(e.member);
+    s.u64(e.salt);
+  }
+}
+
+void SwitchTable::restore_state(core::ckpt::Loader& l) {
+  const std::uint64_t n = l.u64();
+  assert(!l.ok() || n == members_.size());
+  for (std::uint64_t i = 0; i < n && i < members_.size() && l.ok(); ++i) {
+    members_[i].alive = l.b();
+    members_[i].forwarded = l.u64();
+  }
+  rebuild();
+  collisions_ = l.u64();
+  repaths_ = l.u64();
+  const std::uint64_t nc = l.u64();
+  for (std::uint64_t i = 0; i < nc && i < flow_count_.size() && l.ok(); ++i) {
+    flow_count_[i] = l.u32();
+  }
+  const std::uint64_t np = l.u64();
+  for (std::uint64_t i = 0; i < np && l.ok(); ++i) {
+    const std::uint64_t k = l.u64();
+    flow_port_[k] = l.u32();
+  }
+  const std::uint64_t nf = l.u64();
+  for (std::uint64_t i = 0; i < nf && l.ok(); ++i) {
+    const std::uint64_t k = l.u64();
+    FlowletEntry e;
+    e.last_ns = l.i64();
+    e.member = l.u32();
+    e.salt = l.u64();
+    flowlets_[k] = e;
+  }
 }
 
 }  // namespace xmp::route

@@ -82,6 +82,12 @@ class SwitchTable final : public net::Switch::PortSelector {
   /// Flowlet gap expiries that actually moved a flow to a new port.
   [[nodiscard]] std::uint64_t repaths() const { return repaths_; }
 
+  /// Checkpoint member liveness, per-member forwarding counts and the
+  /// flow-assignment maps. restore_state() expects a freshly built table
+  /// over the same switch (port group and weights are build-time state).
+  void save_state(core::ckpt::Saver& s) const;
+  void restore_state(core::ckpt::Loader& l);
+
  private:
   [[nodiscard]] std::size_t pick_pinned(const net::Packet& p) const;
   [[nodiscard]] std::size_t pick_hash(const net::Packet& p, bool weighted);

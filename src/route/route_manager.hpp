@@ -50,8 +50,15 @@ class RouteManager final : public net::Link::StateListener {
   [[nodiscard]] std::uint64_t collisions() const;
   [[nodiscard]] std::uint64_t repaths() const;
 
+  /// Checkpoint the reroute tally, pending convergence timers and every
+  /// table (in install order). restore_state() expects install_all() to
+  /// have already run on the restoring world.
+  void save_state(core::ckpt::Saver& s) const;
+  void restore_state(core::ckpt::Loader& l);
+
  private:
   void converge(net::Link* link);
+  void track_converge(net::Link* link, sim::Time at, std::uint64_t seq, bool restore);
 
   sim::Scheduler& sched_;
   net::Network& netw_;
@@ -61,6 +68,9 @@ class RouteManager final : public net::Link::StateListener {
   /// Member link -> (its table, member index).
   std::unordered_map<const net::Link*, std::pair<SwitchTable*, std::size_t>> member_of_;
   std::uint64_t reroutes_ = 0;
+  /// Pending convergence timers (same-delay timers for one link fire FIFO,
+  /// so erase-first-match on fire is exact); tracked for checkpoints.
+  std::vector<std::pair<net::Link*, sim::EventId>> converge_timers_;
 };
 
 }  // namespace xmp::route

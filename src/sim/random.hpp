@@ -1,5 +1,6 @@
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <limits>
 
@@ -38,6 +39,13 @@ class Rng {
 
   /// Derive an independent stream (for giving each workload its own RNG).
   Rng split();
+
+  /// Raw generator state, for checkpoint/restore. A restored stream
+  /// continues bit-identically from where the saved one stopped.
+  [[nodiscard]] std::array<std::uint64_t, 4> state() const { return {s_[0], s_[1], s_[2], s_[3]}; }
+  void restore_state(const std::array<std::uint64_t, 4>& s) {
+    for (int i = 0; i < 4; ++i) s_[i] = s[i];
+  }
 
  private:
   std::uint64_t s_[4];

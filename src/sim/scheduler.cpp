@@ -113,9 +113,9 @@ void Scheduler::trim_tail() {
   }
 }
 
-void Scheduler::insert_entry(std::uint32_t idx, Time t) {
-  assert(next_seq_ < (1ull << (64 - kSlotBits)) && "sequence space exhausted");
-  const HeapEntry e{t.ns(), (next_seq_++ << kSlotBits) | idx};
+void Scheduler::insert_entry(std::uint32_t idx, Time t, std::uint64_t seq) {
+  assert(seq < (1ull << (64 - kSlotBits)) && "sequence space exhausted");
+  const HeapEntry e{t.ns(), (seq << kSlotBits) | idx};
   // Monotone fast path: while the heap is empty, in-order events form a
   // sorted run consumed from the front in O(1).
   if (heap_.empty() && (tail_head_ >= tail_.size() || !earlier(e, tail_.back()))) {
@@ -137,8 +137,37 @@ EventId Scheduler::schedule_at(Time t, Callback cb) {
   const std::uint32_t idx = acquire_slot();
   Slot& s = slots_[idx];
   s.cb = std::move(cb);
-  insert_entry(idx, t);
+  insert_entry(idx, t, next_seq_++);
   return encode(s.gen, idx);
+}
+
+bool Scheduler::key_of(EventId id, PendingKey& out) const {
+  const std::uint32_t idx = pending_slot_of(id);
+  if (idx == kNullPos) return false;
+  const std::uint32_t pos = pos_[idx];
+  const HeapEntry& e = (pos & kTailFlag) != 0 ? tail_[pos & ~kTailFlag] : heap_[pos];
+  out.t_ns = e.t_ns;
+  out.seq = e.key >> kSlotBits;
+  return true;
+}
+
+EventId Scheduler::restore_at(Time t, std::uint64_t seq, Callback cb) {
+  assert(t >= now_ && "cannot restore into the past");
+  assert(seq < next_seq_ && "restore_clock must run before restore_at");
+  assert(cb && "null event callback");
+  const std::uint32_t idx = acquire_slot();
+  Slot& s = slots_[idx];
+  s.cb = std::move(cb);
+  insert_entry(idx, t, seq);
+  return encode(s.gen, idx);
+}
+
+void Scheduler::restore_clock(Time now, std::uint64_t next_seq, std::uint64_t dispatched) {
+  assert(now_ == Time::zero() && dispatched_ == 0 && pending() == 0 &&
+         "restore_clock needs a virgin scheduler");
+  now_ = now;
+  next_seq_ = next_seq;
+  dispatched_ = dispatched;
 }
 
 void Scheduler::cancel(EventId id) {
@@ -166,7 +195,7 @@ bool Scheduler::reschedule(EventId id, Time t) {
     // slot (and therefore the id) is unchanged.
     tail_[pos & ~kTailFlag].key |= kSlotMask;
     --tail_live_;
-    insert_entry(idx, t);
+    insert_entry(idx, t, next_seq_++);
     return true;
   }
   heap_[pos].t_ns = t.ns();
@@ -231,7 +260,7 @@ void Scheduler::run() {
   stopped_ = false;
   Time t;
   EventCallback cb;
-  while (!stopped_ && pop_next(std::numeric_limits<std::int64_t>::max(), t, cb)) {
+  while (!stopped_ && !external_stop() && pop_next(std::numeric_limits<std::int64_t>::max(), t, cb)) {
     dispatch(t, cb);
   }
 }
@@ -241,12 +270,14 @@ void Scheduler::run_until(Time t) {
   stopped_ = false;
   Time et;
   EventCallback cb;
-  while (!stopped_ && pop_next(t.ns(), et, cb)) {
+  while (!stopped_ && !external_stop() && pop_next(t.ns(), et, cb)) {
     dispatch(et, cb);
   }
   // Advance the clock to the horizon only on a quiet completion; a stop()
-  // freezes time at the stopping event (so measurement windows stay tight).
-  if (!stopped_ && now_ < t) now_ = t;
+  // (or an external stop request) freezes time at the last dispatched event
+  // (so measurement windows stay tight, and an emergency checkpoint lands
+  // at a well-defined quiescent point).
+  if (!stopped_ && !external_stop() && now_ < t) now_ = t;
 }
 
 void Scheduler::run_before(Time bound) {
@@ -255,7 +286,7 @@ void Scheduler::run_before(Time bound) {
   Time et;
   EventCallback cb;
   // pop_next's bound is inclusive; the epoch boundary itself is excluded.
-  while (!stopped_ && pop_next(bound.ns() - 1, et, cb)) {
+  while (!stopped_ && !external_stop() && pop_next(bound.ns() - 1, et, cb)) {
     dispatch(et, cb);
   }
 }

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
@@ -93,6 +94,50 @@ class Scheduler {
   /// Request the run loop to return after the current event.
   void stop() { stopped_ = true; }
 
+  /// Whether the last run loop exited via stop() (as opposed to draining or
+  /// reaching its horizon). run()/run_until()/run_before() clear this flag
+  /// on entry. The segmented checkpoint loop uses it to distinguish "the
+  /// workload stopped the run" from "the checkpoint boundary was reached".
+  [[nodiscard]] bool stopped() const { return stopped_; }
+
+  /// Install an external stop flag (e.g. set by a SIGTERM handler) checked
+  /// between events; when it becomes true the run loop returns after the
+  /// current event, leaving the clock at that event's time. Unlike stop(),
+  /// this does NOT set stopped(), so callers can tell the two apart. The
+  /// flag object must outlive the scheduler; nullptr detaches.
+  void set_external_stop(const std::atomic<bool>* flag) { stop_flag_ = flag; }
+
+  // --- checkpoint/restore support (core/checkpoint) -----------------------
+  //
+  // Dispatch order is a pure function of each event's (time, sequence) key,
+  // so checkpointing the pending set means saving every event's key next to
+  // the owning module's state and re-arming it on restore with the same key.
+  // restore_at() accepts the historical sequence explicitly, which makes the
+  // re-arm order during restore irrelevant.
+
+  /// The portion of an event's identity that must survive a checkpoint.
+  struct PendingKey {
+    std::int64_t t_ns = 0;
+    std::uint64_t seq = 0;
+  };
+
+  /// Fetch the (time, sequence) key of a pending event. Returns false if
+  /// `id` no longer names a pending event.
+  [[nodiscard]] bool key_of(EventId id, PendingKey& out) const;
+
+  /// Re-arm an event from a checkpoint under its original sequence number
+  /// (restore-time only; `seq` must come from key_of() on the saving side,
+  /// and restore_clock() must already have advanced next_seq_ past it).
+  EventId restore_at(Time t, std::uint64_t seq, Callback cb);
+
+  /// Restore the clock, sequence counter and dispatch count saved by a
+  /// checkpoint. Must be called on a virgin scheduler before any
+  /// restore_at().
+  void restore_clock(Time now, std::uint64_t next_seq, std::uint64_t dispatched);
+
+  /// Checkpointed counters (paired with restore_clock on the loading side).
+  [[nodiscard]] std::uint64_t next_seq() const { return next_seq_; }
+
   /// Number of live (not yet fired, not cancelled) events.
   [[nodiscard]] std::size_t pending() const { return heap_.size() + tail_live_; }
 
@@ -145,9 +190,14 @@ class Scheduler {
   void heap_erase(std::size_t pos);
   void push_entry(const HeapEntry& e);
 
-  /// Route a freshly keyed entry for `idx` at time `t` to the tail (O(1)
-  /// monotone fast path) or the heap.
-  void insert_entry(std::uint32_t idx, Time t);
+  /// Route an entry for `idx` at time `t` under sequence `seq` to the tail
+  /// (O(1) monotone fast path) or the heap. schedule_at passes next_seq_++;
+  /// restore_at passes the checkpointed sequence.
+  void insert_entry(std::uint32_t idx, Time t, std::uint64_t seq);
+
+  [[nodiscard]] bool external_stop() const {
+    return stop_flag_ != nullptr && stop_flag_->load(std::memory_order_relaxed);
+  }
 
   /// Drop dead (cancelled) and consumed entries from the tail front; resets
   /// the tail when it empties so indices stay small.
@@ -170,6 +220,7 @@ class Scheduler {
   std::uint64_t next_seq_ = 1;
   std::uint64_t dispatched_ = 0;
   bool stopped_ = false;
+  const std::atomic<bool>* stop_flag_ = nullptr;
 };
 
 namespace detail {

@@ -3,6 +3,8 @@
 #include <cstddef>
 #include <vector>
 
+#include "core/checkpoint.hpp"
+
 namespace xmp::stats {
 
 /// Sample accumulator with percentile/CDF queries (used for goodput, RTT,
@@ -30,6 +32,19 @@ class Distribution {
   [[nodiscard]] std::vector<std::pair<double, double>> cdf_points(std::size_t n) const;
 
   [[nodiscard]] const std::vector<double>& samples() const { return samples_; }
+
+  /// Checkpoint the raw samples (exact double bits, insertion order).
+  void save_state(core::ckpt::Saver& s) const {
+    s.u64(samples_.size());
+    for (const double x : samples_) s.f64(x);
+  }
+  void restore_state(core::ckpt::Loader& l) {
+    const std::uint64_t n = l.u64();
+    samples_.clear();
+    samples_.reserve(n);
+    for (std::uint64_t i = 0; i < n && l.ok(); ++i) samples_.push_back(l.f64());
+    sorted_ = false;
+  }
 
  private:
   void ensure_sorted() const;

@@ -75,12 +75,54 @@ void GaugeProbe::tick() {
   timer_ = sched_.schedule_in(interval_, [this] { tick(); });
 }
 
+void GaugeProbe::save_state(core::ckpt::Saver& s) const {
+  s.u64(samples_.size());
+  for (const double x : samples_) s.f64(x);
+  const bool armed = timer_ != sim::kInvalidEventId;
+  s.b(armed);
+  if (armed) {
+    sim::Scheduler::PendingKey k;
+    [[maybe_unused]] const bool live = sched_.key_of(timer_, k);
+    assert(live && "gauge probe timer id stale");
+    s.i64(k.t_ns);
+    s.u64(k.seq);
+  }
+}
+
+void GaugeProbe::restore_state(core::ckpt::Loader& l) {
+  const std::uint64_t n = l.u64();
+  samples_.clear();
+  samples_.reserve(n);
+  for (std::uint64_t i = 0; i < n && l.ok(); ++i) samples_.push_back(l.f64());
+  if (l.b()) {
+    const std::int64_t t_ns = l.i64();
+    const std::uint64_t seq = l.u64();
+    timer_ = sched_.restore_at(sim::Time::nanoseconds(t_ns), seq, [this] { tick(); });
+  }
+}
+
 void UtilizationWindow::open(const std::vector<net::Link*>& links) {
   links_ = links;
   busy_at_open_.clear();
   busy_at_open_.reserve(links_.size());
   for (const net::Link* l : links_) busy_at_open_.push_back(l->busy_time());
   opened_at_ = sched_.now();
+}
+
+void UtilizationWindow::save_state(core::ckpt::Saver& s) const {
+  s.time(opened_at_);
+  s.u64(busy_at_open_.size());
+  for (const sim::Time t : busy_at_open_) s.time(t);
+}
+
+void UtilizationWindow::restore_state(core::ckpt::Loader& l,
+                                      const std::vector<net::Link*>& links) {
+  links_ = links;
+  opened_at_ = l.time();
+  const std::uint64_t n = l.u64();
+  busy_at_open_.clear();
+  busy_at_open_.reserve(n);
+  for (std::uint64_t i = 0; i < n && l.ok(); ++i) busy_at_open_.push_back(l.time());
 }
 
 std::vector<double> UtilizationWindow::close() const {

@@ -35,6 +35,15 @@ class D2tcpCc final : public DctcpCc {
   /// nothing is known yet).
   [[nodiscard]] double imminence(const TcpSender& s, sim::Time now) const;
 
+  void save_state(core::ckpt::Saver& s) const override {
+    DctcpCc::save_state(s);
+    s.i64(cwr_seq_);
+  }
+  void restore_state(core::ckpt::Loader& l) override {
+    DctcpCc::restore_state(l);
+    cwr_seq_ = l.i64();
+  }
+
  private:
   DeadlineParams dp_;
   std::int64_t cwr_seq_ = -1;

@@ -30,6 +30,21 @@ class DctcpCc : public CongestionControl {
 
   [[nodiscard]] double alpha() const { return alpha_; }
 
+  void save_state(core::ckpt::Saver& s) const override {
+    s.f64(alpha_);
+    s.i64(window_end_);
+    s.i64(acked_in_window_);
+    s.i64(marked_in_window_);
+    s.i64(cwr_seq_);
+  }
+  void restore_state(core::ckpt::Loader& l) override {
+    alpha_ = l.f64();
+    window_end_ = l.i64();
+    acked_in_window_ = l.i64();
+    marked_in_window_ = l.i64();
+    cwr_seq_ = l.i64();
+  }
+
  private:
   Params params_;
   double alpha_ = 1.0;  ///< start conservative, as in the reference code

@@ -15,6 +15,9 @@ class RenoCc : public CongestionControl {
   void on_loss(TcpSender& s, bool timeout) override;
   [[nodiscard]] const char* name() const override { return "reno"; }
 
+  void save_state(core::ckpt::Saver& s) const override { s.i64(cwr_seq_); }
+  void restore_state(core::ckpt::Loader& l) override { cwr_seq_ = l.i64(); }
+
  protected:
   /// Congestion-avoidance increase for `newly_acked` segments; LIA
   /// overrides this with the coupled increase.

@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <memory>
 
+#include "core/checkpoint.hpp"
 #include "sim/time.hpp"
 
 namespace xmp::transport {
@@ -38,6 +39,11 @@ class CongestionControl {
   virtual void on_congestion_signal(TcpSender& s, const AckEvent& ev) = 0;
   /// `timeout` true for RTO expiry, false for fast retransmit.
   virtual void on_loss(TcpSender& s, bool timeout) = 0;
+
+  /// Checkpoint hooks: policies with state beyond cwnd/ssthresh (which the
+  /// sender owns) serialize it here. Overrides must call their base class.
+  virtual void save_state(core::ckpt::Saver& /*s*/) const {}
+  virtual void restore_state(core::ckpt::Loader& /*l*/) {}
 
   [[nodiscard]] virtual const char* name() const = 0;
 };

@@ -72,6 +72,12 @@ class Flow {
   /// Bytes delivered so far (== size_bytes() once complete).
   [[nodiscard]] std::int64_t delivered_bytes() const;
 
+  /// Checkpoint progress plus the source pool, sender, and receiver. The
+  /// completion callback is not saved — the owner (FlowManager) re-binds it
+  /// after restore from its own record of why the flow exists.
+  void save_state(core::ckpt::Saver& s) const;
+  void restore_state(core::ckpt::Loader& l);
+
   [[nodiscard]] TcpSender& sender() { return *sender_; }
   [[nodiscard]] const TcpSender& sender() const { return *sender_; }
   [[nodiscard]] TcpReceiver& receiver() { return *receiver_; }

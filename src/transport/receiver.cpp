@@ -1,5 +1,7 @@
 #include "transport/receiver.hpp"
 
+#include <cassert>
+
 namespace xmp::transport {
 
 TcpReceiver::TcpReceiver(sim::Scheduler& sched, net::Host& local, net::NodeId remote,
@@ -93,6 +95,47 @@ void TcpReceiver::arm_delack_timer() {
     delack_timer_ = sim::kInvalidEventId;
     if (pending_acks_ > 0) flush_pending(pending_ts_);
   });
+}
+
+void TcpReceiver::save_state(core::ckpt::Saver& s) const {
+  s.u16(path_tag_);
+  ecn_.save_state(s);
+  s.i64(rcv_nxt_);
+  s.u64(out_of_order_.size());
+  for (const std::int64_t seq : out_of_order_) s.i64(seq);
+  s.i64(pending_acks_);
+  s.time(pending_ts_);
+  s.u64(acks_sent_);
+  s.u64(duplicates_);
+  const bool timer = delack_timer_ != sim::kInvalidEventId;
+  s.b(timer);
+  if (timer) {
+    sim::Scheduler::PendingKey k;
+    [[maybe_unused]] const bool live = sched_.key_of(delack_timer_, k);
+    assert(live && "delack timer id stale");
+    s.i64(k.t_ns);
+    s.u64(k.seq);
+  }
+}
+
+void TcpReceiver::restore_state(core::ckpt::Loader& l) {
+  path_tag_ = l.u16();
+  ecn_.restore_state(l);
+  rcv_nxt_ = l.i64();
+  const std::uint64_t n_ooo = l.u64();
+  for (std::uint64_t i = 0; i < n_ooo && l.ok(); ++i) out_of_order_.insert(l.i64());
+  pending_acks_ = static_cast<int>(l.i64());
+  pending_ts_ = l.time();
+  acks_sent_ = l.u64();
+  duplicates_ = l.u64();
+  if (l.b()) {
+    const std::int64_t t_ns = l.i64();
+    const std::uint64_t seq = l.u64();
+    delack_timer_ = sched_.restore_at(sim::Time::nanoseconds(t_ns), seq, [this] {
+      delack_timer_ = sim::kInvalidEventId;
+      if (pending_acks_ > 0) flush_pending(pending_ts_);
+    });
+  }
 }
 
 }  // namespace xmp::transport

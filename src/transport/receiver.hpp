@@ -45,6 +45,12 @@ class TcpReceiver final : public net::Host::Endpoint {
   [[nodiscard]] std::uint64_t acks_sent() const { return acks_sent_; }
   [[nodiscard]] std::uint64_t duplicates_seen() const { return duplicates_; }
 
+  /// Checkpoint the reassembly/ack state including the ECN echo machine and
+  /// the pending delayed-ack timer's key. The data endpoint registration is
+  /// construction-time (the restoring run's constructor already did it).
+  void save_state(core::ckpt::Saver& s) const;
+  void restore_state(core::ckpt::Loader& l);
+
  private:
   void send_ack(sim::Time ts_echo);
   void flush_pending(sim::Time ts_echo);

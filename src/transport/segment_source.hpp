@@ -3,6 +3,8 @@
 #include <cstdint>
 #include <functional>
 
+#include "core/checkpoint.hpp"
+
 namespace xmp::transport {
 
 /// Supplier of application data, counted in MSS segments.
@@ -55,6 +57,22 @@ class FixedSource final : public SegmentSource {
   [[nodiscard]] std::int64_t total() const { return total_; }
   [[nodiscard]] std::int64_t delivered() const { return delivered_; }
   [[nodiscard]] bool complete() const { return delivered_ >= total_; }
+
+  /// Checkpoint the pool counters. The completion callback itself is
+  /// construction state; when the saved source had already fired it, the
+  /// restored callback is disarmed so completion cannot fire twice.
+  void save_state(core::ckpt::Saver& s) const {
+    s.i64(remaining_);
+    s.i64(total_);
+    s.i64(delivered_);
+    s.b(on_done_ != nullptr);
+  }
+  void restore_state(core::ckpt::Loader& l) {
+    remaining_ = l.i64();
+    total_ = l.i64();
+    delivered_ = l.i64();
+    if (!l.b()) on_done_ = nullptr;
+  }
 
  private:
   std::int64_t remaining_;

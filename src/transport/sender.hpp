@@ -115,6 +115,14 @@ class TcpSender final : public net::Host::Endpoint {
 
   void set_observer(SenderObserver* obs) { observer_ = obs; }
 
+  /// Checkpoint the full sender state, including the CC policy's and the
+  /// pending RTO timer's (time, sequence) key. restore_state() expects a
+  /// freshly constructed sender built from the same config: it registers
+  /// the ack endpoint (when the saved sender had started) and re-arms the
+  /// timer under its original key.
+  void save_state(core::ckpt::Saver& s) const;
+  void restore_state(core::ckpt::Loader& l);
+
  private:
   void transmit_segment(std::int64_t seq, bool retransmit);
   void on_new_ack(const net::Packet& p);

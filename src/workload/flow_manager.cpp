@@ -64,27 +64,18 @@ void FlowManager::finish_record(std::size_t idx, std::function<void()>& on_done)
   if (on_done) on_done();
 }
 
-void FlowManager::start_large_flow(net::Host& src, net::Host& dst, int src_idx, int dst_idx,
-                                   std::int64_t bytes, std::function<void()> on_done) {
-  const std::size_t rec = new_record(src_idx, dst_idx, bytes, /*large=*/true);
-  const net::FlowId id = records_[rec].id;
-  active_large_.fetch_add(1, std::memory_order_relaxed);
+transport::Flow::Config FlowManager::single_config(net::FlowId id, std::int64_t bytes,
+                                                   bool large) const {
+  transport::Flow::Config fc;
+  fc.id = id;
+  fc.size_bytes = bytes;
+  fc.cc.kind = large && spec_.kind == SchemeSpec::Kind::Dctcp ? transport::CcConfig::Kind::Dctcp
+                                                              : transport::CcConfig::Kind::Reno;
+  return fc;
+}
 
-  if (!spec_.multipath()) {
-    transport::Flow::Config fc;
-    fc.id = id;
-    fc.size_bytes = bytes;
-    fc.cc.kind = spec_.kind == SchemeSpec::Kind::Dctcp ? transport::CcConfig::Kind::Dctcp
-                                                       : transport::CcConfig::Kind::Reno;
-    auto flow = std::make_unique<transport::Flow>(sched_for(src_idx), sched_for(dst_idx), src,
-                                                  dst, fc);
-    flow->set_on_complete(
-        [this, rec, done = std::move(on_done)]() mutable { finish_record(rec, done); });
-    flow->start();
-    singles_.push_back(LargeSingle{rec, std::move(flow)});
-    return;
-  }
-
+mptcp::MptcpConnection::Config FlowManager::multi_config(net::FlowId id,
+                                                         std::int64_t bytes) const {
   mptcp::MptcpConnection::Config mc;
   mc.id = id;
   mc.size_bytes = bytes;
@@ -105,8 +96,29 @@ void FlowManager::start_large_flow(net::Host& src, net::Host& dst, int src_idx, 
     default:
       assert(false && "unexpected multipath scheme");
   }
+  return mc;
+}
+
+void FlowManager::start_large_flow(net::Host& src, net::Host& dst, int src_idx, int dst_idx,
+                                   std::int64_t bytes, std::function<void()> on_done,
+                                   CallbackTag tag) {
+  const std::size_t rec = new_record(src_idx, dst_idx, bytes, /*large=*/true);
+  tags_.push_back(tag);
+  const net::FlowId id = records_[rec].id;
+  active_large_.fetch_add(1, std::memory_order_relaxed);
+
+  if (!spec_.multipath()) {
+    auto flow = std::make_unique<transport::Flow>(sched_for(src_idx), sched_for(dst_idx), src,
+                                                  dst, single_config(id, bytes, /*large=*/true));
+    flow->set_on_complete(
+        [this, rec, done = std::move(on_done)]() mutable { finish_record(rec, done); });
+    flow->start();
+    singles_.push_back(LargeSingle{rec, std::move(flow)});
+    return;
+  }
+
   auto conn = std::make_unique<mptcp::MptcpConnection>(sched_for(src_idx), sched_for(dst_idx),
-                                                       src, dst, mc);
+                                                       src, dst, multi_config(id, bytes));
   const std::size_t slot = multis_.size();  // stable: multis_ never shrinks
   multis_.push_back(LargeMulti{rec, std::move(conn), std::move(on_done)});
   mptcp::MptcpConnection& c = *multis_[slot].conn;
@@ -132,19 +144,109 @@ void FlowManager::finish_multi(std::size_t slot, bool aborted) {
 }
 
 void FlowManager::start_small_flow(net::Host& src, net::Host& dst, int src_idx, int dst_idx,
-                                   std::int64_t bytes, std::function<void()> on_done) {
+                                   std::int64_t bytes, std::function<void()> on_done,
+                                   CallbackTag tag) {
   const std::size_t rec = new_record(src_idx, dst_idx, bytes, /*large=*/false);
+  tags_.push_back(tag);
 
-  transport::Flow::Config fc;
-  fc.id = records_[rec].id;
-  fc.size_bytes = bytes;
-  fc.cc.kind = transport::CcConfig::Kind::Reno;  // small flows use TCP
-  auto flow = std::make_unique<transport::Flow>(sched_for(src_idx), sched_for(dst_idx), src, dst,
-                                                fc);
+  // Small flows always use plain TCP.
+  auto flow = std::make_unique<transport::Flow>(
+      sched_for(src_idx), sched_for(dst_idx), src, dst,
+      single_config(records_[rec].id, bytes, /*large=*/false));
   flow->set_on_complete(
       [this, rec, done = std::move(on_done)]() mutable { finish_record(rec, done); });
   flow->start();
-  smalls_.push_back(std::move(flow));
+  smalls_.push_back(Small{rec, std::move(flow)});
+}
+
+void FlowManager::save_state(core::ckpt::Saver& s) const {
+  s.u64(next_id_);
+  s.u64(active_large_.load(std::memory_order_relaxed));
+  s.u64(aborted_large_.load(std::memory_order_relaxed));
+  assert(tags_.size() == records_.size());
+  s.u64(records_.size());
+  // Within each kind, object order follows record creation order, so the
+  // walk below visits singles_/multis_/smalls_ exactly once each, in order.
+  std::size_t si = 0;
+  std::size_t mi = 0;
+  std::size_t smi = 0;
+  for (std::size_t i = 0; i < records_.size(); ++i) {
+    const FlowRecord& r = records_[i];
+    s.u32(r.id);
+    s.i64(r.src_host);
+    s.i64(r.dst_host);
+    s.i64(r.bytes);
+    s.b(r.large);
+    s.time(r.start);
+    s.time(r.finish);
+    s.b(r.completed);
+    s.b(r.aborted);
+    const CallbackTag& t = tags_[i];
+    s.u8(t.kind);
+    s.i64(t.a);
+    s.i64(t.b);
+    s.i64(t.c);
+    if (r.large && spec_.multipath()) {
+      multis_[mi++].conn->save_state(s);
+    } else if (r.large) {
+      singles_[si++].flow->save_state(s);
+    } else {
+      smalls_[smi++].flow->save_state(s);
+    }
+  }
+}
+
+void FlowManager::restore_state(core::ckpt::Loader& l, const std::function<net::Host&(int)>& host,
+                                const BindFn& bind) {
+  next_id_ = static_cast<net::FlowId>(l.u64());
+  active_large_.store(l.u64(), std::memory_order_relaxed);
+  aborted_large_.store(l.u64(), std::memory_order_relaxed);
+  const std::uint64_t n = l.u64();
+  for (std::uint64_t i = 0; i < n && l.ok(); ++i) {
+    FlowRecord rec;
+    rec.id = l.u32();
+    rec.src_host = static_cast<int>(l.i64());
+    rec.dst_host = static_cast<int>(l.i64());
+    rec.bytes = l.i64();
+    rec.large = l.b();
+    rec.start = l.time();
+    rec.finish = l.time();
+    rec.completed = l.b();
+    rec.aborted = l.b();
+    CallbackTag tag;
+    tag.kind = l.u8();
+    tag.a = l.i64();
+    tag.b = l.i64();
+    tag.c = l.i64();
+    records_.push_back(rec);
+    tags_.push_back(tag);
+    const std::size_t ridx = records_.size() - 1;
+    std::function<void()> done = bind && tag.kind != CallbackTag::kNone ? bind(tag) : nullptr;
+
+    if (rec.large && spec_.multipath()) {
+      auto conn = std::make_unique<mptcp::MptcpConnection>(
+          sched_for(rec.src_host), sched_for(rec.dst_host), host(rec.src_host),
+          host(rec.dst_host), multi_config(rec.id, rec.bytes));
+      const std::size_t slot = multis_.size();
+      multis_.push_back(LargeMulti{ridx, std::move(conn), std::move(done)});
+      mptcp::MptcpConnection& c = *multis_[slot].conn;
+      c.set_on_complete([this, slot] { finish_multi(slot, /*aborted=*/false); });
+      c.set_on_abort([this, slot] { finish_multi(slot, /*aborted=*/true); });
+      c.restore_state(l);
+    } else {
+      auto flow = std::make_unique<transport::Flow>(
+          sched_for(rec.src_host), sched_for(rec.dst_host), host(rec.src_host),
+          host(rec.dst_host), single_config(rec.id, rec.bytes, rec.large));
+      flow->set_on_complete(
+          [this, ridx, d = std::move(done)]() mutable { finish_record(ridx, d); });
+      flow->restore_state(l);
+      if (rec.large) {
+        singles_.push_back(LargeSingle{ridx, std::move(flow)});
+      } else {
+        smalls_.push_back(Small{ridx, std::move(flow)});
+      }
+    }
+  }
 }
 
 void FlowManager::for_each_partial_large(

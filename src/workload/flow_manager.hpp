@@ -31,6 +31,23 @@ struct FlowRecord {
   }
 };
 
+/// Why a flow exists. Serialized with the flow's record so a restored run
+/// can re-bind the owning workload generator's completion callback (plain
+/// std::function callbacks cannot be checkpointed). `kind` identifies the
+/// generator hook; `a`/`b`/`c` carry its captured arguments.
+struct CallbackTag {
+  static constexpr std::uint8_t kNone = 0;
+  static constexpr std::uint8_t kPermutation = 1;     ///< (unused)
+  static constexpr std::uint8_t kRandom = 2;          ///< a = src, b = dst
+  static constexpr std::uint8_t kIncastRequest = 3;   ///< a = job, b = server, c = client
+  static constexpr std::uint8_t kIncastResponse = 4;  ///< a = job
+
+  std::uint8_t kind = kNone;
+  std::int64_t a = 0;
+  std::int64_t b = 0;
+  std::int64_t c = 0;
+};
+
 /// Creates, owns and tracks every transfer of an experiment.
 ///
 /// Large flows follow the configured SchemeSpec (single-path Flow for
@@ -53,13 +70,27 @@ class FlowManager {
   }
 
   /// Start a large flow now. `on_done` (optional) fires at completion,
-  /// after the record is finalized.
+  /// after the record is finalized; `tag` records how to re-create it after
+  /// a checkpoint restore.
   void start_large_flow(net::Host& src, net::Host& dst, int src_idx, int dst_idx,
-                        std::int64_t bytes, std::function<void()> on_done = nullptr);
+                        std::int64_t bytes, std::function<void()> on_done = nullptr,
+                        CallbackTag tag = {});
 
   /// Start a small plain-TCP flow now (incast requests/responses).
   void start_small_flow(net::Host& src, net::Host& dst, int src_idx, int dst_idx,
-                        std::int64_t bytes, std::function<void()> on_done = nullptr);
+                        std::int64_t bytes, std::function<void()> on_done = nullptr,
+                        CallbackTag tag = {});
+
+  /// Checkpoint every record, tag and live transfer (in creation order).
+  void save_state(core::ckpt::Saver& s) const;
+  /// Rebuild and restore every transfer. `host` maps a topology host index
+  /// to the Host object; `bind` turns a saved CallbackTag back into the
+  /// owning generator's completion callback (null tag -> null callback).
+  /// Expects a freshly constructed manager with the same spec/id_base and,
+  /// in sharded runs, set_schedulers() already applied.
+  using BindFn = std::function<std::function<void()>(const CallbackTag&)>;
+  void restore_state(core::ckpt::Loader& l, const std::function<net::Host&(int)>& host,
+                     const BindFn& bind);
 
   [[nodiscard]] const std::vector<FlowRecord>& records() const { return records_; }
   [[nodiscard]] const SchemeSpec& scheme() const { return spec_; }
@@ -88,6 +119,13 @@ class FlowManager {
 
  private:
   std::size_t new_record(int src_idx, int dst_idx, std::int64_t bytes, bool large);
+  /// Flow/connection configs derived from the scheme — shared between the
+  /// start_* paths and checkpoint reconstruction so both build identical
+  /// objects.
+  [[nodiscard]] transport::Flow::Config single_config(net::FlowId id, std::int64_t bytes,
+                                                      bool large) const;
+  [[nodiscard]] mptcp::MptcpConnection::Config multi_config(net::FlowId id,
+                                                            std::int64_t bytes) const;
   void finish_record(std::size_t idx, std::function<void()>& on_done);
   void finish_multi(std::size_t slot, bool aborted);
   /// Local simulated time: the scheduler currently dispatching (sharded
@@ -117,10 +155,15 @@ class FlowManager {
     std::unique_ptr<mptcp::MptcpConnection> conn;
     std::function<void()> on_done;
   };
+  struct Small {
+    std::size_t record;
+    std::unique_ptr<transport::Flow> flow;
+  };
   std::vector<LargeSingle> singles_;
   std::vector<LargeMulti> multis_;
-  std::vector<std::unique_ptr<transport::Flow>> smalls_;
+  std::vector<Small> smalls_;
   std::vector<FlowRecord> records_;
+  std::vector<CallbackTag> tags_;  ///< parallel to records_
 };
 
 }  // namespace xmp::workload

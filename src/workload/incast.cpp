@@ -41,17 +41,19 @@ void IncastTraffic::start_job() {
   // Fan the requests out simultaneously.
   for (int s = 1; s <= cfg_.servers_per_job; ++s) {
     const int server = chosen[static_cast<std::size_t>(s)];
-    flows_.start_small_flow(topo_.host(client), topo_.host(server), client, server,
-                            cfg_.request_bytes,
-                            [this, job, server, client] { on_request_done(job, server, client); });
+    flows_.start_small_flow(
+        topo_.host(client), topo_.host(server), client, server, cfg_.request_bytes,
+        [this, job, server, client] { on_request_done(job, server, client); },
+        CallbackTag{CallbackTag::kIncastRequest, static_cast<std::int64_t>(job), server, client});
   }
 }
 
 void IncastTraffic::on_request_done(std::size_t job, int server_host, int client_host) {
   // The server answers immediately with the response small flow.
-  flows_.start_small_flow(topo_.host(server_host), topo_.host(client_host), server_host,
-                          client_host, cfg_.response_bytes,
-                          [this, job] { on_response_done(job); });
+  flows_.start_small_flow(
+      topo_.host(server_host), topo_.host(client_host), server_host, client_host,
+      cfg_.response_bytes, [this, job] { on_response_done(job); },
+      CallbackTag{CallbackTag::kIncastResponse, static_cast<std::int64_t>(job), 0, 0});
 }
 
 void IncastTraffic::on_response_done(std::size_t job) {

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
@@ -50,6 +51,43 @@ class IncastTraffic {
 
   [[nodiscard]] const std::vector<JobRecord>& jobs() const { return jobs_; }
   [[nodiscard]] std::uint64_t jobs_started() const { return started_; }
+
+  /// Checkpoint the RNG, job records and per-job outstanding counts.
+  void save_state(core::ckpt::Saver& s) const {
+    for (const std::uint64_t w : rng_.state()) s.u64(w);
+    s.b(stopped_);
+    s.u64(started_);
+    s.u64(jobs_.size());
+    for (std::size_t i = 0; i < jobs_.size(); ++i) {
+      s.time(jobs_[i].start);
+      s.time(jobs_[i].finish);
+      s.b(jobs_[i].completed);
+      s.i64(outstanding_[i]);
+    }
+  }
+  void restore_state(core::ckpt::Loader& l) {
+    std::array<std::uint64_t, 4> st{};
+    for (auto& w : st) w = l.u64();
+    rng_.restore_state(st);
+    stopped_ = l.b();
+    started_ = l.u64();
+    const std::uint64_t n = l.u64();
+    jobs_.clear();
+    outstanding_.clear();
+    for (std::uint64_t i = 0; i < n && l.ok(); ++i) {
+      JobRecord rec;
+      rec.start = l.time();
+      rec.finish = l.time();
+      rec.completed = l.b();
+      jobs_.push_back(rec);
+      outstanding_.push_back(static_cast<int>(l.i64()));
+    }
+  }
+  /// Completion-callback targets for flows re-bound after a restore.
+  void restored_request_done(std::size_t job, int server, int client) {
+    on_request_done(job, server, client);
+  }
+  void restored_response_done(std::size_t job) { on_response_done(job); }
 
  private:
   void start_job();

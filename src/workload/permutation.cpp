@@ -24,7 +24,8 @@ void PermutationTraffic::start_round() {
     const int dst = perm[src];
     const std::int64_t bytes = rng_.uniform_int(cfg_.min_bytes, cfg_.max_bytes);
     flows_.start_large_flow(topo_.host(src), topo_.host(dst), src, dst, bytes,
-                            [this] { on_flow_done(); });
+                            [this] { on_flow_done(); },
+                            CallbackTag{CallbackTag::kPermutation, 0, 0, 0});
   }
 }
 

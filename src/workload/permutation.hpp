@@ -1,5 +1,6 @@
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <functional>
@@ -49,6 +50,23 @@ class PermutationTraffic {
   [[nodiscard]] bool deferred_done() const {
     return deferred_done_.load(std::memory_order_relaxed);
   }
+
+  /// Checkpoint the RNG and round progress. The parallel-phase flags are
+  /// transient per-epoch state, always clear at a quiescent point.
+  void save_state(core::ckpt::Saver& s) const {
+    for (const std::uint64_t w : rng_.state()) s.u64(w);
+    s.i64(completed_rounds_);
+    s.i64(outstanding_.load(std::memory_order_relaxed));
+  }
+  void restore_state(core::ckpt::Loader& l) {
+    std::array<std::uint64_t, 4> st{};
+    for (auto& w : st) w = l.u64();
+    rng_.restore_state(st);
+    completed_rounds_ = static_cast<int>(l.i64());
+    outstanding_.store(static_cast<int>(l.i64()), std::memory_order_relaxed);
+  }
+  /// Completion-callback target for flows re-bound after a restore.
+  void restored_flow_done() { on_flow_done(); }
 
  private:
   void start_round();

@@ -47,10 +47,12 @@ void RandomTraffic::issue_from(int src) {
                                          static_cast<double>(cfg_.max_bytes));
   const auto bytes = static_cast<std::int64_t>(raw);
 
-  flows_.start_large_flow(topo_.host(src), topo_.host(dst), src, dst, bytes, [this, src, dst] {
-    --inbound_[static_cast<std::size_t>(dst)];
-    issue_from(src);  // "immediately chooses another host at random"
-  });
+  flows_.start_large_flow(topo_.host(src), topo_.host(dst), src, dst, bytes,
+                          [this, src, dst] {
+                            --inbound_[static_cast<std::size_t>(dst)];
+                            issue_from(src);  // "immediately chooses another host at random"
+                          },
+                          CallbackTag{CallbackTag::kRandom, src, dst, 0});
 }
 
 }  // namespace xmp::workload

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
@@ -40,6 +41,32 @@ class RandomTraffic {
   void stop() { stopped_ = true; }
 
   [[nodiscard]] std::uint64_t flows_issued() const { return issued_; }
+
+  /// Checkpoint the RNG, inbound tallies and issue progress.
+  void save_state(core::ckpt::Saver& s) const {
+    for (const std::uint64_t w : rng_.state()) s.u64(w);
+    s.b(stopped_);
+    s.u64(issued_);
+    s.u64(inbound_.size());
+    for (const int v : inbound_) s.i64(v);
+  }
+  void restore_state(core::ckpt::Loader& l) {
+    std::array<std::uint64_t, 4> st{};
+    for (auto& w : st) w = l.u64();
+    rng_.restore_state(st);
+    stopped_ = l.b();
+    issued_ = l.u64();
+    const std::uint64_t n = l.u64();
+    for (std::uint64_t i = 0; i < n && i < inbound_.size() && l.ok(); ++i) {
+      inbound_[i] = static_cast<int>(l.i64());
+    }
+  }
+  /// Completion-callback target for flows re-bound after a restore; must
+  /// mirror the lambda issue_from() installs.
+  void restored_flow_done(int src, int dst) {
+    --inbound_[static_cast<std::size_t>(dst)];
+    issue_from(src);
+  }
 
  private:
   void issue_from(int src);

@@ -1,0 +1,92 @@
+// Hostile-input hardening of core/mini_json.hpp: nesting bombs, NUL bytes,
+// truncations and broken \u escapes must all fail with a clean
+// std::runtime_error — never a crash, stack overflow or out-of-bounds read.
+
+#include "core/mini_json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+namespace xmp::core::json {
+namespace {
+
+std::string error_of(const std::string& doc) {
+  try {
+    (void)MiniJsonParser::parse(doc);
+  } catch (const std::runtime_error& e) {
+    return e.what();
+  }
+  return "";
+}
+
+std::string nested_array(std::size_t depth) {
+  std::string doc;
+  doc.reserve(2 * depth + 1);
+  doc.append(depth, '[');
+  doc += '1';
+  doc.append(depth, ']');
+  return doc;
+}
+
+TEST(MiniJson, NestingBombRejected) {
+  // A "[[[[..." bomb past the cap must fail, not overflow the stack. An
+  // unclosed bomb (no payload, no closers) must fail the same way.
+  EXPECT_NE(error_of(nested_array(MiniJsonParser::kMaxDepth + 1)).find("nesting too deep"),
+            std::string::npos);
+  EXPECT_NE(error_of(std::string(100'000, '[')).find("nesting too deep"), std::string::npos);
+  std::string obj_bomb;
+  for (int i = 0; i < 100'000; ++i) obj_bomb += "{\"k\":";
+  EXPECT_NE(error_of(obj_bomb).find("nesting too deep"), std::string::npos);
+}
+
+TEST(MiniJson, DeepButLegalNestingAccepted) {
+  const JsonValue v = MiniJsonParser::parse(nested_array(MiniJsonParser::kMaxDepth - 1));
+  EXPECT_TRUE(v.is_array());
+  // Mixed object/array nesting shares the one depth budget.
+  const std::string mixed = R"({"a":[{"b":[{"c":1}]}]})";
+  EXPECT_TRUE(MiniJsonParser::parse(mixed).is_object());
+}
+
+TEST(MiniJson, ControlCharactersInStringsRejected) {
+  std::string with_nul = "\"ab";
+  with_nul += '\0';
+  with_nul += "cd\"";
+  EXPECT_NE(error_of(with_nul).find("unescaped control character"), std::string::npos);
+  EXPECT_NE(error_of("\"line\nbreak\"").find("unescaped control character"), std::string::npos);
+  EXPECT_NE(error_of("\"tab\there\"").find("unescaped control character"), std::string::npos);
+  // The escaped forms remain fine.
+  EXPECT_EQ(MiniJsonParser::parse(R"("a\nb\tc\u0000d")").str, std::string("a\nb\tc\0d", 7));
+}
+
+TEST(MiniJson, TruncatedDocumentsRejected) {
+  for (const char* doc : {"", "{", "[", "[1,", "{\"a\":", "{\"a\":1,", "\"abc", "\"esc\\",
+                          "tru", "nul", "-"}) {
+    EXPECT_FALSE(error_of(doc).empty()) << "accepted truncated doc: " << doc;
+  }
+}
+
+TEST(MiniJson, BrokenUnicodeEscapesRejected) {
+  EXPECT_NE(error_of("\"\\u12").find("truncated \\u escape"), std::string::npos);
+  EXPECT_NE(error_of("\"\\u12G4\"").find("bad hex digit"), std::string::npos);
+  EXPECT_NE(error_of("\"\\uD800\"").find("high surrogate"), std::string::npos);
+  EXPECT_NE(error_of("\"\\uD800\\n\"").find("high surrogate"), std::string::npos);
+  EXPECT_NE(error_of("\"\\uDC00\"").find("unpaired low surrogate"), std::string::npos);
+  EXPECT_NE(error_of("\"\\uD800\\uD801\"").find("invalid low surrogate"), std::string::npos);
+  // A well-formed pair still decodes (U+1F600, 4-byte UTF-8).
+  EXPECT_EQ(MiniJsonParser::parse("\"\\uD83D\\uDE00\"").str, "\xF0\x9F\x98\x80");
+}
+
+TEST(MiniJson, TrailingGarbageRejected) {
+  EXPECT_NE(error_of("{} x").find("trailing characters"), std::string::npos);
+  EXPECT_NE(error_of("1 2").find("trailing characters"), std::string::npos);
+}
+
+TEST(MiniJson, ErrorsCarryAnOffset) {
+  EXPECT_NE(error_of("[1, ]").find("at offset"), std::string::npos);
+  EXPECT_NE(error_of("{\"k\" 1}").find("at offset"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace xmp::core::json
