@@ -1,6 +1,7 @@
 // xmpsim — command-line front end to the library.
 //
 //   xmpsim run    --pattern=random --scheme=xmp --subflows=2 [--k=8]
+//                 [--workload=FILE.wl] [--load=0.3]
 //                 [--duration=0.5] [--queue=100] [--mark-k=10] [--beta=4]
 //                 [--seed=1] [--coexist=dctcp] [--csv=flows.csv]
 //                 [--json=summary.json]
@@ -42,6 +43,13 @@
 //       checkpoint and a partial summary, and exits 143. Checkpointing is
 //       incompatible with --coexist, --routing=flowlet and --rehome, and
 //       --checkpoint-every with --invariants (see `replay` for that).
+//       --workload=FILE replaces --pattern with an empirical workload file
+//       (DESIGN.md §13): open-loop Poisson arrivals whose sizes come from a
+//       flow-size CDF, plus optional explicit flows; --load=0.X sets the
+//       offered load per sender (overriding the file's `load` directive).
+//       The run then reports FCT slowdown p50/p95/p99 per flow-size bin
+//       (and an "fct" block in --json). Composes with --faults, --routing
+//       and checkpointing; incompatible with --coexist and --shards.
 //
 //   xmpsim replay --restore=FILE [--trace=...] [--invariants] ...
 //       Re-run a snapshot to completion without writing new checkpoints —
@@ -52,11 +60,15 @@
 //   xmpsim fluid  --capacity-gbps=1 --flows=3 [--beta=4] [--rtt-us=300]
 //       Closed-form BOS equilibrium on a single bottleneck (paper §2.1).
 //
-//   xmpsim sweep  --param={mark-k|beta|subflows|queue|seed} --values=a,b,c
-//                 [--jobs=N] ...
+//   xmpsim sweep  --param={mark-k|beta|subflows|queue|seed|load} --values=a,b,c
+//                 [--schemes=xmp,dctcp,lia,olia] [--jobs=N] ...
 //       Re-run `run` for each value and tabulate average goodput. Points
 //       run concurrently on N worker threads (default: hardware cores);
 //       results are identical to a serial sweep, in the order given.
+//       --param=load sweeps the offered load of a --workload=FILE run (an
+//       FCT study); --schemes crosses the value list with a scheme list
+//       (grid = schemes x values) and campaigns emit a ready-to-plot
+//       fct_summary.json next to sweep_summary.json.
 //       --trace/--trace-csv/--metrics apply per job: "trace.json" becomes
 //       "trace.0.json", "trace.1.json", ... (one file per sweep point).
 //
@@ -253,6 +265,28 @@ core::ExperimentConfig config_from(const Args& args, bool& ok) {
     ok = false;
   }
 
+  const std::string workload_file = args.get("workload", "");
+  cfg.offered_load = flag_d(args, "load", 0.0, 0.0001, 1.2, ok);
+  if (!workload_file.empty()) {
+    if (!args.get("pattern", "").empty()) {
+      std::fprintf(stderr, "xmpsim: --workload replaces --pattern (drop --pattern=%s)\n",
+                   pattern.c_str());
+      ok = false;
+    }
+    auto spec = std::make_shared<workload::WorkloadSpec>();
+    std::string werr;
+    if (!workload::WorkloadSpec::parse_file(workload_file, *spec, &werr)) {
+      std::fprintf(stderr, "xmpsim: bad --workload: %s\n", werr.c_str());
+      ok = false;
+    } else {
+      cfg.pattern = core::Pattern::Workload;
+      cfg.workload = std::move(spec);
+    }
+  } else if (!args.get("load", "").empty()) {
+    std::fprintf(stderr, "xmpsim: --load needs --workload=FILE\n");
+    ok = false;
+  }
+
   const int subflows = static_cast<int>(flag_i(args, "subflows", 2, 1, 64, ok));
   const int beta = static_cast<int>(flag_i(args, "beta", 4, 1, 1000, ok));
   const std::string scheme = args.get("scheme", "xmp");
@@ -319,13 +353,45 @@ core::ExperimentConfig config_from(const Args& args, bool& ok) {
   cfg.rand_min_bytes *= scale;
   cfg.rand_max_bytes *= scale;
 
+  // Workload-file cross-checks (the file itself already parsed clean).
+  if (cfg.workload) {
+    const int hosts = cfg.fat_tree_k * cfg.fat_tree_k * cfg.fat_tree_k / 4;
+    if (cfg.workload->nodes > hosts) {
+      std::fprintf(stderr, "xmpsim: workload needs %d hosts but --k=%d provides %d\n",
+                   cfg.workload->nodes, cfg.fat_tree_k, hosts);
+      ok = false;
+    }
+    if (cfg.workload->span == workload::WorkloadSpan::InterRack &&
+        cfg.workload->nodes <= cfg.fat_tree_k / 2) {
+      std::fprintf(stderr,
+                   "xmpsim: workload span inter-rack needs nodes in >= 2 racks "
+                   "(%d nodes fit in one rack of %d hosts)\n",
+                   cfg.workload->nodes, cfg.fat_tree_k / 2);
+      ok = false;
+    }
+    if (cfg.workload->has_cdf && cfg.offered_load <= 0.0 && cfg.workload->default_load <= 0.0) {
+      std::fprintf(stderr,
+                   "xmpsim: workload has a cdf but no offered load "
+                   "(give --load=0.X or a 'load' directive)\n");
+      ok = false;
+    }
+    if (!cfg.workload->has_cdf && cfg.offered_load > 0.0) {
+      std::fprintf(stderr, "xmpsim: --load has no effect on a trace-only workload\n");
+      ok = false;
+    }
+    if (cfg.scheme_b) {
+      std::fprintf(stderr, "xmpsim: --workload is incompatible with --coexist\n");
+      ok = false;
+    }
+  }
+
   cfg.shards = static_cast<int>(flag_i(args, "shards", 0, 0, 4096, ok));
   if (cfg.shards > 0) {
     // The sharded engine supports a precise subset of the serial feature
     // set (DESIGN.md §11); everything else is an up-front one-line reject.
     if (cfg.pattern != core::Pattern::Permutation) {
       std::fprintf(stderr, "xmpsim: --shards requires --pattern=permutation (got %s)\n",
-                   pattern.c_str());
+                   core::pattern_name(cfg.pattern));
       ok = false;
     }
     if (cfg.scheme_b) {
@@ -425,6 +491,21 @@ void print_summary(const core::ExperimentConfig& cfg, const core::ExperimentResu
   if (!res.jobs.empty()) {
     std::printf("incast jobs: %zu, avg completion %.1f ms, >300ms %.2f%%\n", res.jobs.size(),
                 res.avg_job_completion_ms(), res.job_completion_over_ms(300) * 100);
+  }
+  if (res.fct.enabled()) {
+    std::printf("fct slowdown (load %.2f, %.0f flows/s offered): %llu completed, %llu censored\n",
+                res.fct.offered_load, res.fct.arrival_rate,
+                static_cast<unsigned long long>(res.fct.completed),
+                static_cast<unsigned long long>(res.fct.censored));
+    auto fct_row = [](const char* name, const stats::Distribution& d) {
+      if (d.count() == 0) return;
+      std::printf("  %-9s n=%-6zu p50 %6.2f  p95 %7.2f  p99 %7.2f\n", name, d.count(),
+                  d.percentile(50), d.percentile(95), d.percentile(99));
+    };
+    fct_row("all", res.fct.slowdown_all);
+    for (int b = 0; b < core::ExperimentResults::FctStats::kBins; ++b) {
+      fct_row(core::ExperimentResults::FctStats::bin_name(b), res.fct.slowdown_by_bin[b]);
+    }
   }
   for (int l = 0; l < 3; ++l) {
     const auto& d = res.utilization_by_layer[l];
@@ -581,17 +662,20 @@ int cmd_fluid(const Args& args) {
 }
 
 /// One parsed sweep request: the grid plus the metadata the manifest and
-/// summary need.
+/// summary need. With --schemes the grid is schemes x values (scheme-major)
+/// and `values`/`labels` are expanded to one entry per grid point.
 struct SweepSpec {
   std::string param;
-  std::vector<double> values;
+  std::vector<double> values;        ///< swept value per grid point
+  std::vector<std::string> labels;   ///< scheme per grid point ("" = --scheme)
   std::vector<core::ExperimentConfig> grid;
+  bool schemes_swept = false;
 };
 
 bool build_sweep_grid(const Args& args, SweepSpec& spec) {
   bool ok = true;
   spec.param = args.get("param", "mark-k");
-  spec.values = flag_list(args, "values", ok);
+  const std::vector<double> base_values = flag_list(args, "values", ok);
   if (!ok) return false;
   if (!args.get("restore", "").empty()) {
     // Per-job restore decisions belong to the campaign orchestrator (it
@@ -599,52 +683,105 @@ bool build_sweep_grid(const Args& args, SweepSpec& spec) {
     std::fprintf(stderr, "xmpsim: --restore applies to 'run'/'replay', not 'sweep'\n");
     return false;
   }
-  if (spec.values.empty()) {
+  if (base_values.empty()) {
     std::fprintf(stderr, "xmpsim: sweep needs --values=a,b,c\n");
     return false;
   }
+
+  // Optional scheme cross product: --schemes=xmp,dctcp,lia,olia multiplies
+  // the grid (scheme-major order), which is how a full load-vs-FCT study
+  // becomes one resumable campaign.
+  std::vector<std::string> schemes;
+  {
+    std::string v = args.get("schemes", "");
+    while (!v.empty()) {
+      const auto comma = v.find(',');
+      const std::string token = v.substr(0, comma);
+      workload::SchemeSpec probe;
+      if (!parse_scheme(token, 1, 1, probe)) {
+        std::fprintf(stderr,
+                     "xmpsim: bad --schemes entry '%s' (expected tcp|dctcp|xmp|lia|olia)\n",
+                     token.c_str());
+        return false;
+      }
+      schemes.push_back(token);
+      if (comma == std::string::npos) break;
+      v = v.substr(comma + 1);
+    }
+  }
+  spec.schemes_swept = !schemes.empty();
+  if (schemes.empty()) schemes.emplace_back();  // sentinel: keep --scheme as given
+
   // Build the whole grid up front, then fan it across workers; results come
   // back in submission order, bit-identical to a serial sweep.
-  for (double v : spec.values) {
-    auto cfg = config_from(args, ok);
-    if (!ok) return false;
-    if (spec.param == "mark-k" || spec.param == "queue" || spec.param == "subflows" ||
-        spec.param == "beta") {
-      if (v < 1) {
-        std::fprintf(stderr, "xmpsim: bad --values entry %g for --param=%s (expected >= 1)\n", v,
+  for (const std::string& sch : schemes) {
+    for (double v : base_values) {
+      auto cfg = config_from(args, ok);
+      if (!ok) return false;
+      if (spec.param == "mark-k" || spec.param == "queue" || spec.param == "subflows" ||
+          spec.param == "beta") {
+        if (v < 1) {
+          std::fprintf(stderr, "xmpsim: bad --values entry %g for --param=%s (expected >= 1)\n",
+                       v, spec.param.c_str());
+          return false;
+        }
+      } else if (spec.param == "seed") {
+        if (v < 0) {
+          std::fprintf(stderr, "xmpsim: bad --values entry %g for --param=seed (expected >= 0)\n",
+                       v);
+          return false;
+        }
+      } else if (spec.param == "load") {
+        if (!cfg.workload) {
+          std::fprintf(stderr, "xmpsim: --param=load needs --workload=FILE\n");
+          return false;
+        }
+        if (!cfg.workload->has_cdf) {
+          std::fprintf(stderr, "xmpsim: --param=load needs a workload with a 'cdf' directive\n");
+          return false;
+        }
+        if (v <= 0 || v > 1.2) {
+          std::fprintf(stderr,
+                       "xmpsim: bad --values entry %g for --param=load (expected in (0, 1.2])\n",
+                       v);
+          return false;
+        }
+      } else {
+        std::fprintf(stderr,
+                     "xmpsim: bad --param=%s (expected mark-k|beta|subflows|queue|seed|load)\n",
                      spec.param.c_str());
         return false;
       }
-    } else if (spec.param == "seed") {
-      if (v < 0) {
-        std::fprintf(stderr, "xmpsim: bad --values entry %g for --param=seed (expected >= 0)\n",
-                     v);
-        return false;
+      if (spec.param == "mark-k") {
+        cfg.mark_threshold = static_cast<std::size_t>(v);
+      } else if (spec.param == "beta") {
+        cfg.scheme.beta = static_cast<int>(v);
+      } else if (spec.param == "subflows") {
+        cfg.scheme.subflows = static_cast<int>(v);
+      } else if (spec.param == "queue") {
+        cfg.queue_capacity = static_cast<std::size_t>(v);
+      } else if (spec.param == "load") {
+        cfg.offered_load = v;
+      } else {
+        cfg.seed = static_cast<std::uint64_t>(v);
       }
-    } else {
-      std::fprintf(stderr,
-                   "xmpsim: bad --param=%s (expected mark-k|beta|subflows|queue|seed)\n",
-                   spec.param.c_str());
-      return false;
+      if (!sch.empty()) {
+        // Swap the scheme kind, keeping every other knob (--subflows,
+        // --beta, --dead-after, --rehome) exactly as config_from set it.
+        workload::SchemeSpec s2 = cfg.scheme;
+        parse_scheme(sch, s2.subflows, s2.beta, s2);
+        cfg.scheme = s2;
+      }
+      // Each job writes its own trace/metrics files ("trace.json" ->
+      // "trace.<i>.json"); concurrent jobs must never share an output path.
+      const std::size_t job = spec.grid.size();
+      cfg.obs.trace_json = per_job_path(cfg.obs.trace_json, job);
+      cfg.obs.trace_csv = per_job_path(cfg.obs.trace_csv, job);
+      cfg.obs.metrics_json = per_job_path(cfg.obs.metrics_json, job);
+      spec.values.push_back(v);
+      spec.labels.push_back(sch);
+      spec.grid.push_back(cfg);
     }
-    if (spec.param == "mark-k") {
-      cfg.mark_threshold = static_cast<std::size_t>(v);
-    } else if (spec.param == "beta") {
-      cfg.scheme.beta = static_cast<int>(v);
-    } else if (spec.param == "subflows") {
-      cfg.scheme.subflows = static_cast<int>(v);
-    } else if (spec.param == "queue") {
-      cfg.queue_capacity = static_cast<std::size_t>(v);
-    } else {
-      cfg.seed = static_cast<std::uint64_t>(v);
-    }
-    // Each job writes its own trace/metrics files ("trace.json" ->
-    // "trace.<i>.json"); concurrent jobs must never share an output path.
-    const std::size_t job = spec.grid.size();
-    cfg.obs.trace_json = per_job_path(cfg.obs.trace_json, job);
-    cfg.obs.trace_csv = per_job_path(cfg.obs.trace_csv, job);
-    cfg.obs.metrics_json = per_job_path(cfg.obs.metrics_json, job);
-    spec.grid.push_back(cfg);
   }
   return true;
 }
@@ -678,6 +815,49 @@ void write_sweep_summary(const std::string& dir, const SweepSpec& spec,
     json.kv("flows", r.flows);
     json.kv("completed_flows", r.completed_flows);
     json.kv("aborted_flows", r.aborted_flows);
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+}
+
+/// Ready-to-plot load-vs-FCT table (`fct_summary.json`). Same discipline as
+/// write_sweep_summary: built ONLY from the salvaged job_<i>.json files, so
+/// a SIGKILLed-and-resumed campaign emits a byte-identical file.
+void write_fct_summary(const std::string& dir, const SweepSpec& spec,
+                       const core::CampaignOutcome& outcome) {
+  trace::JsonWriter json{dir + "/fct_summary.json"};
+  json.begin_object();
+  json.kv("param", spec.param);
+  json.key("table");
+  json.begin_array();
+  for (std::size_t i = 0; i < outcome.results.size(); ++i) {
+    if (!outcome.results[i] || !outcome.results[i]->has_fct) continue;
+    const core::JobResult& r = *outcome.results[i];
+    json.begin_object();
+    json.kv("index", static_cast<std::uint64_t>(i));
+    json.kv("value", spec.values[i]);
+    json.kv("scheme", spec.labels[i].empty() ? spec.grid[i].scheme.name() : spec.labels[i]);
+    json.kv("offered_load", r.fct_load);
+    json.kv("completed", r.fct_completed);
+    json.kv("censored", r.fct_censored);
+    auto quantiles = [&](const char* name, const core::JobResult::FctQuantiles& q) {
+      json.key(name);
+      json.begin_object();
+      json.kv("count", q.count);
+      json.kv("mean", q.mean);
+      json.kv("p50", q.p50);
+      json.kv("p95", q.p95);
+      json.kv("p99", q.p99);
+      json.end_object();
+    };
+    quantiles("all", r.fct_all);
+    json.key("bins");
+    json.begin_object();
+    for (int b = 0; b < core::ExperimentResults::FctStats::kBins; ++b) {
+      quantiles(core::ExperimentResults::FctStats::bin_name(b), r.fct_bins[b]);
+    }
+    json.end_object();
     json.end_object();
   }
   json.end_array();
@@ -759,18 +939,41 @@ int cmd_sweep_campaign(const Args& cli, const std::string& dir, bool resume) {
                ocfg.job_timeout_s, ocfg.retries);
   const core::CampaignOutcome outcome = orch.run(spec.grid, manifest);
 
-  std::printf("%-12s %16s %16s\n", spec.param.c_str(), "goodput (Mbps)", "events");
+  bool any_fct = false;
+  for (const auto& r : outcome.results) {
+    if (r && r->has_fct) any_fct = true;
+  }
+  // Extra columns only when the feature that produces them is in play, so
+  // classic sweeps keep their exact historical stdout format.
+  std::printf("%-12s", spec.param.c_str());
+  if (spec.schemes_swept) std::printf(" %-8s", "scheme");
+  std::printf(" %16s %16s", "goodput (Mbps)", "events");
+  if (any_fct) std::printf(" %10s %10s", "fct p50", "fct p99");
+  std::printf("\n");
   for (std::size_t i = 0; i < outcome.results.size(); ++i) {
+    std::printf("%-12g", spec.values[i]);
+    if (spec.schemes_swept) std::printf(" %-8s", spec.labels[i].c_str());
     if (outcome.results[i]) {
-      std::printf("%-12g %16.1f %16llu\n", spec.values[i], outcome.results[i]->goodput_mbps,
-                  static_cast<unsigned long long>(outcome.results[i]->events));
+      const core::JobResult& r = *outcome.results[i];
+      std::printf(" %16.1f %16llu", r.goodput_mbps, static_cast<unsigned long long>(r.events));
+      if (any_fct) {
+        if (r.has_fct && r.fct_all.count > 0) {
+          std::printf(" %10.2f %10.2f", r.fct_all.p50, r.fct_all.p99);
+        } else {
+          std::printf(" %10s %10s", "-", "-");
+        }
+      }
+      std::printf("\n");
     } else {
-      std::printf("%-12g %16s %16s  (%s after %d attempts)\n", spec.values[i], "-", "-",
-                  outcome.jobs[i].last_error.c_str(), outcome.jobs[i].attempts);
+      std::printf(" %16s %16s", "-", "-");
+      if (any_fct) std::printf(" %10s %10s", "-", "-");
+      std::printf("  (%s after %d attempts)\n", outcome.jobs[i].last_error.c_str(),
+                  outcome.jobs[i].attempts);
     }
   }
 
   write_sweep_summary(dir, spec, outcome);
+  if (any_fct) write_fct_summary(dir, spec, outcome);
   metrics.dump_to_file(dir + "/harness_metrics.json");
   tracer.export_chrome_json(dir + "/harness_trace.json");
 
@@ -809,10 +1012,29 @@ int cmd_sweep(const Args& args) {
         std::fprintf(stderr, "  [%zu/%zu] done\n", done, total);
       });
 
-  std::printf("%-12s %16s %16s\n", spec.param.c_str(), "goodput (Mbps)", "events");
+  bool any_fct = false;
+  for (const auto& r : results) {
+    if (r.fct.enabled()) any_fct = true;
+  }
+  std::printf("%-12s", spec.param.c_str());
+  if (spec.schemes_swept) std::printf(" %-8s", "scheme");
+  std::printf(" %16s %16s", "goodput (Mbps)", "events");
+  if (any_fct) std::printf(" %10s %10s", "fct p50", "fct p99");
+  std::printf("\n");
   for (std::size_t i = 0; i < results.size(); ++i) {
-    std::printf("%-12g %16.1f %16llu\n", spec.values[i], results[i].avg_goodput_mbps(),
+    std::printf("%-12g", spec.values[i]);
+    if (spec.schemes_swept) std::printf(" %-8s", spec.labels[i].c_str());
+    std::printf(" %16.1f %16llu", results[i].avg_goodput_mbps(),
                 static_cast<unsigned long long>(results[i].events_dispatched));
+    if (any_fct) {
+      if (results[i].fct.slowdown_all.count() > 0) {
+        std::printf(" %10.2f %10.2f", results[i].fct.slowdown_all.percentile(50),
+                    results[i].fct.slowdown_all.percentile(99));
+      } else {
+        std::printf(" %10s %10s", "-", "-");
+      }
+    }
+    std::printf("\n");
   }
   return 0;
 }

@@ -1,0 +1,11 @@
+# Alibaba-style inter-datacenter mix: bulk replication and batched RPC
+# fan-out between sites — few mice, most mass in 1-100 MB transfers.
+# Format: <size_bytes> <cum_prob>.
+10000     0
+50000     0.05
+200000    0.15
+1000000   0.35
+5000000   0.55
+20000000  0.75
+100000000 0.92
+500000000 1

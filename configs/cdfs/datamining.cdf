@@ -1,0 +1,14 @@
+# Datamining-style flow-size CDF (after the VL2 data-mining workload).
+# ~80% of flows under 10 KB but >95% of bytes in multi-MB elephants;
+# much heavier tail than websearch. Format: <size_bytes> <cum_prob>.
+100       0
+300       0.20
+500       0.30
+1000      0.50
+2000      0.60
+10000     0.70
+100000    0.80
+1000000   0.90
+10000000  0.96
+100000000 0.99
+1000000000 1

@@ -1,0 +1,16 @@
+# Websearch-style flow-size CDF (after the DCTCP web-search workload).
+# Format: <size_bytes> <cumulative_probability>, non-decreasing in both
+# columns, last probability exactly 1. Mostly mice under 100 KB with a
+# heavy elephant tail to 30 MB; mean ~= 1.6 MB.
+1000     0
+6000     0.15
+13000    0.20
+19000    0.30
+33000    0.40
+53000    0.53
+133000   0.60
+667000   0.70
+1333000  0.80
+4000000  0.90
+10000000 0.97
+30000000 1

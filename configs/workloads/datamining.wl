@@ -1,0 +1,8 @@
+# Open-loop datamining workload for a k=4 fat-tree (16 hosts): heavier
+# elephant tail than websearch, inter-rack destinations only (the mice
+# that matter for slowdown are the ones crossing the fabric).
+nodes 16
+cdf ../cdfs/datamining.cdf
+load 0.2
+span inter-rack
+mice-threshold 100000

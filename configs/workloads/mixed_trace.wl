@@ -1,0 +1,13 @@
+# Scenario-as-data example: background websearch Poisson traffic plus a
+# deterministic burst of four cross-pod elephants at t=10ms — the kind of
+# reproducible contention scenario that used to require code changes.
+nodes 16
+cdf ../cdfs/websearch.cdf
+load 0.1
+span any
+mice-threshold 100000
+# flow SRC DST BYTES START_S
+flow 0 12 8000000 0.010
+flow 1 13 8000000 0.010
+flow 2 14 8000000 0.010
+flow 3 15 8000000 0.010

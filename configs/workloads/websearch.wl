@@ -1,0 +1,8 @@
+# Open-loop websearch workload for a k=4 fat-tree (16 hosts).
+# Poisson arrivals at the CLI-supplied --load (or the default below),
+# flow sizes from the websearch CDF, any-to-any destinations.
+nodes 16
+cdf ../cdfs/websearch.cdf
+load 0.3
+span any
+mice-threshold 100000

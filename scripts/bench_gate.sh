@@ -13,6 +13,11 @@
 # new benchmarks have no baseline yet, and retired ones have no new number.
 # CI wires this as a separate, non-required job — shared runners are noisy,
 # so a red gate is a prompt to look, not an automatic block.
+#
+# Exit codes: 0 = within the band, 1 = at least one benchmark breached it,
+# 2 = the comparison itself is invalid (missing baseline, or the baseline's
+# recorded context — build type, normalization — differs from the new run,
+# in which case the rates are not comparable at all).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -23,7 +28,7 @@ tolerance="${BENCH_GATE_TOLERANCE:-0.15}"
 
 if [[ ! -f "$baseline" ]]; then
   echo "error: no committed baseline at $baseline" >&2
-  exit 1
+  exit 2
 fi
 
 BENCH_REPS=1 bench/run_benches.sh "$build_dir" "$new_json"
@@ -32,6 +37,23 @@ python3 - "$baseline" "$new_json" "$tolerance" <<'EOF'
 import json, sys
 
 baseline_path, new_path, tol = sys.argv[1], sys.argv[2], float(sys.argv[3])
+
+# A baseline is only meaningful against a run measured the same way. The
+# committed baseline records the keys that change what the numbers mean
+# (library_build_type, normalized); any mismatch makes every comparison
+# below garbage, so bail with exit 2 before printing a single rate.
+def context(path):
+    with open(path) as f:
+        ctx = json.load(f).get("context", {})
+    return {k: ctx.get(k) for k in ("library_build_type", "normalized")}
+
+base_ctx, new_ctx = context(baseline_path), context(new_path)
+if base_ctx != new_ctx:
+    print(f"error: benchmark context mismatch — rates are not comparable", file=sys.stderr)
+    for k in sorted(base_ctx):
+        if base_ctx[k] != new_ctx[k]:
+            print(f"  {k}: baseline={base_ctx[k]!r} new={new_ctx[k]!r}", file=sys.stderr)
+    sys.exit(2)
 
 def rates(path):
     with open(path) as f:
@@ -69,9 +91,10 @@ for name in sorted(set(new) - set(base)):
     print(f"{name:<45} {'(new: no baseline)':>34}")
 
 if failures:
-    print(f"\nFAIL: {len(failures)} benchmark(s) regressed more than {tol:.0%}:")
+    print(f"\nFAIL: {len(failures)} benchmark(s) breached the -{tol:.0%} band:")
     for name, delta in failures:
-        print(f"  {name}: {delta:+.1%}")
+        print(f"  {name}: {delta:+.1%} ({abs(delta) - tol:+.1%} beyond the band) "
+              f"[{base[name]:.3g} -> {new[name]:.3g} items/s]")
     sys.exit(1)
 print(f"\nOK: no benchmark regressed more than {tol:.0%}")
 EOF

@@ -12,6 +12,7 @@
 #   scripts/check.sh sweep      # default build + sweep kill/resume smoke
 #   scripts/check.sh shard      # default build + sharded-engine CLI smoke
 #   scripts/check.sh ckpt       # default build + checkpoint kill/resume smoke
+#   scripts/check.sh fct        # default build + FCT study kill/resume smoke
 #
 # The tsan mode also runs the "shard" ctest label (the sharded engine's
 # worker pool) under ThreadSanitizer; the default mode finishes with the
@@ -77,6 +78,16 @@ run_ckpt_smoke() {
   scripts/ckpt_smoke.sh build
 }
 
+# Empirical-workload FCT campaign: schema-valid fct_summary.json, byte-
+# identical across seeded runs and across SIGKILL + --resume
+# (scripts/fct_smoke.sh).
+run_fct_smoke() {
+  echo "== fct smoke =="
+  cmake --preset default
+  cmake --build --preset default -j "$jobs" --target xmpsim
+  scripts/fct_smoke.sh build
+}
+
 # The sharded engine's worker pool under ThreadSanitizer: exactly the tests
 # labeled "shard" (tests/core/sharded_engine_test.cpp), on top of the tsan
 # preset's name-filtered suite.
@@ -86,13 +97,14 @@ run_shard_tsan() {
 }
 
 case "${1:-default}" in
-  default) run_preset default; run_chaos build 210; run_shard_smoke; run_ckpt_smoke ;;
+  default) run_preset default; run_chaos build 210; run_shard_smoke; run_ckpt_smoke; run_fct_smoke ;;
   asan)    run_preset asan-ubsan; run_chaos build-asan 42 ;;
   tsan)    run_preset tsan; run_shard_tsan; run_chaos build-tsan 14 ;;
   routing) run_routing ;;
   sweep)   run_sweep ;;
   shard)   run_shard_smoke ;;
   ckpt)    run_ckpt_smoke ;;
+  fct)     run_fct_smoke ;;
   all)
     run_preset default; run_chaos build 210
     run_preset asan-ubsan; run_chaos build-asan 42
@@ -101,7 +113,8 @@ case "${1:-default}" in
     run_sweep
     run_shard_smoke
     run_ckpt_smoke
+    run_fct_smoke
     ;;
-  *) echo "usage: $0 [default|asan|tsan|all|routing|sweep|shard|ckpt]" >&2; exit 2 ;;
+  *) echo "usage: $0 [default|asan|tsan|all|routing|sweep|shard|ckpt|fct]" >&2; exit 2 ;;
 esac
 echo "OK"

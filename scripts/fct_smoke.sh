@@ -1,0 +1,111 @@
+#!/usr/bin/env bash
+# FCT study smoke: a tiny open-loop Poisson campaign (load x scheme grid on
+# the websearch CDF) must (a) emit a schema-valid fct_summary.json, (b) be
+# byte-identical across two seeded runs, and (c) survive a SIGKILL partway
+# through and --resume to the exact same bytes. This is the end-to-end check
+# of the empirical workload engine + FCT harness contract (unit-level
+# coverage lives in tests/workload/empirical_test.cpp and
+# tests/workload/traffic_matrix_test.cpp).
+#
+#   scripts/fct_smoke.sh [build-dir]   # default: build
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+build="${1:-build}"
+bin="$build/apps/xmpsim"
+[ -x "$bin" ] || { echo "missing $bin (build first)" >&2; exit 2; }
+
+tmp="$(mktemp -d)"
+campaign=""
+cleanup() {
+  if [ -n "$campaign" ]; then kill -9 -- "-$campaign" 2>/dev/null || true; fi
+  rm -rf "$tmp"
+}
+trap cleanup EXIT INT TERM
+
+# 2 loads x 4 schemes = 8 deterministic jobs, each ~1s of wall clock;
+# --jobs=1 so the SIGKILL below reliably lands mid-campaign.
+total=8
+sweep_args=(sweep --param=load --values=0.1,0.3 --schemes=xmp,dctcp,lia,olia
+            --workload=configs/workloads/websearch.wl
+            --k=4 --duration=1.0 --seed=5 --jobs=1 --retries=1)
+
+succeeded_jobs() {
+  grep -c '"state": "succeeded"' "$tmp/int/sweep_manifest.json" 2>/dev/null || true
+}
+
+echo "== fct smoke: seeded reference campaign =="
+"$bin" "${sweep_args[@]}" "--out=$tmp/ref" > "$tmp/ref.txt"
+[ -f "$tmp/ref/fct_summary.json" ] || { echo "FAIL: no fct_summary.json" >&2; exit 1; }
+
+echo "== fct smoke: schema =="
+python3 - "$tmp/ref/fct_summary.json" "$total" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+total = int(sys.argv[2])
+assert doc["param"] == "load", doc.get("param")
+table = doc["table"]
+assert len(table) == total, f"expected {total} rows, got {len(table)}"
+bins = ["0-10K", "10K-100K", "100K-1M", "1M-10M", ">10M"]
+quantile_keys = {"count", "mean", "p50", "p95", "p99"}
+for row in table:
+    for key in ("index", "value", "scheme", "offered_load", "completed", "censored"):
+        assert key in row, f"row missing {key}: {row}"
+    assert row["scheme"] in ("xmp", "dctcp", "lia", "olia"), row["scheme"]
+    assert 0 < row["value"] <= 1.2, row["value"]
+    assert set(row["all"]) == quantile_keys, row["all"]
+    assert set(row["bins"]) == set(bins), sorted(row["bins"])
+    for b in bins:
+        assert set(row["bins"][b]) == quantile_keys
+    # Open-loop accounting: every arrival is either completed or censored,
+    # and the completed count must match the "all" distribution's count.
+    assert row["all"]["count"] == row["completed"], row
+    if row["completed"] > 0:
+        assert row["all"]["p50"] >= 1.0, f"slowdown below ideal: {row}"
+        assert row["all"]["p99"] >= row["all"]["p50"], row
+completed = sum(r["completed"] for r in table)
+assert completed > 0, "campaign completed zero flows"
+print(f"   schema OK: {len(table)} rows, {completed} completed flows")
+EOF
+
+echo "== fct smoke: second seeded run is byte-identical =="
+"$bin" "${sweep_args[@]}" "--out=$tmp/ref2" > "$tmp/ref2.txt"
+if ! cmp "$tmp/ref/fct_summary.json" "$tmp/ref2/fct_summary.json"; then
+  echo "FAIL: two identical seeded campaigns disagree" >&2
+  exit 1
+fi
+
+echo "== fct smoke: interrupted campaign =="
+setsid "$bin" "${sweep_args[@]}" "--out=$tmp/int" > "$tmp/int.txt" 2>&1 &
+campaign=$!
+for _ in $(seq 1 400); do
+  n="$(succeeded_jobs)"
+  [ "${n:-0}" -ge 2 ] && break
+  sleep 0.05
+done
+kill -9 -- "-$campaign" 2>/dev/null || true
+wait "$campaign" 2>/dev/null || true
+campaign=""
+
+done_jobs="$(succeeded_jobs)"
+done_jobs="${done_jobs:-0}"
+echo "   killed campaign with $done_jobs/$total jobs succeeded"
+if [ "$done_jobs" -lt 1 ] || [ "$done_jobs" -ge "$total" ]; then
+  echo "FAIL: kill did not land mid-campaign ($done_jobs/$total done) — tune the grid" >&2
+  exit 1
+fi
+if [ -f "$tmp/int/fct_summary.json" ]; then
+  echo "FAIL: interrupted campaign must not have published fct_summary.json" >&2
+  exit 1
+fi
+
+echo "== fct smoke: resume =="
+"$bin" sweep "--resume=$tmp/int" > "$tmp/resume.txt"
+if ! cmp "$tmp/ref/fct_summary.json" "$tmp/int/fct_summary.json"; then
+  echo "FAIL: resumed fct_summary.json differs from uninterrupted campaign" >&2
+  diff "$tmp/ref/fct_summary.json" "$tmp/int/fct_summary.json" >&2 || true
+  exit 1
+fi
+cmp "$tmp/ref/sweep_summary.json" "$tmp/int/sweep_summary.json"
+
+echo "fct smoke OK"

@@ -236,6 +236,15 @@ std::uint64_t config_fingerprint(const ExperimentConfig& cfg) {
     f.mix_d(e.loss.loss_bad);
   }
   f.mix(cfg.fault_seed);
+  // Empirical workloads: the fingerprint covers the *parsed content* of the
+  // workload file (nodes, span, CDF points, explicit flows) plus the
+  // effective offered load, so a snapshot taken under one workload cannot
+  // restore under another even if both share a path.
+  f.mix(cfg.workload != nullptr);
+  if (cfg.workload) {
+    f.mix(cfg.workload->content_hash());
+    f.mix_d(cfg.offered_load > 0.0 ? cfg.offered_load : cfg.workload->default_load);
+  }
   // Sharded runs use a different (documented) equal-timestamp tie order, so
   // a serial checkpoint must not restore into a sharded run or vice versa —
   // but the worker count itself is identity-neutral.

@@ -15,6 +15,7 @@
 #include "sim/random.hpp"
 #include "sim/scheduler.hpp"
 #include "stats/probes.hpp"
+#include "workload/empirical.hpp"
 #include "workload/permutation.hpp"
 #include "workload/random_traffic.hpp"
 
@@ -28,8 +29,29 @@ const char* pattern_name(Pattern p) {
       return "Random";
     case Pattern::Incast:
       return "Incast";
+    case Pattern::Workload:
+      return "Workload";
   }
   return "?";
+}
+
+const char* ExperimentResults::FctStats::bin_name(int b) {
+  switch (b) {
+    case 0: return "0-10K";
+    case 1: return "10K-100K";
+    case 2: return "100K-1M";
+    case 3: return "1M-10M";
+    case 4: return ">10M";
+  }
+  return "?";
+}
+
+int ExperimentResults::FctStats::bin_of(std::int64_t bytes) {
+  if (bytes < 10'000) return 0;
+  if (bytes < 100'000) return 1;
+  if (bytes < 1'000'000) return 2;
+  if (bytes < 10'000'000) return 3;
+  return 4;
 }
 
 double ExperimentResults::avg_job_completion_ms() const {
@@ -152,6 +174,7 @@ ExperimentResults run_experiment(const ExperimentConfig& cfg) {
   std::unique_ptr<workload::RandomTraffic> rand_b;
   std::unique_ptr<workload::IncastTraffic> incast;
   std::unique_ptr<workload::RandomTraffic> incast_bg;
+  std::unique_ptr<workload::EmpiricalTraffic> emp;
 
   // Generators are constructed on both the fresh and the restore path (the
   // rng.split() draws happen here, identically); start() is deferred so a
@@ -189,6 +212,19 @@ ExperimentResults run_experiment(const ExperimentConfig& cfg) {
       rc.max_bytes = cfg.rand_max_bytes;
       rc.exclude_same_rack = true;  // paper footnote 8
       incast_bg = std::make_unique<workload::RandomTraffic>(sched, tree, flows_a, rng.split(), rc);
+      break;
+    }
+    case Pattern::Workload: {
+      const workload::WorkloadSpec& spec = *cfg.workload;
+      workload::EmpiricalTraffic::Config ec;
+      ec.cdf = spec.has_cdf ? &spec.cdf : nullptr;
+      ec.load = cfg.offered_load > 0.0 ? cfg.offered_load : spec.default_load;
+      ec.line_rate_bps = tree.config().link_rate_bps;
+      ec.nodes = spec.nodes;
+      ec.span = spec.span;
+      ec.mice_threshold = spec.mice_threshold;
+      ec.trace = &spec.flows;
+      emp = std::make_unique<workload::EmpiricalTraffic>(sched, tree, flows_a, rng.split(), ec);
       break;
     }
   }
@@ -294,6 +330,9 @@ ExperimentResults run_experiment(const ExperimentConfig& cfg) {
         incast->save_state(s);
         incast_bg->save_state(s);
         break;
+      case Pattern::Workload:
+        emp->save_state(s);
+        break;
     }
     s.tag("PROB");
     rtt_tick.save_state(s);
@@ -359,6 +398,9 @@ ExperimentResults run_experiment(const ExperimentConfig& cfg) {
       case Pattern::Incast:
         incast->restore_state(l);
         incast_bg->restore_state(l);
+        break;
+      case Pattern::Workload:
+        emp->restore_state(l);
         break;
     }
     l.tag("PROB");
@@ -471,6 +513,9 @@ ExperimentResults run_experiment(const ExperimentConfig& cfg) {
         incast->start();
         incast_bg->start();
         break;
+      case Pattern::Workload:
+        emp->start();
+        break;
     }
     rtt_tick.start();
     util.open(all_links);
@@ -556,6 +601,37 @@ ExperimentResults run_experiment(const ExperimentConfig& cfg) {
   };
   collect_partials(flows_a, 0);
   if (flows_b) collect_partials(*flows_b, 1);
+
+  if (emp) {
+    // FCT slowdown vs the unloaded fabric: one-way propagation by locality
+    // category plus serialization at line rate. Aborted and still-in-flight
+    // flows are censored (counted, never averaged in).
+    const topo::FatTree::Config& tc2 = tree.config();
+    const double rate_bps = static_cast<double>(tc2.link_rate_bps);
+    auto ideal_sec = [&](const workload::FlowRecord& rec) {
+      const auto cat = tree.category(rec.src_host, rec.dst_host);
+      double prop = 2.0 * tc2.rack_delay.sec();
+      if (cat != topo::FatTree::Category::InnerRack) prop += 2.0 * tc2.agg_delay.sec();
+      if (cat == topo::FatTree::Category::InterPod) prop += 2.0 * tc2.core_delay.sec();
+      return prop + static_cast<double>(rec.bytes) * 8.0 / rate_bps;
+    };
+    res.fct.offered_load =
+        cfg.offered_load > 0.0 ? cfg.offered_load : cfg.workload->default_load;
+    res.fct.arrival_rate = emp->arrival_rate();
+    for (const auto& rec : flows_a.records()) {
+      if (!rec.completed) {
+        ++res.fct.censored;
+        continue;
+      }
+      const double slow = (rec.finish - rec.start).sec() / ideal_sec(rec);
+      res.fct.slowdown_all.add(slow);
+      res.fct.slowdown_by_bin[ExperimentResults::FctStats::bin_of(rec.bytes)].add(slow);
+      ++res.fct.completed;
+      if (sim_metrics) {
+        sim_metrics->fct_slowdown_milli.add(static_cast<std::uint64_t>(slow * 1000.0));
+      }
+    }
+  }
 
   if (incast) res.jobs = incast->jobs();
   res.sim_duration = sched.now();

@@ -3,6 +3,7 @@
 #include <array>
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -18,11 +19,14 @@
 #include "workload/flow_manager.hpp"
 #include "workload/incast.hpp"
 #include "workload/scheme.hpp"
+#include "workload/traffic_matrix.hpp"
 
 namespace xmp::core {
 
-/// Which of the paper's §5.2.1 traffic patterns to run.
-enum class Pattern { Permutation, Random, Incast };
+/// Which traffic pattern to run: the paper's §5.2.1 synthetic patterns,
+/// or an empirical workload file (open-loop Poisson arrivals from a
+/// flow-size CDF plus optional explicit flows — DESIGN.md §13).
+enum class Pattern { Permutation, Random, Incast, Workload };
 
 /// Observability outputs for one run. All paths are optional; when every
 /// path is empty no tracer/registry is even constructed, so the run is
@@ -88,6 +92,14 @@ struct ExperimentConfig {
   sim::Time duration = sim::Time::seconds(0.6);
 
   workload::IncastTraffic::Config incast;
+
+  /// Parsed workload file (Pattern::Workload only). Shared, immutable:
+  /// sweep grids copy the config per grid point without re-parsing, and
+  /// forked campaign jobs inherit the mapping.
+  std::shared_ptr<const workload::WorkloadSpec> workload;
+  /// Offered load per sender for Pattern::Workload; 0 defers to the
+  /// workload file's `load` directive.
+  double offered_load = 0.0;
 
   std::uint64_t seed = 1;
   sim::Time rtt_sample_interval = sim::Time::milliseconds(5);
@@ -186,6 +198,29 @@ struct ExperimentResults {
     std::uint64_t unroutable = 0;
   };
   std::vector<SwitchDropRow> switch_drops;
+
+  /// FCT-slowdown accounting for Pattern::Workload runs (zeroed otherwise).
+  /// Slowdown = actual FCT / ideal FCT, where the ideal is the unloaded
+  /// fabric: the flow's one-way propagation delay by locality category plus
+  /// its serialization time at line rate (DESIGN.md §13). Open-loop flows
+  /// still in flight at the horizon are *censored* — counted, never folded
+  /// into the percentiles — so high-load numbers cannot silently improve
+  /// by dropping their slowest flows.
+  struct FctStats {
+    static constexpr int kBins = 5;  ///< 0-10K, 10-100K, 100K-1M, 1-10M, >10M
+    [[nodiscard]] static const char* bin_name(int b);
+    [[nodiscard]] static int bin_of(std::int64_t bytes);
+
+    std::array<stats::Distribution, kBins> slowdown_by_bin;
+    stats::Distribution slowdown_all;
+    std::uint64_t completed = 0;
+    std::uint64_t censored = 0;     ///< arrived but unfinished (or aborted)
+    double offered_load = 0.0;      ///< effective per-sender load
+    double arrival_rate = 0.0;      ///< aggregate Poisson arrivals/sec
+
+    [[nodiscard]] bool enabled() const { return completed + censored > 0; }
+  };
+  FctStats fct;
 
   /// Multipath transfers that lost every subflow (requires a SchemeSpec
   /// with dead_after_rtos > 0 and a hostile enough FaultPlan).

@@ -90,6 +90,10 @@ void export_summary_json(const ExperimentConfig& cfg, const ExperimentResults& r
   json.kv("duration_s", cfg.duration.sec());
   json.kv("seed", cfg.seed);
   json.kv("routing", route::policy_name(cfg.routing.kind));
+  if (cfg.pattern == Pattern::Workload && cfg.workload) {
+    json.kv("workload", cfg.workload->name);
+    json.kv("offered_load", results.fct.offered_load);
+  }
   json.end_object();
 
   json.key("summary");
@@ -146,6 +150,39 @@ void export_summary_json(const ExperimentConfig& cfg, const ExperimentResults& r
     json.kv("handoff_packets", results.shard.handoff_packets);
     json.kv("micro_steps", results.shard.micro_steps);
     json.kv("replays", results.shard.replays);
+    json.end_object();
+  }
+
+  if (results.fct.enabled()) {
+    // FCT-slowdown block (empirical workloads): exact nearest-rank
+    // percentiles per flow-size bin, plus explicit censoring counts so a
+    // reader can tell how much of the open-loop arrival mass finished.
+    json.key("fct");
+    json.begin_object();
+    json.kv("offered_load", results.fct.offered_load);
+    json.kv("arrival_rate_fps", results.fct.arrival_rate);
+    json.kv("completed", results.fct.completed);
+    json.kv("censored", results.fct.censored);
+    auto write_slowdown = [&](const char* name, const stats::Distribution& d) {
+      json.key(name);
+      json.begin_object();
+      json.kv("count", static_cast<std::uint64_t>(d.count()));
+      if (d.count() > 0) {
+        json.kv("mean", d.mean());
+        json.kv("p50", d.percentile(50));
+        json.kv("p95", d.percentile(95));
+        json.kv("p99", d.percentile(99));
+        json.kv("max", d.max());
+      }
+      json.end_object();
+    };
+    write_slowdown("all", results.fct.slowdown_all);
+    json.key("bins");
+    json.begin_object();
+    for (int b = 0; b < ExperimentResults::FctStats::kBins; ++b) {
+      write_slowdown(ExperimentResults::FctStats::bin_name(b), results.fct.slowdown_by_bin[b]);
+    }
+    json.end_object();
     json.end_object();
   }
 

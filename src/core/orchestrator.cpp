@@ -348,6 +348,34 @@ int run_sweep_job(std::size_t index, const ExperimentConfig& cfg, const std::str
       json.kv("flows", static_cast<std::uint64_t>(res.flows.size()));
       json.kv("completed_flows", static_cast<std::uint64_t>(res.goodput.count()));
       json.kv("aborted_flows", res.aborted_flows);
+      if (res.fct.enabled()) {
+        // FCT quantiles ride in the job file so the campaign-level
+        // fct_summary.json can be rebuilt from files alone (the resume
+        // byte-identity contract).
+        json.key("fct");
+        json.begin_object();
+        json.kv("offered_load", res.fct.offered_load);
+        json.kv("completed", res.fct.completed);
+        json.kv("censored", res.fct.censored);
+        auto quantiles = [&](const char* name, const stats::Distribution& d) {
+          json.key(name);
+          json.begin_object();
+          json.kv("count", static_cast<std::uint64_t>(d.count()));
+          json.kv("mean", d.count() > 0 ? d.mean() : 0.0);
+          json.kv("p50", d.count() > 0 ? d.percentile(50) : 0.0);
+          json.kv("p95", d.count() > 0 ? d.percentile(95) : 0.0);
+          json.kv("p99", d.count() > 0 ? d.percentile(99) : 0.0);
+          json.end_object();
+        };
+        quantiles("all", res.fct.slowdown_all);
+        json.key("bins");
+        json.begin_object();
+        for (int b = 0; b < ExperimentResults::FctStats::kBins; ++b) {
+          quantiles(ExperimentResults::FctStats::bin_name(b), res.fct.slowdown_by_bin[b]);
+        }
+        json.end_object();
+        json.end_object();
+      }
       json.end_object();
       if (!json.ok()) return 5;
     }
@@ -376,6 +404,34 @@ bool load_job_result(const std::string& path, JobResult& out, std::string* error
   }
   if (root.has("aborted_flows")) {
     out.aborted_flows = static_cast<std::uint64_t>(root.at("aborted_flows").number);
+  }
+  if (root.has("fct") && root.at("fct").is_object()) {
+    const json::JsonValue& fct = root.at("fct");
+    auto quantiles = [&](const json::JsonValue& q, JobResult::FctQuantiles& out_q) {
+      if (!q.is_object()) return;
+      if (q.has("count")) out_q.count = static_cast<std::uint64_t>(q.at("count").number);
+      if (q.has("mean")) out_q.mean = q.at("mean").number;
+      if (q.has("p50")) out_q.p50 = q.at("p50").number;
+      if (q.has("p95")) out_q.p95 = q.at("p95").number;
+      if (q.has("p99")) out_q.p99 = q.at("p99").number;
+    };
+    out.has_fct = true;
+    if (fct.has("offered_load")) out.fct_load = fct.at("offered_load").number;
+    if (fct.has("completed")) {
+      out.fct_completed = static_cast<std::uint64_t>(fct.at("completed").number);
+    }
+    if (fct.has("censored")) {
+      out.fct_censored = static_cast<std::uint64_t>(fct.at("censored").number);
+    }
+    if (fct.has("all")) quantiles(fct.at("all"), out.fct_all);
+    if (fct.has("bins") && fct.at("bins").is_object()) {
+      for (int b = 0; b < ExperimentResults::FctStats::kBins; ++b) {
+        const char* name = ExperimentResults::FctStats::bin_name(b);
+        if (fct.at("bins").has(name)) {
+          quantiles(fct.at("bins").at(name), out.fct_bins[static_cast<std::size_t>(b)]);
+        }
+      }
+    }
   }
   return true;
 }

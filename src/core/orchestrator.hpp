@@ -1,5 +1,6 @@
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <optional>
@@ -46,6 +47,22 @@ struct JobResult {
   std::uint64_t flows = 0;
   std::uint64_t completed_flows = 0;
   std::uint64_t aborted_flows = 0;
+
+  /// FCT-slowdown quantiles parsed back from the job file (Workload runs;
+  /// `has_fct` false otherwise). Mirrors ExperimentResults::FctStats.
+  struct FctQuantiles {
+    std::uint64_t count = 0;
+    double mean = 0.0;
+    double p50 = 0.0;
+    double p95 = 0.0;
+    double p99 = 0.0;
+  };
+  bool has_fct = false;
+  double fct_load = 0.0;
+  std::uint64_t fct_completed = 0;
+  std::uint64_t fct_censored = 0;
+  FctQuantiles fct_all;
+  std::array<FctQuantiles, ExperimentResults::FctStats::kBins> fct_bins;
 };
 
 /// Final shape of a campaign: every job either salvaged a result or is

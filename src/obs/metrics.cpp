@@ -214,6 +214,7 @@ SimMetrics::SimMetrics(MetricsRegistry& reg)
       flowlet_repaths{reg.counter("flowlet_repaths")},
       path_rehomes{reg.counter("path_rehomes")},
       fct_us{reg.histogram("fct_us")},
+      fct_slowdown_milli{reg.histogram("fct_slowdown_milli")},
       queue_depth{reg.histogram("queue_depth")},
       mark_runs{reg.histogram("mark_runs")} {}
 

@@ -150,6 +150,7 @@ struct SimMetrics {
   Counter& path_rehomes;       ///< MPTCP subflows re-homed onto a new path
 
   Histogram& fct_us;        ///< completion time of finished flows, µs
+  Histogram& fct_slowdown_milli;  ///< FCT slowdown x1000 (empirical workloads)
   Histogram& queue_depth;   ///< sampled instantaneous queue length, packets
   Histogram& mark_runs;     ///< consecutive CE marks per queue before a gap
 };

@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <vector>
+
+#include "sim/random.hpp"
+#include "workload/empirical.hpp"
+
+namespace xmp::workload {
+namespace {
+
+EmpiricalCdf parse_or_die(const std::string& text) {
+  std::istringstream in{text};
+  EmpiricalCdf cdf;
+  std::string error;
+  EXPECT_TRUE(EmpiricalCdf::parse(in, "test.cdf", cdf, &error)) << error;
+  return cdf;
+}
+
+std::string parse_error(const std::string& text) {
+  std::istringstream in{text};
+  EmpiricalCdf cdf;
+  std::string error;
+  EXPECT_FALSE(EmpiricalCdf::parse(in, "test.cdf", cdf, &error));
+  return error;
+}
+
+TEST(EmpiricalCdf, ParsesCommentsAndBlankLines) {
+  const EmpiricalCdf cdf = parse_or_die(
+      "# websearch-ish\n"
+      "\n"
+      "1000 0.1\n"
+      "10000 0.5   # trailing comment\n"
+      "1000000 1.0\n");
+  ASSERT_EQ(cdf.points().size(), 3u);
+  EXPECT_DOUBLE_EQ(cdf.points()[0].bytes, 1000.0);
+  EXPECT_DOUBLE_EQ(cdf.points()[2].cum, 1.0);
+  EXPECT_EQ(cdf.name(), "test.cdf");
+}
+
+TEST(EmpiricalCdf, RejectsHostileInputs) {
+  // Each rejection is a one-line `name:line: message` diagnostic.
+  EXPECT_NE(parse_error("1000\n2000 1.0\n").find("test.cdf:1"), std::string::npos)
+      << "truncated line";
+  EXPECT_NE(parse_error("1000 0.5 junk\n2000 1.0\n").find(":1:"), std::string::npos)
+      << "trailing token";
+  EXPECT_FALSE(parse_error("abc 0.5\n2000 1.0\n").empty()) << "non-numeric size";
+  EXPECT_FALSE(parse_error("1000 nan\n2000 1.0\n").empty()) << "NaN probability";
+  EXPECT_FALSE(parse_error("1000 inf\n2000 1.0\n").empty()) << "inf probability";
+  EXPECT_FALSE(parse_error("-5 0.5\n2000 1.0\n").empty()) << "negative size";
+  EXPECT_FALSE(parse_error("0 0.5\n2000 1.0\n").empty()) << "zero size";
+  EXPECT_FALSE(parse_error("2000 0.5\n1000 1.0\n").empty()) << "decreasing sizes";
+  EXPECT_FALSE(parse_error("1000 0.9\n2000 0.5\n").empty()) << "decreasing cum";
+  EXPECT_FALSE(parse_error("1000 0.5\n2000 1.5\n").empty()) << "cum > 1";
+  EXPECT_FALSE(parse_error("1000 1.0\n").empty()) << "fewer than two points";
+  EXPECT_FALSE(parse_error("1000 0.5\n2000 0.9\n").empty()) << "last cum != 1";
+  EXPECT_FALSE(parse_error("").empty()) << "empty file";
+}
+
+TEST(EmpiricalCdf, MeanBytesMatchesHandComputation) {
+  // P(size <= 1000) = 0.5 (point mass via the first point), then linear to
+  // 2000 at cum 1. Mean = 0.5*1000 + 0.5*(1000+2000)/2 = 1250.
+  const EmpiricalCdf cdf = parse_or_die("1000 0.5\n2000 1.0\n");
+  EXPECT_NEAR(cdf.mean_bytes(), 1250.0, 1e-9);
+}
+
+TEST(EmpiricalCdf, SampleMeanMatchesAnalyticMean) {
+  const EmpiricalCdf cdf = parse_or_die(
+      "1000 0.15\n"
+      "10000 0.5\n"
+      "100000 0.8\n"
+      "1000000 0.95\n"
+      "10000000 1.0\n");
+  sim::Rng rng{12345};
+  const int n = 100000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(cdf.sample(rng));
+  const double mean = sum / n;
+  // sigma/sqrt(n) here is ~0.6% of the mean; 3% tolerance is ~5 sigma.
+  EXPECT_NEAR(mean, cdf.mean_bytes(), 0.03 * cdf.mean_bytes());
+}
+
+TEST(EmpiricalCdf, SampleQuantilesMatchCdfPoints) {
+  const EmpiricalCdf cdf = parse_or_die(
+      "1000 0.15\n"
+      "10000 0.5\n"
+      "100000 0.8\n"
+      "1000000 1.0\n");
+  sim::Rng rng{999};
+  const int n = 100000;
+  int below_10k = 0;
+  int below_100k = 0;
+  for (int i = 0; i < n; ++i) {
+    const std::int64_t s = cdf.sample(rng);
+    if (s <= 10000) ++below_10k;
+    if (s <= 100000) ++below_100k;
+  }
+  // Binomial sigma at n=1e5 is ~0.16%; 1.5% tolerance is ~10 sigma.
+  EXPECT_NEAR(below_10k / double(n), 0.5, 0.015);
+  EXPECT_NEAR(below_100k / double(n), 0.8, 0.015);
+}
+
+TEST(EmpiricalCdf, DrawsAreBitIdenticalForFixedSeed) {
+  const EmpiricalCdf cdf = parse_or_die("1000 0.3\n50000 0.7\n2000000 1.0\n");
+  sim::Rng a{42};
+  sim::Rng b{42};
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(cdf.sample(a), cdf.sample(b)) << "draw " << i;
+  }
+}
+
+TEST(EmpiricalCdf, SamplesStayWithinSupport) {
+  const EmpiricalCdf cdf = parse_or_die("100 0.4\n5000 1.0\n");
+  sim::Rng rng{7};
+  for (int i = 0; i < 10000; ++i) {
+    const std::int64_t s = cdf.sample(rng);
+    EXPECT_GE(s, 1);
+    EXPECT_LE(s, 5000);
+  }
+}
+
+TEST(EmpiricalCdf, FingerprintDistinguishesDistributions) {
+  const EmpiricalCdf a = parse_or_die("1000 0.5\n2000 1.0\n");
+  const EmpiricalCdf b = parse_or_die("1000 0.5\n3000 1.0\n");
+  std::uint64_t ha = 1, hb = 1, ha2 = 1;
+  a.mix_fingerprint(ha);
+  b.mix_fingerprint(hb);
+  a.mix_fingerprint(ha2);
+  EXPECT_EQ(ha, ha2);
+  EXPECT_NE(ha, hb);
+}
+
+}  // namespace
+}  // namespace xmp::workload
