@@ -14,7 +14,10 @@
 //                 [--trace-filter=cwnd,gain,queue] [--trace-capacity=262144]
 //                 [--metrics=metrics.json] [--shards=N]
 //                 [--checkpoint-every=SIMTIME] [--checkpoint-dir=DIR]
-//                 [--restore=FILE]
+//                 [--restore=FILE] [--fct-csv=FILE]
+//                 [--hybrid] [--hybrid-bg=FLOWS[:BYTES]]
+//                 [--hybrid-fg=FLOWS[:BYTES]] [--hybrid-promote-bytes=N]
+//                 [--hybrid-tick=US]
 //       Run one Fat-Tree evaluation and print the paper's summary metrics.
 //       --routing selects how switches spread over equal-cost up-ports
 //       (default pinned = the paper's per-tag deterministic paths; ecmp
@@ -50,6 +53,22 @@
 //       The run then reports FCT slowdown p50/p95/p99 per flow-size bin
 //       (and an "fct" block in --json). Composes with --faults, --routing
 //       and checkpointing; incompatible with --coexist and --shards.
+//       --fct-csv=FILE writes one row per flow of a --workload run
+//       (id,bytes,start_s,finish_s,completed,slowdown; censored flows carry
+//       finish_s=-1); in sweeps it becomes one file per job.
+//       --hybrid runs the hybrid fluid/packet engine (DESIGN.md §14):
+//       --hybrid-bg fluid background aggregates evolve as per-RTT BOS/TraSh
+//       ODEs (default 1000, unbounded size unless :BYTES is given) while
+//       --hybrid-fg packet-accurate foreground flows (default 4 x 8 MB,
+//       restarted on completion) ride the same queues; the two couple
+//       through per-queue fluid backlog (ECN marking), residual link
+//       capacity, and measured packet drain. --hybrid-promote-bytes=N hands
+//       a finite fluid flow to the packet domain for its last N bytes;
+//       --hybrid-tick=US sets the fluid step (default 200 us, ~ one RTT).
+//       Requires --scheme=xmp; replaces --pattern; composes with
+//       checkpointing, --trace and --metrics; incompatible with --shards,
+//       --coexist, --workload and --faults. A snapshot from a non-hybrid
+//       run never restores into a hybrid one (config fingerprint).
 //
 //   xmpsim replay --restore=FILE [--trace=...] [--invariants] ...
 //       Re-run a snapshot to completion without writing new checkpoints —
@@ -412,9 +431,85 @@ core::ExperimentConfig config_from(const Args& args, bool& ok) {
     }
   }
 
+  // --- hybrid fluid/packet engine (DESIGN.md §14) ---
+  cfg.hybrid.enabled = args.has("hybrid");
+  {
+    // FLOWS[:BYTES] spec: "--hybrid-bg=100000" or "--hybrid-bg=1000:64000000".
+    auto parse_count_spec = [&](const char* key, int& count, std::int64_t& bytes) {
+      const std::string v = args.get(key, "");
+      if (v.empty()) return;
+      const auto colon = v.find(':');
+      std::int64_t n = 0;
+      std::int64_t b = bytes;
+      bool good = parse_integer(v.substr(0, colon), n) && n >= 1 && n <= 2'000'000;
+      if (good && colon != std::string::npos) {
+        good = parse_integer(v.substr(colon + 1), b) && b >= 1;
+      }
+      if (!good) {
+        std::fprintf(stderr,
+                     "xmpsim: bad --%s=%s (expected FLOWS[:BYTES], flows in [1, 2000000], "
+                     "bytes >= 1)\n",
+                     key, v.c_str());
+        ok = false;
+        return;
+      }
+      count = static_cast<int>(n);
+      bytes = b;
+    };
+    const bool sub_flags =
+        !args.get("hybrid-bg", "").empty() || !args.get("hybrid-fg", "").empty() ||
+        !args.get("hybrid-promote-bytes", "").empty() || !args.get("hybrid-tick", "").empty();
+    if (sub_flags && !cfg.hybrid.enabled) {
+      std::fprintf(stderr, "xmpsim: --hybrid-* flags need --hybrid\n");
+      ok = false;
+    }
+    if (cfg.hybrid.enabled) {
+      parse_count_spec("hybrid-bg", cfg.hybrid.bg_flows, cfg.hybrid.bg_bytes);
+      parse_count_spec("hybrid-fg", cfg.hybrid.fg_flows, cfg.hybrid.fg_bytes);
+      cfg.hybrid.promote_bytes =
+          flag_i(args, "hybrid-promote-bytes", 0, 0, std::int64_t{1} << 40, ok);
+      cfg.hybrid.tick = sim::Time::microseconds(flag_i(args, "hybrid-tick", 200, 10, 1000000, ok));
+      // The fluid ODEs implement the paper's §2 XMP dynamics; everything the
+      // hybrid engine can't represent is an up-front one-line reject.
+      if (cfg.scheme.kind != workload::SchemeSpec::Kind::Xmp) {
+        std::fprintf(stderr, "xmpsim: --hybrid requires --scheme=xmp (got %s)\n", scheme.c_str());
+        ok = false;
+      }
+      if (!args.get("pattern", "").empty()) {
+        std::fprintf(stderr, "xmpsim: --hybrid replaces --pattern (drop --pattern=%s)\n",
+                     pattern.c_str());
+        ok = false;
+      }
+      if (cfg.workload) {
+        std::fprintf(stderr, "xmpsim: --hybrid is incompatible with --workload\n");
+        ok = false;
+      }
+      if (cfg.scheme_b) {
+        std::fprintf(stderr, "xmpsim: --hybrid is incompatible with --coexist\n");
+        ok = false;
+      }
+      if (!cfg.fault_plan.empty()) {
+        std::fprintf(stderr, "xmpsim: --hybrid is incompatible with --faults\n");
+        ok = false;
+      }
+      if (cfg.shards > 0) {
+        std::fprintf(stderr, "xmpsim: --hybrid is incompatible with --shards (serial engine only)\n");
+        ok = false;
+      }
+      // In hybrid mode the pattern enum is inert (the engine replaces the
+      // generators); Permutation keeps name/fingerprint output stable.
+      cfg.pattern = core::Pattern::Permutation;
+    }
+  }
+
   cfg.obs.trace_json = args.get("trace", "");
   cfg.obs.trace_csv = args.get("trace-csv", "");
   cfg.obs.metrics_json = args.get("metrics", "");
+  cfg.obs.fct_csv = args.get("fct-csv", "");
+  if (!cfg.obs.fct_csv.empty() && cfg.pattern != core::Pattern::Workload) {
+    std::fprintf(stderr, "xmpsim: --fct-csv needs --workload=FILE\n");
+    ok = false;
+  }
   cfg.obs.capacity =
       static_cast<std::size_t>(flag_i(args, "trace-capacity", 1 << 18, 1, 1 << 26, ok));
   const std::string filter = args.get("trace-filter", "");
@@ -491,6 +586,16 @@ void print_summary(const core::ExperimentConfig& cfg, const core::ExperimentResu
   if (!res.jobs.empty()) {
     std::printf("incast jobs: %zu, avg completion %.1f ms, >300ms %.2f%%\n", res.jobs.size(),
                 res.avg_job_completion_ms(), res.job_completion_over_ms(300) * 100);
+  }
+  if (res.hybrid.enabled) {
+    std::printf("hybrid: %d fluid bg flows (%d still fluid at horizon), %d packet fg flows\n",
+                res.hybrid.bg_flows, res.hybrid.active_fluid, res.hybrid.fg_flows);
+    std::printf("  fluid ticks %llu, throughput %.1f Mbps, mean mark p %.4f, "
+                "promotions %llu, fluid completions %llu\n",
+                static_cast<unsigned long long>(res.hybrid.ticks),
+                res.hybrid.fluid_throughput_mbps, res.hybrid.mean_mark_p,
+                static_cast<unsigned long long>(res.hybrid.promotions),
+                static_cast<unsigned long long>(res.hybrid.fluid_completions));
   }
   if (res.fct.enabled()) {
     std::printf("fct slowdown (load %.2f, %.0f flows/s offered): %llu completed, %llu censored\n",
@@ -778,6 +883,7 @@ bool build_sweep_grid(const Args& args, SweepSpec& spec) {
       cfg.obs.trace_json = per_job_path(cfg.obs.trace_json, job);
       cfg.obs.trace_csv = per_job_path(cfg.obs.trace_csv, job);
       cfg.obs.metrics_json = per_job_path(cfg.obs.metrics_json, job);
+      cfg.obs.fct_csv = per_job_path(cfg.obs.fct_csv, job);
       spec.values.push_back(v);
       spec.labels.push_back(sch);
       spec.grid.push_back(cfg);

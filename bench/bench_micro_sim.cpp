@@ -238,6 +238,30 @@ void BM_CheckpointRestore(benchmark::State& state) {
 }
 BENCHMARK(BM_CheckpointRestore)->Arg(64)->Arg(1024);
 
+void BM_HybridSteadyState(benchmark::State& state) {
+  // The hybrid fluid/packet engine (DESIGN.md §14) at steady state: range(0)
+  // fluid background aggregates + 2 packet-accurate foreground flows on a
+  // k=4 Fat-Tree for 50 ms of sim time. The per-tick cost is
+  // O(subflows + paths x hops), so wall-clock should grow sublinearly in the
+  // flow count until the subflow term dominates — this is the scaling claim
+  // behind the 10^5-flow recipe in EXPERIMENTS.md.
+  core::ExperimentConfig cfg;
+  cfg.fat_tree_k = 4;
+  cfg.scheme.kind = workload::SchemeSpec::Kind::Xmp;
+  cfg.scheme.subflows = 2;
+  cfg.duration = sim::Time::seconds(0.05);
+  cfg.seed = 11;
+  cfg.hybrid.enabled = true;
+  cfg.hybrid.bg_flows = static_cast<int>(state.range(0));
+  cfg.hybrid.fg_flows = 2;
+  for (auto _ : state) {
+    const auto res = core::run_experiment(cfg);
+    benchmark::DoNotOptimize(res.hybrid.fluid_bytes);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_HybridSteadyState)->Arg(1000)->Arg(10000)->Unit(benchmark::kMillisecond);
+
 }  // namespace
 
 BENCHMARK_MAIN();

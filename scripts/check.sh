@@ -13,6 +13,7 @@
 #   scripts/check.sh shard      # default build + sharded-engine CLI smoke
 #   scripts/check.sh ckpt       # default build + checkpoint kill/resume smoke
 #   scripts/check.sh fct        # default build + FCT study kill/resume smoke
+#   scripts/check.sh hybrid     # default build + hybrid fluid/packet smoke
 #
 # The tsan mode also runs the "shard" ctest label (the sharded engine's
 # worker pool) under ThreadSanitizer; the default mode finishes with the
@@ -88,6 +89,16 @@ run_fct_smoke() {
   scripts/fct_smoke.sh build
 }
 
+# Hybrid fluid/packet engine: fixed-seed determinism, physical tolerance
+# band, SIGKILL + --restore byte-identity and strict flag rejection
+# (scripts/hybrid_smoke.sh), on top of the `hybrid` ctest label.
+run_hybrid_smoke() {
+  echo "== hybrid smoke =="
+  cmake --preset default
+  cmake --build --preset default -j "$jobs" --target xmpsim
+  scripts/hybrid_smoke.sh build
+}
+
 # The sharded engine's worker pool under ThreadSanitizer: exactly the tests
 # labeled "shard" (tests/core/sharded_engine_test.cpp), on top of the tsan
 # preset's name-filtered suite.
@@ -97,7 +108,7 @@ run_shard_tsan() {
 }
 
 case "${1:-default}" in
-  default) run_preset default; run_chaos build 210; run_shard_smoke; run_ckpt_smoke; run_fct_smoke ;;
+  default) run_preset default; run_chaos build 210; run_shard_smoke; run_ckpt_smoke; run_fct_smoke; run_hybrid_smoke ;;
   asan)    run_preset asan-ubsan; run_chaos build-asan 42 ;;
   tsan)    run_preset tsan; run_shard_tsan; run_chaos build-tsan 14 ;;
   routing) run_routing ;;
@@ -105,6 +116,7 @@ case "${1:-default}" in
   shard)   run_shard_smoke ;;
   ckpt)    run_ckpt_smoke ;;
   fct)     run_fct_smoke ;;
+  hybrid)  run_hybrid_smoke ;;
   all)
     run_preset default; run_chaos build 210
     run_preset asan-ubsan; run_chaos build-asan 42
@@ -114,7 +126,8 @@ case "${1:-default}" in
     run_shard_smoke
     run_ckpt_smoke
     run_fct_smoke
+    run_hybrid_smoke
     ;;
-  *) echo "usage: $0 [default|asan|tsan|all|routing|sweep|shard|ckpt|fct]" >&2; exit 2 ;;
+  *) echo "usage: $0 [default|asan|tsan|all|routing|sweep|shard|ckpt|fct|hybrid]" >&2; exit 2 ;;
 esac
 echo "OK"

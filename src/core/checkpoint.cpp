@@ -249,6 +249,18 @@ std::uint64_t config_fingerprint(const ExperimentConfig& cfg) {
   // a serial checkpoint must not restore into a sharded run or vice versa —
   // but the worker count itself is identity-neutral.
   f.mix(cfg.shards > 0);
+  // Hybrid runs carry a HYBR section whose shape is a function of these
+  // knobs; covering them rejects a non-hybrid snapshot in a hybrid world
+  // (and any hybrid-population mismatch) at the header check.
+  f.mix(cfg.hybrid.enabled);
+  if (cfg.hybrid.enabled) {
+    f.mix_i(cfg.hybrid.bg_flows);
+    f.mix_i(cfg.hybrid.bg_bytes);
+    f.mix_i(cfg.hybrid.fg_flows);
+    f.mix_i(cfg.hybrid.fg_bytes);
+    f.mix_i(cfg.hybrid.promote_bytes);
+    f.mix_i(cfg.hybrid.tick.ns());
+  }
   return f.h;
 }
 

@@ -5,8 +5,10 @@
 #include <memory>
 
 #include "core/checkpoint.hpp"
+#include "core/export.hpp"
 #include "faults/fault_controller.hpp"
 #include "faults/invariant_checker.hpp"
+#include "model/hybrid/engine.hpp"
 #include "net/network.hpp"
 #include "obs/hooks.hpp"
 #include "obs/metrics.hpp"
@@ -178,8 +180,10 @@ ExperimentResults run_experiment(const ExperimentConfig& cfg) {
 
   // Generators are constructed on both the fresh and the restore path (the
   // rng.split() draws happen here, identically); start() is deferred so a
-  // restore can rebuild their state instead.
-  switch (cfg.pattern) {
+  // restore can rebuild their state instead. A hybrid run replaces the
+  // pattern entirely (the CLI rejects an explicit --pattern), so none are
+  // built.
+  if (!cfg.hybrid.enabled) switch (cfg.pattern) {
     case Pattern::Permutation: {
       workload::PermutationTraffic::Config pc;
       pc.min_bytes = cfg.perm_min_bytes;
@@ -227,6 +231,94 @@ ExperimentResults run_experiment(const ExperimentConfig& cfg) {
       emp = std::make_unique<workload::EmpiricalTraffic>(sched, tree, flows_a, rng.split(), ec);
       break;
     }
+  }
+
+  // --- hybrid fluid/packet engine (DESIGN.md §14) ---
+  std::unique_ptr<model::hybrid::Engine> hybrid;
+  std::function<void(int)> start_hybrid_fg;
+  if (cfg.hybrid.enabled) {
+    model::hybrid::Engine::Config hc;
+    hc.tick = cfg.hybrid.tick;
+    hc.promote_bytes = cfg.hybrid.promote_bytes;
+    hybrid = std::make_unique<model::hybrid::Engine>(sched, hc);
+
+    const auto n_hosts = static_cast<std::uint64_t>(tree.n_hosts());
+    const int half = cfg.fat_tree_k / 2;
+    // Endpoint placement is derived by hashing (seed, index) rather than by
+    // consuming the workload rng stream, so the fluid population never
+    // perturbs the packet-domain draw sequence. Value captures only: this
+    // lambda is copied into start_hybrid_fg, which outlives this block.
+    auto pick_pair = [seed = cfg.seed, n_hosts](std::uint64_t salt, int& src, int& dst) {
+      const std::uint64_t h = net::mix64(seed * 0x9e3779b97f4a7c15ULL + salt);
+      src = static_cast<int>(h % n_hosts);
+      dst = static_cast<int>(net::mix64(h) % (n_hosts - 1));
+      if (dst >= src) ++dst;
+    };
+    // Interning a path registers its links on first sight; every queue in
+    // the fabric shares the same ECN threshold K.
+    const double mark_k = static_cast<double>(cfg.mark_threshold);
+    auto intern_path = [&](int src, int dst, int agg_choice, int core_choice,
+                           double& base_rtt_s) {
+      const auto links = tree.path_links(src, dst, agg_choice, core_choice);
+      std::vector<int> ids;
+      ids.reserve(links.size());
+      base_rtt_s = 0.0;
+      for (net::Link* l : links) {
+        ids.push_back(hybrid->add_link(l, mark_k));
+        // Data out plus the ACK back over the mirror link: twice the
+        // propagation, plus store-and-forward serialization of both packets.
+        base_rtt_s += 2.0 * l->prop_delay().sec() +
+                      static_cast<double>((net::kDataPacketBytes + net::kAckPacketBytes) * 8) /
+                          static_cast<double>(l->rate_bps());
+      }
+      return hybrid->add_path(ids);
+    };
+    const int n_sub = cfg.scheme.multipath() ? cfg.scheme.subflows : 1;
+    for (int i = 0; i < cfg.hybrid.bg_flows; ++i) {
+      model::hybrid::FluidAggregate agg;
+      agg.beta = static_cast<double>(cfg.scheme.beta);
+      agg.total_bytes = cfg.hybrid.bg_bytes;
+      pick_pair(0x1000000ULL + static_cast<std::uint64_t>(i), agg.src_host, agg.dst_host);
+      const std::uint64_t hp = net::mix64(cfg.seed ^ 0xb5f0'd27cULL ^
+                                          (static_cast<std::uint64_t>(i) << 20));
+      for (int r = 0; r < n_sub; ++r) {
+        model::hybrid::FluidSubflowState sf;
+        // Distinct aggregation-layer choice per subflow (one pinned path
+        // each, as in the packet domain); inner-rack pairs collapse to the
+        // single rack path and the engine dedups it.
+        const int agg_choice = static_cast<int>((hp + static_cast<std::uint64_t>(r)) %
+                                                static_cast<std::uint64_t>(half));
+        const int core_choice =
+            static_cast<int>((hp >> 24) % static_cast<std::uint64_t>(half));
+        sf.path = intern_path(agg.src_host, agg.dst_host, agg_choice, core_choice,
+                              sf.base_rtt_s);
+        agg.subflows.push_back(sf);
+      }
+      hybrid->add_aggregate(std::move(agg));
+    }
+    hybrid->set_on_promote([&](const model::hybrid::PromotionInfo& info) {
+      workload::CallbackTag t;
+      t.kind = workload::CallbackTag::kHybridPromoted;
+      t.a = info.aggregate;
+      flows_a.start_large_flow(tree.host(info.src_host), tree.host(info.dst_host),
+                               info.src_host, info.dst_host, info.remaining_bytes, nullptr, t,
+                               info.cwnd_segments);
+    });
+    // Foreground flows restart on completion so the packet-accurate lane
+    // covers the whole horizon; the slot index makes the restart chain
+    // checkpointable (CallbackTag::kHybridFg).
+    // Captures are function-scope objects (or copies): start_hybrid_fg is
+    // invoked long after this block's locals are gone.
+    start_hybrid_fg = [&flows_a, &tree, &cfg, &start_hybrid_fg, pick_pair](int slot) {
+      int src = 0;
+      int dst = 0;
+      pick_pair(0x2000000ULL + static_cast<std::uint64_t>(slot), src, dst);
+      workload::CallbackTag t;
+      t.kind = workload::CallbackTag::kHybridFg;
+      t.a = slot;
+      flows_a.start_large_flow(tree.host(src), tree.host(dst), src, dst, cfg.hybrid.fg_bytes,
+                               [&start_hybrid_fg, slot] { start_hybrid_fg(slot); }, t);
+    };
   }
 
   // --- probes ---
@@ -292,7 +384,11 @@ ExperimentResults run_experiment(const ExperimentConfig& cfg) {
         return [g = incast.get(), job = static_cast<std::size_t>(tag.a)] {
           g->restored_response_done(job);
         };
+      case Tag::kHybridFg:
+        return [&start_hybrid_fg, slot = static_cast<int>(tag.a)] { start_hybrid_fg(slot); };
       default:
+        // Includes kHybridPromoted: a promoted tail has no completion hook
+        // (its FlowRecord is the record of completion).
         return nullptr;
     }
   };
@@ -319,7 +415,7 @@ ExperimentResults run_experiment(const ExperimentConfig& cfg) {
     s.tag("FLWA");
     flows_a.save_state(s);
     s.tag("WKLD");
-    switch (cfg.pattern) {
+    if (!cfg.hybrid.enabled) switch (cfg.pattern) {
       case Pattern::Permutation:
         perm->save_state(s);
         break;
@@ -334,6 +430,9 @@ ExperimentResults run_experiment(const ExperimentConfig& cfg) {
         emp->save_state(s);
         break;
     }
+    s.tag("HYBR");
+    s.b(hybrid != nullptr);
+    if (hybrid) hybrid->save_state(s);
     s.tag("PROB");
     rtt_tick.save_state(s);
     util.save_state(s);
@@ -388,7 +487,7 @@ ExperimentResults run_experiment(const ExperimentConfig& cfg) {
     l.tag("FLWA");
     flows_a.restore_state(l, [&](int h) -> net::Host& { return tree.host(h); }, bind);
     l.tag("WKLD");
-    switch (cfg.pattern) {
+    if (!cfg.hybrid.enabled) switch (cfg.pattern) {
       case Pattern::Permutation:
         perm->restore_state(l);
         break;
@@ -403,6 +502,11 @@ ExperimentResults run_experiment(const ExperimentConfig& cfg) {
         emp->restore_state(l);
         break;
     }
+    l.tag("HYBR");
+    // The config fingerprint covers cfg.hybrid, so a non-hybrid snapshot
+    // never reaches a hybrid world (and vice versa); the flag only keeps the
+    // payload self-describing.
+    if (l.b() && hybrid) hybrid->restore_state(l);
     l.tag("PROB");
     rtt_tick.restore_state(l);
     util.restore_state(l, all_links);
@@ -501,7 +605,7 @@ ExperimentResults run_experiment(const ExperimentConfig& cfg) {
     // engine: faults, invariant checker, workload, probes.
     if (fault_ctl) fault_ctl->arm();
     if (inv) inv->start();
-    switch (cfg.pattern) {
+    if (!cfg.hybrid.enabled) switch (cfg.pattern) {
       case Pattern::Permutation:
         perm->start();
         break;
@@ -516,6 +620,10 @@ ExperimentResults run_experiment(const ExperimentConfig& cfg) {
       case Pattern::Workload:
         emp->start();
         break;
+    }
+    if (hybrid) {
+      for (int slot = 0; slot < cfg.hybrid.fg_flows; ++slot) start_hybrid_fg(slot);
+      hybrid->start();
     }
     rtt_tick.start();
     util.open(all_links);
@@ -619,11 +727,20 @@ ExperimentResults run_experiment(const ExperimentConfig& cfg) {
         cfg.offered_load > 0.0 ? cfg.offered_load : cfg.workload->default_load;
     res.fct.arrival_rate = emp->arrival_rate();
     for (const auto& rec : flows_a.records()) {
+      ExperimentResults::FctRecord fr;
+      fr.id = rec.id;
+      fr.bytes = rec.bytes;
+      fr.start_ns = rec.start.ns();
       if (!rec.completed) {
         ++res.fct.censored;
+        res.fct_records.push_back(fr);
         continue;
       }
       const double slow = (rec.finish - rec.start).sec() / ideal_sec(rec);
+      fr.finish_ns = rec.finish.ns();
+      fr.completed = true;
+      fr.slowdown = slow;
+      res.fct_records.push_back(fr);
       res.fct.slowdown_all.add(slow);
       res.fct.slowdown_by_bin[ExperimentResults::FctStats::bin_of(rec.bytes)].add(slow);
       ++res.fct.completed;
@@ -634,6 +751,20 @@ ExperimentResults run_experiment(const ExperimentConfig& cfg) {
   }
 
   if (incast) res.jobs = incast->jobs();
+  if (hybrid) {
+    res.hybrid.enabled = true;
+    res.hybrid.bg_flows = cfg.hybrid.bg_flows;
+    res.hybrid.fg_flows = cfg.hybrid.fg_flows;
+    res.hybrid.active_fluid = hybrid->active_fluid_flows();
+    const auto& hs = hybrid->stats();
+    res.hybrid.ticks = hs.ticks;
+    res.hybrid.promotions = hs.promotions;
+    res.hybrid.fluid_completions = hs.fluid_completions;
+    res.hybrid.fluid_bytes = hs.fluid_bytes;
+    res.hybrid.fluid_throughput_mbps = hybrid->fluid_throughput_bps() / 1e6;
+    res.hybrid.mean_mark_p =
+        hs.ticks > 0 ? hs.mark_p_accum / static_cast<double>(hs.ticks) : 0.0;
+  }
   res.sim_duration = sched.now();
   res.events_dispatched = sched.dispatched();
   res.ckpt.written = ckpt_written;
@@ -687,6 +818,7 @@ ExperimentResults run_experiment(const ExperimentConfig& cfg) {
   if (registry && !cfg.obs.metrics_json.empty()) {
     registry->dump_to_file(cfg.obs.metrics_json);
   }
+  if (!cfg.obs.fct_csv.empty()) export_fct_csv(res, cfg.obs.fct_csv);
   return res;
 }
 

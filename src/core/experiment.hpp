@@ -35,6 +35,9 @@ struct ObsConfig {
   std::string trace_json;   ///< Chrome trace-event JSON (Perfetto)
   std::string trace_csv;    ///< flat CSV of the same events
   std::string metrics_json; ///< MetricsRegistry dump
+  /// Per-flow FCT records (id, size, start, finish/censored, slowdown) as
+  /// CSV, atomic-writer published. Workload runs only; per-job in sweeps.
+  std::string fct_csv;
   std::uint32_t categories = obs::cat::kAll;  ///< --trace-filter mask
   std::size_t capacity = 1u << 18;            ///< tracer ring, events
 
@@ -62,6 +65,24 @@ struct CheckpointConfig {
   [[nodiscard]] bool enabled() const {
     return every > sim::Time::zero() || !restore_path.empty() || stop_requested != nullptr;
   }
+};
+
+/// Hybrid fluid/packet engine settings (DESIGN.md §14). When enabled the run
+/// replaces its traffic pattern with `bg_flows` fluid background aggregates
+/// (per-RTT BOS/TraSh ODEs on the run's scheme) plus `fg_flows`
+/// packet-accurate foreground flows, coupled through shared queue state.
+/// Requires an XMP scheme (the fluid model implements the §2 dynamics), the
+/// serial engine, and no fault plan / coexistence / explicit pattern.
+struct HybridConfig {
+  bool enabled = false;
+  int bg_flows = 1000;            ///< fluid background aggregates
+  std::int64_t bg_bytes = -1;     ///< per-flow bytes; -1 = unbounded steady state
+  int fg_flows = 4;               ///< packet-accurate foreground flows
+  std::int64_t fg_bytes = 8'000'000;  ///< per foreground flow (restarted on finish)
+  /// Promote a finite fluid flow to the packet domain for its last
+  /// `promote_bytes` bytes (0 = finish entirely as fluid).
+  std::int64_t promote_bytes = 0;
+  sim::Time tick = sim::Time::microseconds(200);  ///< fluid step, ≈ one RTT
 };
 
 /// Declarative configuration of one Fat-Tree evaluation run (the setting of
@@ -128,6 +149,9 @@ struct ExperimentConfig {
   /// flowlet routing, invariant checking, subflow re-homing nor a
   /// coexistence scheme_b (the serial engine covers those).
   int shards = 0;
+
+  /// Hybrid fluid/packet engine (inactive by default).
+  HybridConfig hybrid;
 
   /// Trace/metrics exports (inactive unless a path is set).
   ObsConfig obs;
@@ -221,6 +245,33 @@ struct ExperimentResults {
     [[nodiscard]] bool enabled() const { return completed + censored > 0; }
   };
   FctStats fct;
+
+  /// One row per flow for the --fct-csv export (workload runs only; empty
+  /// otherwise). Censored flows carry finish_ns = 0 and slowdown = 0.
+  struct FctRecord {
+    net::FlowId id = 0;
+    std::int64_t bytes = 0;
+    std::int64_t start_ns = 0;
+    std::int64_t finish_ns = 0;
+    bool completed = false;  ///< false = censored at the horizon (or aborted)
+    double slowdown = 0.0;   ///< actual / ideal FCT
+  };
+  std::vector<FctRecord> fct_records;
+
+  /// Hybrid fluid/packet engine accounting (zeroed unless cfg.hybrid).
+  struct HybridStats {
+    bool enabled = false;
+    int bg_flows = 0;               ///< configured fluid aggregates
+    int fg_flows = 0;               ///< packet-accurate foreground flows
+    int active_fluid = 0;           ///< still evolving as fluid at the horizon
+    std::uint64_t ticks = 0;        ///< fluid steps executed
+    std::uint64_t promotions = 0;   ///< fluid -> packet representation switches
+    std::uint64_t fluid_completions = 0;  ///< finite flows drained fully as fluid
+    double fluid_bytes = 0.0;       ///< bytes delivered by the fluid model
+    double fluid_throughput_mbps = 0.0;   ///< aggregate fluid goodput
+    double mean_mark_p = 0.0;       ///< arrival-weighted mean marking probability
+  };
+  HybridStats hybrid;
 
   /// Multipath transfers that lost every subflow (requires a SchemeSpec
   /// with dead_after_rtos > 0 and a hostile enough FaultPlan).

@@ -44,6 +44,20 @@ void export_flows_csv(const ExperimentResults& results, const std::string& path)
   }
 }
 
+void export_fct_csv(const ExperimentResults& results, const std::string& path) {
+  trace::CsvWriter csv{path};
+  csv.header({"id", "bytes", "start_s", "finish_s", "completed", "slowdown"});
+  for (const auto& r : results.fct_records) {
+    csv.field(static_cast<std::uint64_t>(r.id))
+        .field(r.bytes)
+        .field(static_cast<double>(r.start_ns) / 1e9)
+        .field(r.completed ? static_cast<double>(r.finish_ns) / 1e9 : -1.0)
+        .field(r.completed ? 1 : 0)
+        .field(r.slowdown);
+    csv.end_row();
+  }
+}
+
 void export_link_drops_csv(const ExperimentResults& results, const std::string& path) {
   trace::CsvWriter csv{path};
   csv.header({"link", "offered", "delivered", "drops_queue", "drops_admin_down", "drops_fault",
@@ -183,6 +197,21 @@ void export_summary_json(const ExperimentConfig& cfg, const ExperimentResults& r
       write_slowdown(ExperimentResults::FctStats::bin_name(b), results.fct.slowdown_by_bin[b]);
     }
     json.end_object();
+    json.end_object();
+  }
+
+  if (results.hybrid.enabled) {
+    json.key("hybrid");
+    json.begin_object();
+    json.kv("bg_flows", static_cast<std::int64_t>(results.hybrid.bg_flows));
+    json.kv("fg_flows", static_cast<std::int64_t>(results.hybrid.fg_flows));
+    json.kv("active_fluid", static_cast<std::int64_t>(results.hybrid.active_fluid));
+    json.kv("ticks", results.hybrid.ticks);
+    json.kv("promotions", results.hybrid.promotions);
+    json.kv("fluid_completions", results.hybrid.fluid_completions);
+    json.kv("fluid_bytes", results.hybrid.fluid_bytes);
+    json.kv("fluid_throughput_mbps", results.hybrid.fluid_throughput_mbps);
+    json.kv("mean_mark_p", results.hybrid.mean_mark_p);
     json.end_object();
   }
 

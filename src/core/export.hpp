@@ -16,6 +16,12 @@ void export_flows_csv(const ExperimentResults& results, const std::string& path)
 void export_summary_json(const ExperimentConfig& cfg, const ExperimentResults& results,
                          const std::string& path);
 
+/// Write one row per flow of a workload run's FCT records:
+/// id,bytes,start_s,finish_s,completed,slowdown
+/// Censored flows (unfinished at the horizon) carry finish_s = -1,
+/// completed = 0 and slowdown = 0.
+void export_fct_csv(const ExperimentResults& results, const std::string& path);
+
 /// Write one row per link that saw traffic, with per-cause drop counters:
 /// link,offered,delivered,drops_queue,drops_admin_down,drops_fault,drops_corrupt,drops_unroutable
 /// followed by one row per switch that dropped packets for lack of a usable

@@ -8,13 +8,16 @@ namespace xmp::model {
 
 SingleBottleneckResult solve_single_bottleneck(const std::vector<FluidFlow>& flows,
                                                double capacity_sps) {
-  assert(capacity_sps > 0.0);
   SingleBottleneckResult res;
+  // Out-of-domain inputs are a graceful refusal, not an assert: the solver
+  // is reachable from CLI/config paths that validate late (or not at all).
+  if (!(capacity_sps > 0.0) || !std::isfinite(capacity_sps)) return res;
   double s = 0.0;
   for (const auto& f : flows) {
-    assert(f.rtt_s > 0.0);
+    if (!(f.rtt_s > 0.0) || !std::isfinite(f.rtt_s)) return res;
     s += f.delta * f.beta / f.rtt_s;
   }
+  res.ok = true;
   if (s <= 0.0) return res;
   res.p = s / (capacity_sps + s);
   res.rates.reserve(flows.size());
@@ -33,15 +36,23 @@ MultipathResult solve_multipath(const std::vector<double>& link_capacity_sps,
   MultipathResult res;
   const std::size_t n_links = link_capacity_sps.size();
   res.link_p.assign(n_links, 0.0);
+  for (const double c : link_capacity_sps) {
+    if (!(c > 0.0) || !std::isfinite(c)) return res;  // valid stays false
+  }
   res.deltas.resize(flows.size());
   res.rates.resize(flows.size());
   for (std::size_t fi = 0; fi < flows.size(); ++fi) {
     res.deltas[fi].assign(flows[fi].subflows.size(), 1.0);  // TraSh init (step 1)
     res.rates[fi].assign(flows[fi].subflows.size(), 0.0);
     for (const auto& sf : flows[fi].subflows) {
-      assert(sf.link >= 0 && static_cast<std::size_t>(sf.link) < n_links);
-      assert(sf.rtt_s > 0.0);
+      if (sf.link < 0 || static_cast<std::size_t>(sf.link) >= n_links) return res;
+      if (!(sf.rtt_s > 0.0) || !std::isfinite(sf.rtt_s)) return res;
     }
+  }
+  res.valid = true;
+  if (flows.empty()) {
+    res.converged = true;  // nothing to couple: the empty fixed point
+    return res;
   }
 
   constexpr double kRelax = 0.5;  // damping on the TraSh update

@@ -31,6 +31,11 @@ struct SingleBottleneckResult {
   double p = 0.0;                  ///< marking probability per round
   std::vector<double> rates;       ///< segments per second, per flow
   std::vector<double> windows;     ///< segments, per flow
+  /// False when the inputs are outside the model's domain (non-positive or
+  /// non-finite capacity, a flow with non-positive RTT); the closed form has
+  /// no equilibrium there and `p`/`rates`/`windows` stay empty. An empty
+  /// flow set is *valid* and yields the trivial p = 0 result.
+  bool ok = false;
 };
 
 /// `capacity_sps` is the link capacity in segments per second.
@@ -55,6 +60,12 @@ struct MultipathResult {
   std::vector<std::vector<double>> deltas;       ///< converged TraSh gains
   int iterations = 0;
   bool converged = false;
+  /// False when the inputs are outside the model's domain (a subflow naming
+  /// a link that does not exist, a non-positive RTT or link capacity): the
+  /// iteration never runs and `converged` stays false. Distinct from a
+  /// valid-but-non-converging instance, which reports valid = true,
+  /// converged = false after `max_iterations` bounded rounds.
+  bool valid = false;
 };
 
 /// Solve the coupled TraSh fixed point.

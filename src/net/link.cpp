@@ -24,6 +24,7 @@ Link::Link(sim::Scheduler& sched, LinkId id, std::int64_t rate_bps, sim::Time pr
     : sched_{sched},
       id_{id},
       rate_bps_{rate_bps},
+      effective_rate_bps_{rate_bps},
       prop_delay_{prop_delay},
       queue_{std::move(queue)},
       sink_{sink} {
@@ -65,7 +66,7 @@ void Link::start_transmission() {
   if (!queue_->dequeue(p, sched_.now())) return;
   transmitting_ = true;
 
-  const sim::Time tx = sim::transmission_time(p.size_bytes, rate_bps_);
+  const sim::Time tx = sim::transmission_time(p.size_bytes, effective_rate_bps_);
   busy_ += tx;
   bytes_sent_ += p.size_bytes;
 

@@ -91,6 +91,19 @@ class Link final {
 
   [[nodiscard]] LinkId id() const { return id_; }
   [[nodiscard]] std::int64_t rate_bps() const { return rate_bps_; }
+
+  /// Hybrid-engine coupling: fraction of the transmitter's capacity consumed
+  /// by fluid-modelled background traffic. Packet serialization slows down by
+  /// 1/(1-share), so packet-accurate flows experience the reduced residual
+  /// bandwidth without any fluid packet existing. Clamped to [0, 0.95] by the
+  /// caller; not checkpointed — the hybrid engine re-applies it after a
+  /// restore, exactly as it re-derives it every fluid tick.
+  void set_fluid_share(double share) {
+    fluid_share_ = share;
+    const double residual = static_cast<double>(rate_bps_) * (1.0 - share);
+    effective_rate_bps_ = residual >= 1.0 ? static_cast<std::int64_t>(residual) : 1;
+  }
+  [[nodiscard]] double fluid_share() const { return fluid_share_; }
   [[nodiscard]] sim::Time prop_delay() const { return prop_delay_; }
   [[nodiscard]] const Queue& queue() const { return *queue_; }
   [[nodiscard]] Queue& queue() { return *queue_; }
@@ -153,6 +166,10 @@ class Link final {
   sim::Scheduler& sched_;
   LinkId id_;
   std::int64_t rate_bps_;
+  /// rate_bps_ scaled down by the fluid share; equals rate_bps_ outside
+  /// hybrid runs so serialization times are bit-identical to the seed.
+  std::int64_t effective_rate_bps_;
+  double fluid_share_ = 0.0;
   sim::Time prop_delay_;
   std::unique_ptr<Queue> queue_;
   PacketSink& sink_;

@@ -114,9 +114,10 @@ bool DropTailQueue::enqueue(Packet&& p, sim::Time now) {
 
 bool EcnThresholdQueue::enqueue(Packet&& p, sim::Time now) {
   // Paper §2.1 rule 1: mark the *arriving* packet when the instantaneous
-  // queue length is larger than K. The length seen by the arriving packet
-  // is the number of packets already queued.
-  if (fifo_.size() > k_ && p.ecn == Ecn::Ect && marking_enabled_) {
+  // queue length is larger than K — or when a hybrid run's fluid engine
+  // has this egress inside a marking burst (its duty-cycle rendering of
+  // the congestion the fluid background flows would cause here).
+  if ((fifo_.size() > k_ || fluid_marking_) && p.ecn == Ecn::Ect && marking_enabled_) {
     p.ecn = Ecn::Ce;
     ++counters_.marked;
     note_mark(now);

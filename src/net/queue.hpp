@@ -109,6 +109,19 @@ class Queue {
   void set_marking_enabled(bool on) { marking_enabled_ = on; }
   [[nodiscard]] bool marking_enabled() const { return marking_enabled_; }
 
+  /// Hybrid-engine coupling: while set, marking disciplines mark every
+  /// arriving ECT packet, so packet-accurate foreground flows see the
+  /// congestion the fluid-modelled background traffic would cause. The
+  /// engine toggles this as a duty cycle — bursts covering a p_mark
+  /// fraction of a fixed period — because the fluid equilibrium backlog
+  /// sits *above* K by construction; feeding it into the threshold compare
+  /// directly would mark 100% of foreground packets where the real
+  /// (oscillating) queue marks only a p fraction of rounds. Not
+  /// checkpointed — the hybrid engine re-applies it after a restore,
+  /// exactly as it re-derives it every fluid tick.
+  void set_fluid_marking(bool on) { fluid_marking_ = on; }
+  [[nodiscard]] bool fluid_marking() const { return fluid_marking_; }
+
   /// Observability only: the link this queue drains (labels trace events).
   void set_owner(std::uint32_t link_id) { owner_ = link_id; }
   [[nodiscard]] std::uint32_t owner() const { return owner_; }
@@ -153,6 +166,7 @@ class Queue {
   std::size_t bytes_ = 0;
   QueueCounters counters_;
   bool marking_enabled_ = true;
+  bool fluid_marking_ = false;  ///< see set_fluid_marking()
 
  private:
   void advance_occupancy_clock(sim::Time now);

@@ -92,6 +92,40 @@ FatTree::FatTree(net::Network& netw, const Config& cfg) : cfg_{cfg} {
   }
 }
 
+std::vector<net::Link*> FatTree::path_links(int src, int dst, int agg_choice,
+                                            int core_choice) const {
+  const int half = cfg_.k / 2;
+  assert(src != dst);
+  assert(agg_choice >= 0 && agg_choice < half);
+  assert(core_choice >= 0 && core_choice < half);
+  // Link vectors mirror the construction loops exactly:
+  //   rack_links_[2i]   = host i → edge,   [2i+1] = edge → host i
+  //   agg_links_ at idx2 = (p·half + e)·half + a:
+  //     [2·idx2] = edge → agg (up),        [2·idx2+1] = agg → edge (down)
+  //   core_links_ at idx3 = (p·half + g)·half + j:
+  //     [2·idx3] = agg → core (up),        [2·idx3+1] = core → agg (down)
+  const int p_src = pod_of(src), p_dst = pod_of(dst);
+  const int e_src = edge_of(src) - p_src * half;  // edge index within pod
+  const int e_dst = edge_of(dst) - p_dst * half;
+  std::vector<net::Link*> path;
+  path.push_back(rack_links_[2 * static_cast<std::size_t>(src)]);
+  if (edge_of(src) != edge_of(dst)) {
+    const int g = agg_choice;  // agg switch (and core group) on the way up
+    const std::size_t up2 = static_cast<std::size_t>((p_src * half + e_src) * half + g);
+    path.push_back(agg_links_[2 * up2]);
+    if (p_src != p_dst) {
+      const std::size_t up3 = static_cast<std::size_t>((p_src * half + g) * half + core_choice);
+      const std::size_t down3 = static_cast<std::size_t>((p_dst * half + g) * half + core_choice);
+      path.push_back(core_links_[2 * up3]);
+      path.push_back(core_links_[2 * down3 + 1]);
+    }
+    const std::size_t down2 = static_cast<std::size_t>((p_dst * half + e_dst) * half + g);
+    path.push_back(agg_links_[2 * down2 + 1]);
+  }
+  path.push_back(rack_links_[2 * static_cast<std::size_t>(dst) + 1]);
+  return path;
+}
+
 FatTree::Category FatTree::category(int src, int dst) const {
   if (pod_of(src) != pod_of(dst)) return Category::InterPod;
   if (edge_of(src) != edge_of(dst)) return Category::InterRack;

@@ -53,6 +53,16 @@ class FatTree final : public HostPool {
   /// Number of distinct equal-cost paths between inter-pod hosts: (k/2)^2.
   [[nodiscard]] int inter_pod_paths() const { return (cfg_.k / 2) * (cfg_.k / 2); }
 
+  /// The unidirectional links a src→dst data path traverses, in hop order.
+  /// `agg_choice`/`core_choice` (each in [0, k/2)) pick one of the equal-cost
+  /// upward paths: agg_choice selects the aggregation switch (and with it the
+  /// core group), core_choice the core switch within the group. They are
+  /// ignored when the category does not reach that layer. The fluid engine
+  /// uses this to pin a background flow onto one concrete path the same way
+  /// PinnedPaths routes a subflow — without simulating any packet on it.
+  [[nodiscard]] std::vector<net::Link*> path_links(int src, int dst, int agg_choice,
+                                                   int core_choice) const;
+
   /// Logical shards the construction annotates (one per pod; cores spread
   /// round-robin). Fixed by the topology, never by the worker count.
   [[nodiscard]] int n_shards() const { return cfg_.k; }

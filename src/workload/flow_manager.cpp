@@ -101,15 +101,21 @@ mptcp::MptcpConnection::Config FlowManager::multi_config(net::FlowId id,
 
 void FlowManager::start_large_flow(net::Host& src, net::Host& dst, int src_idx, int dst_idx,
                                    std::int64_t bytes, std::function<void()> on_done,
-                                   CallbackTag tag) {
+                                   CallbackTag tag, double initial_cwnd) {
   const std::size_t rec = new_record(src_idx, dst_idx, bytes, /*large=*/true);
   tags_.push_back(tag);
   const net::FlowId id = records_[rec].id;
   active_large_.fetch_add(1, std::memory_order_relaxed);
 
   if (!spec_.multipath()) {
-    auto flow = std::make_unique<transport::Flow>(sched_for(src_idx), sched_for(dst_idx), src,
-                                                  dst, single_config(id, bytes, /*large=*/true));
+    auto fc = single_config(id, bytes, /*large=*/true);
+    if (initial_cwnd > 0.0) {
+      fc.tune_sender = [initial_cwnd](transport::SenderConfig& sc) {
+        sc.initial_cwnd = initial_cwnd;
+      };
+    }
+    auto flow =
+        std::make_unique<transport::Flow>(sched_for(src_idx), sched_for(dst_idx), src, dst, fc);
     flow->set_on_complete(
         [this, rec, done = std::move(on_done)]() mutable { finish_record(rec, done); });
     flow->start();
@@ -117,8 +123,14 @@ void FlowManager::start_large_flow(net::Host& src, net::Host& dst, int src_idx, 
     return;
   }
 
+  auto mc = multi_config(id, bytes);
+  if (initial_cwnd > 0.0) {
+    mc.tune_sender = [initial_cwnd](transport::SenderConfig& sc) {
+      sc.initial_cwnd = initial_cwnd;
+    };
+  }
   auto conn = std::make_unique<mptcp::MptcpConnection>(sched_for(src_idx), sched_for(dst_idx),
-                                                       src, dst, multi_config(id, bytes));
+                                                       src, dst, mc);
   const std::size_t slot = multis_.size();  // stable: multis_ never shrinks
   multis_.push_back(LargeMulti{rec, std::move(conn), std::move(on_done)});
   mptcp::MptcpConnection& c = *multis_[slot].conn;

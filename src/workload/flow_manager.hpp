@@ -41,6 +41,8 @@ struct CallbackTag {
   static constexpr std::uint8_t kRandom = 2;          ///< a = src, b = dst
   static constexpr std::uint8_t kIncastRequest = 3;   ///< a = job, b = server, c = client
   static constexpr std::uint8_t kIncastResponse = 4;  ///< a = job
+  static constexpr std::uint8_t kHybridFg = 5;        ///< a = foreground slot
+  static constexpr std::uint8_t kHybridPromoted = 6;  ///< a = fluid flow index
 
   std::uint8_t kind = kNone;
   std::int64_t a = 0;
@@ -71,10 +73,16 @@ class FlowManager {
 
   /// Start a large flow now. `on_done` (optional) fires at completion,
   /// after the record is finalized; `tag` records how to re-create it after
-  /// a checkpoint restore.
+  /// a checkpoint restore. `initial_cwnd` (segments, per subflow for
+  /// multipath schemes; 0 keeps the scheme default) seeds the congestion
+  /// window — the hybrid engine uses it to carry a promoted fluid flow's
+  /// converged window into the packet domain instead of slow-starting from
+  /// scratch. It only matters at construction: a checkpoint restore rebuilds
+  /// the flow with scheme defaults and then overwrites the live sender
+  /// state, cwnd included.
   void start_large_flow(net::Host& src, net::Host& dst, int src_idx, int dst_idx,
                         std::int64_t bytes, std::function<void()> on_done = nullptr,
-                        CallbackTag tag = {});
+                        CallbackTag tag = {}, double initial_cwnd = 0.0);
 
   /// Start a small plain-TCP flow now (incast requests/responses).
   void start_small_flow(net::Host& src, net::Host& dst, int src_idx, int dst_idx,

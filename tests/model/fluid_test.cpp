@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "mptcp/connection.hpp"
 #include "net/types.hpp"
 #include "topo/pinned.hpp"
@@ -61,8 +63,101 @@ TEST(FluidSingle, SoleFlowWindowIsBdpIndependentOfBeta) {
 
 TEST(FluidSingle, EmptyInputIsSafe) {
   const auto res = solve_single_bottleneck({}, kGbpsInSegments);
+  EXPECT_TRUE(res.ok);  // trivially solved, not refused
   EXPECT_TRUE(res.rates.empty());
   EXPECT_DOUBLE_EQ(res.p, 0.0);
+}
+
+// ------------------------- graceful refusal (edge cases) ----------------
+//
+// The solvers refuse malformed inputs explicitly (ok/valid stays false)
+// instead of asserting or returning NaNs — the hybrid engine and the CLI
+// both rely on that contract.
+
+TEST(FluidSingle, ZeroCapacityIsRefused) {
+  const std::vector<FluidFlow> flows = {{1.0, 4.0, 300e-6}};
+  EXPECT_FALSE(solve_single_bottleneck(flows, 0.0).ok);
+}
+
+TEST(FluidSingle, NegativeCapacityIsRefused) {
+  const std::vector<FluidFlow> flows = {{1.0, 4.0, 300e-6}};
+  EXPECT_FALSE(solve_single_bottleneck(flows, -kGbpsInSegments).ok);
+}
+
+TEST(FluidSingle, NonFiniteCapacityIsRefused) {
+  const std::vector<FluidFlow> flows = {{1.0, 4.0, 300e-6}};
+  EXPECT_FALSE(solve_single_bottleneck(flows, std::numeric_limits<double>::infinity()).ok);
+  EXPECT_FALSE(solve_single_bottleneck(flows, std::numeric_limits<double>::quiet_NaN()).ok);
+}
+
+TEST(FluidSingle, NonPositiveRttIsRefused) {
+  EXPECT_FALSE(solve_single_bottleneck({{1.0, 4.0, 0.0}}, kGbpsInSegments).ok);
+  EXPECT_FALSE(solve_single_bottleneck({{1.0, 4.0, -1e-6}}, kGbpsInSegments).ok);
+}
+
+TEST(FluidSingle, ValidInputReportsOk) {
+  const std::vector<FluidFlow> flows = {{1.0, 4.0, 300e-6}};
+  EXPECT_TRUE(solve_single_bottleneck(flows, kGbpsInSegments).ok);
+}
+
+TEST(FluidMultipath, ZeroOrNegativeLinkCapacityIsRefused) {
+  std::vector<FluidMptcpFlow> flows(1);
+  flows[0].subflows = {{0, 300e-6}, {1, 300e-6}};
+  EXPECT_FALSE(solve_multipath({kGbpsInSegments, 0.0}, flows).valid);
+  EXPECT_FALSE(solve_multipath({-1.0, kGbpsInSegments}, flows).valid);
+}
+
+TEST(FluidMultipath, OutOfRangeLinkIndexIsRefused) {
+  std::vector<FluidMptcpFlow> flows(1);
+  flows[0].subflows = {{0, 300e-6}, {2, 300e-6}};  // link 2 does not exist
+  EXPECT_FALSE(solve_multipath({kGbpsInSegments, kGbpsInSegments}, flows).valid);
+  flows[0].subflows = {{-1, 300e-6}};
+  EXPECT_FALSE(solve_multipath({kGbpsInSegments}, flows).valid);
+}
+
+TEST(FluidMultipath, NonPositiveSubflowRttIsRefused) {
+  std::vector<FluidMptcpFlow> flows(1);
+  flows[0].subflows = {{0, 0.0}};
+  EXPECT_FALSE(solve_multipath({kGbpsInSegments}, flows).valid);
+}
+
+TEST(FluidMultipath, EmptyFlowSetConvergesTrivially) {
+  const auto res = solve_multipath({kGbpsInSegments, kGbpsInSegments}, {});
+  EXPECT_TRUE(res.valid);
+  EXPECT_TRUE(res.converged);
+  ASSERT_EQ(res.link_p.size(), 2u);
+  EXPECT_DOUBLE_EQ(res.link_p[0], 0.0);
+  EXPECT_DOUBLE_EQ(res.link_p[1], 0.0);
+}
+
+TEST(FluidMultipath, NonConvergenceIsExplicitAndBounded) {
+  // One iteration cannot settle the asymmetric TraSh fixed point at a 1e-15
+  // tolerance: the solver must stop at the iteration bound and say so
+  // (valid input, converged = false) rather than spin or lie.
+  std::vector<FluidMptcpFlow> flows;
+  FluidMptcpFlow a;
+  a.subflows = {{0, 300e-6}, {1, 300e-6}};
+  flows.push_back(a);
+  FluidMptcpFlow bg;
+  bg.subflows = {{0, 300e-6}};
+  flows.push_back(bg);
+  const auto res = solve_multipath({kGbpsInSegments, kGbpsInSegments}, flows, 1, 1e-15);
+  EXPECT_TRUE(res.valid);
+  EXPECT_FALSE(res.converged);
+  // The partial state is still shaped correctly for inspection.
+  ASSERT_EQ(res.deltas.size(), 2u);
+  ASSERT_EQ(res.deltas[0].size(), 2u);
+}
+
+TEST(FluidMultipath, SingleFlowDegenerateFillsItsLink) {
+  // Degenerate single-flow, single-subflow instance: unit gain, link full.
+  std::vector<FluidMptcpFlow> flows(1);
+  flows[0].subflows = {{0, 300e-6}};
+  const auto res = solve_multipath({kGbpsInSegments}, flows);
+  ASSERT_TRUE(res.valid);
+  ASSERT_TRUE(res.converged);
+  EXPECT_NEAR(res.deltas[0][0], 1.0, 1e-9);
+  EXPECT_NEAR(res.rates[0][0], kGbpsInSegments, kGbpsInSegments * 0.02);
 }
 
 TEST(FluidMultipath, ConvergesOnSymmetricTwoPaths) {
