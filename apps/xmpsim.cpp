@@ -76,6 +76,25 @@
 //       (--trace, --trace-csv, --metrics, --invariants). The snapshot's
 //       config fingerprint must match the flags given.
 //
+//   xmpsim verify [--faults=PLAN] [--dir=DIR] [--checkpoint-every=SIMTIME]
+//                 ... any scenario flags accepted by `run` ...
+//       Differential validation harness (DESIGN.md §15): runs the same
+//       scenario four times — serial (--shards=1), --shards=2, a
+//       checkpointed reference, and a SIGKILL-mid-run + --restore leg —
+//       each in its own sub-directory of DIR (default: a fresh temp dir,
+//       removed on success, kept and named on failure). It then requires
+//       summary.json and drops.csv to be byte-identical across ALL legs,
+//       and trace.csv/metrics.json/out.txt to be byte-identical within
+//       each engine-config pair (serial vs shards=2; checkpointed vs
+//       kill+restore) — checkpointing legitimately adds CkptWrite trace
+//       events and harness.ckpt.* meters, so those files are only compared
+//       between legs with identical checkpoint flags. Exit 0 = all legs
+//       agree, 1 = divergence (the differing file and legs are named),
+//       2 = bad flags. The harness owns --shards, --checkpoint-dir,
+//       --restore and every output path; --checkpoint-every only sets the
+//       kill leg's snapshot cadence (default 0.005). Scenario flags are
+//       validated up front with the same rules as `run` under --shards.
+//
 //   xmpsim fluid  --capacity-gbps=1 --flows=3 [--beta=4] [--rtt-us=300]
 //       Closed-form BOS equilibrium on a single bottleneck (paper §2.1).
 //
@@ -117,14 +136,18 @@
 // range, then exits 2 (never an assert).
 
 #include <csignal>
+#include <sys/wait.h>
+#include <unistd.h>
 
 #include <atomic>
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/checkpoint.hpp"
@@ -628,6 +651,14 @@ void print_summary(const core::ExperimentConfig& cfg, const core::ExperimentResu
                 static_cast<unsigned long long>(res.drops.offered),
                 static_cast<unsigned long long>(res.drops.delivered));
   }
+  const std::uint64_t impaired =
+      res.drops.duplicated + res.drops.delayed + res.drops.overmarked;
+  if (!cfg.fault_plan.empty() || impaired > 0) {
+    std::printf("impairments: duplicated %llu, delayed %llu, overmarked %llu\n",
+                static_cast<unsigned long long>(res.drops.duplicated),
+                static_cast<unsigned long long>(res.drops.delayed),
+                static_cast<unsigned long long>(res.drops.overmarked));
+  }
   std::printf("routing %s: forwarded %llu, unroutable %llu", route::policy_name(cfg.routing.kind),
               static_cast<unsigned long long>(res.switch_forwarded),
               static_cast<unsigned long long>(res.switch_unroutable));
@@ -742,6 +773,260 @@ int cmd_run_impl(const Args& args, bool replay_mode) {
 
 int cmd_run(const Args& args) { return cmd_run_impl(args, /*replay_mode=*/false); }
 int cmd_replay(const Args& args) { return cmd_run_impl(args, /*replay_mode=*/true); }
+
+// --- verify: differential validation harness (DESIGN.md §15) ---------------
+
+/// Newest on-disk snapshot (highest seq) in `dir`, by filename only — the
+/// restore path re-validates header, CRC and fingerprint. Empty if none.
+std::string newest_snapshot(const std::string& dir) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  std::uint64_t best_seq = 0;
+  std::string best;
+  for (const auto& entry : fs::directory_iterator{dir, ec}) {
+    const std::string name = entry.path().filename().string();
+    if (name.size() <= 9 || name.compare(0, 5, "ckpt_") != 0 ||
+        name.compare(name.size() - 4, 4, ".bin") != 0)
+      continue;
+    const std::string digits = name.substr(5, name.size() - 9);
+    if (digits.empty() || digits.find_first_not_of("0123456789") != std::string::npos) continue;
+    const std::uint64_t seq = std::stoull(digits);
+    if (best.empty() || seq > best_seq) {
+      best_seq = seq;
+      best = name;
+    }
+  }
+  return best;
+}
+
+/// Fork a child that runs `xmpsim run <flags>` from inside `dir`, stdout
+/// to out.txt and stderr to err.txt — each leg executes with relative
+/// output paths so the stdout summaries are comparable byte for byte, and
+/// resume notices on stderr never pollute the compared stream.
+pid_t spawn_leg(const std::string& dir, const std::vector<std::string>& flags) {
+  std::fflush(stdout);
+  std::fflush(stderr);
+  const pid_t pid = ::fork();
+  if (pid != 0) return pid;
+  if (::chdir(dir.c_str()) != 0) std::_Exit(127);
+  if (std::freopen("out.txt", "w", stdout) == nullptr) std::_Exit(127);
+  if (std::freopen("err.txt", "w", stderr) == nullptr) std::_Exit(127);
+  std::_Exit(cmd_run(Args{flags}));
+}
+
+int wait_leg(pid_t pid) {
+  int status = 0;
+  while (::waitpid(pid, &status, 0) < 0) {
+    if (errno != EINTR) return -1;
+  }
+  if (WIFEXITED(status)) return WEXITSTATUS(status);
+  if (WIFSIGNALED(status)) return 128 + WTERMSIG(status);
+  return -1;
+}
+
+bool read_all(const std::string& path, std::string& out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  out.clear();
+  char buf[1 << 16];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) out.append(buf, n);
+  const bool ok = std::ferror(f) == 0;
+  std::fclose(f);
+  return ok;
+}
+
+int cmd_verify(const Args& args) {
+  namespace fs = std::filesystem;
+  bool ok = true;
+
+  // Flags the harness owns end to end: a user-supplied value would make
+  // the legs diverge by construction, so each is a one-line reject.
+  static constexpr const char* kOwned[] = {"shards", "checkpoint-dir", "restore",  "csv", "json",
+                                           "trace",  "trace-csv",      "metrics",  "drops-csv",
+                                           "fct-csv"};
+  for (const char* key : kOwned) {
+    if (!args.get(key, "").empty()) {
+      std::fprintf(stderr, "xmpsim: verify drives --%s itself (drop it)\n", key);
+      ok = false;
+    }
+  }
+  if (args.has("invariants")) {
+    std::fprintf(stderr, "xmpsim: verify legs run under --shards; --invariants is serial-only "
+                         "(use `run --invariants` directly)\n");
+    ok = false;
+  }
+  if (args.has("hybrid")) {
+    std::fprintf(stderr, "xmpsim: --hybrid is serial-engine-only; verify needs --shards legs\n");
+    ok = false;
+  }
+  const std::string every = args.get("checkpoint-every", "0.005");
+  if (!ok) return 2;
+
+  // Scenario flags (verify's own removed), shared by every leg.
+  std::vector<std::string> scenario;
+  for (const auto& a : args.raw()) {
+    if (a.rfind("--dir=", 0) == 0 || a.rfind("--checkpoint-every=", 0) == 0) continue;
+    scenario.push_back(a);
+  }
+  // Validate once up front so a malformed scenario is a clean exit 2 on
+  // *this* process's stderr, before any leg forks (legs log to err.txt).
+  {
+    std::vector<std::string> probe = scenario;
+    probe.emplace_back("--shards=1");
+    bool cok = true;
+    (void)config_from(Args{probe}, cok);
+    if (!cok) return 2;
+  }
+
+  std::string root = args.get("dir", "");
+  bool ephemeral = false;
+  if (root.empty()) {
+    std::string tmpl = "/tmp";
+    if (const char* t = std::getenv("TMPDIR"); t != nullptr && *t != '\0') tmpl = t;
+    tmpl += "/xmpverify.XXXXXX";
+    std::vector<char> buf{tmpl.begin(), tmpl.end()};
+    buf.push_back('\0');
+    if (::mkdtemp(buf.data()) == nullptr) {
+      std::fprintf(stderr, "xmpsim: verify: mkdtemp(%s): %s\n", tmpl.c_str(),
+                   std::strerror(errno));
+      return 2;
+    }
+    root = buf.data();
+    ephemeral = true;
+  } else {
+    std::error_code ec;
+    fs::create_directories(root, ec);
+    if (ec) {
+      std::fprintf(stderr, "xmpsim: verify: cannot create --dir=%s: %s\n", root.c_str(),
+                   ec.message().c_str());
+      return 2;
+    }
+  }
+
+  auto leg_dir = [&](const char* name) { return root + "/" + name; };
+  const std::vector<std::string> outputs = {"--json=summary.json", "--trace-csv=trace.csv",
+                                            "--metrics=metrics.json", "--drops-csv=drops.csv"};
+  auto make_flags = [&](std::vector<std::string> extra) {
+    extra.insert(extra.end(), outputs.begin(), outputs.end());
+    extra.insert(extra.end(), scenario.begin(), scenario.end());
+    return extra;
+  };
+  auto fail = [&](const std::string& msg) {
+    std::fprintf(stderr, "xmpsim: verify FAIL: %s (legs kept in %s)\n", msg.c_str(), root.c_str());
+    return 1;
+  };
+
+  const std::string ckpt_every = "--checkpoint-every=" + every;
+  const struct {
+    const char* name;
+    std::vector<std::string> extra;
+  } straight[] = {
+      {"serial", {"--shards=1"}},
+      {"shards2", {"--shards=2"}},
+      {"ckpt", {"--shards=1", ckpt_every, "--checkpoint-dir=."}},
+  };
+  for (const auto& leg : straight) {
+    const std::string dir = leg_dir(leg.name);
+    std::error_code ec;
+    fs::create_directories(dir, ec);
+    std::printf("verify: leg %-7s %s\n", leg.name, leg.extra.front().c_str());
+    const pid_t pid = spawn_leg(dir, make_flags(leg.extra));
+    if (pid < 0) return fail("fork failed");
+    const int rc = wait_leg(pid);
+    if (rc != 0) {
+      return fail("leg " + std::string{leg.name} + " exited " + std::to_string(rc) + " (see " +
+                  dir + "/err.txt)");
+    }
+  }
+
+  // Kill leg: same flags as the checkpointed reference, SIGKILLed as soon
+  // as the first snapshot is visible (atomic rename: any ckpt_*.bin on
+  // disk is complete), then resumed from the newest one.
+  {
+    const std::string dir = leg_dir("kill");
+    std::error_code ec;
+    fs::create_directories(dir, ec);
+    std::printf("verify: leg kill    --shards=1 + SIGKILL mid-run + --restore\n");
+    const std::vector<std::string> base = {"--shards=1", ckpt_every, "--checkpoint-dir=."};
+    const pid_t pid = spawn_leg(dir, make_flags(base));
+    if (pid < 0) return fail("fork failed");
+    for (int i = 0; i < 400; ++i) {
+      if (!newest_snapshot(dir).empty()) break;
+      if (::kill(pid, 0) != 0) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(25));
+    }
+    ::kill(pid, SIGKILL);
+    const int rc = wait_leg(pid);
+    const std::string snap = newest_snapshot(dir);
+    if (snap.empty()) {
+      return fail("kill leg wrote no snapshot — raise --duration or lower --checkpoint-every");
+    }
+    // rc == 0 means the run beat the signal; the resume below still
+    // re-runs the tail from the last snapshot, which must reproduce the
+    // reference bytes either way.
+    if (rc != 0 && rc != 137) {
+      return fail("kill leg exited " + std::to_string(rc) + " before the signal (see " + dir +
+                  "/err.txt)");
+    }
+    std::vector<std::string> resume = base;
+    resume.push_back("--restore=" + snap);
+    const pid_t rpid = spawn_leg(dir, make_flags(resume));
+    if (rpid < 0) return fail("fork failed");
+    const int rrc = wait_leg(rpid);
+    if (rrc != 0) {
+      return fail("restore leg exited " + std::to_string(rrc) + " (see " + dir + "/err.txt)");
+    }
+  }
+
+  // Byte-compare. summary.json and drops.csv must agree across ALL legs;
+  // trace.csv/metrics.json/out.txt only within engine-config pairs,
+  // because checkpointing legitimately adds CkptWrite timeline events,
+  // harness.ckpt.* meters and a "checkpoints:" stdout line.
+  auto compare = [&](const char* a, const char* b, const char* file) -> std::string {
+    std::string ca;
+    std::string cb;
+    if (!read_all(leg_dir(a) + "/" + file, ca)) return std::string{a} + "/" + file + " unreadable";
+    if (!read_all(leg_dir(b) + "/" + file, cb)) return std::string{b} + "/" + file + " unreadable";
+    if (ca != cb) return std::string{file} + " differs between legs " + a + " and " + b;
+    return {};
+  };
+  const struct {
+    const char* a;
+    const char* b;
+    const char* file;
+  } checks[] = {
+      // Worker-count invariance: --shards=2 never changes one byte.
+      {"serial", "shards2", "summary.json"},
+      {"serial", "shards2", "drops.csv"},
+      {"serial", "shards2", "trace.csv"},
+      {"serial", "shards2", "metrics.json"},
+      {"serial", "shards2", "out.txt"},
+      // Checkpointing observes without perturbing.
+      {"serial", "ckpt", "summary.json"},
+      {"serial", "ckpt", "drops.csv"},
+      // Crash + restore replays the exact trajectory.
+      {"ckpt", "kill", "summary.json"},
+      {"ckpt", "kill", "drops.csv"},
+      {"ckpt", "kill", "trace.csv"},
+      {"ckpt", "kill", "metrics.json"},
+      {"ckpt", "kill", "out.txt"},
+  };
+  for (const auto& c : checks) {
+    const std::string err = compare(c.a, c.b, c.file);
+    if (!err.empty()) return fail(err);
+  }
+
+  std::printf("verify: PASS — serial, shards=2, checkpointed and kill+restore legs agree "
+              "byte for byte\n");
+  if (ephemeral) {
+    std::error_code ec;
+    fs::remove_all(root, ec);
+  } else {
+    std::printf("verify: legs kept in %s\n", root.c_str());
+  }
+  return 0;
+}
 
 int cmd_fluid(const Args& args) {
   bool ok = true;
@@ -1174,7 +1459,7 @@ int cmd_topo(const Args& args) {
 
 void usage() {
   std::fprintf(stderr,
-               "usage: xmpsim <run|replay|fluid|sweep|topo> [--key=value ...]\n"
+               "usage: xmpsim <run|replay|verify|fluid|sweep|topo> [--key=value ...]\n"
                "see the header of apps/xmpsim.cpp for the full flag list\n");
 }
 
@@ -1189,6 +1474,7 @@ int main(int argc, char** argv) {
   Args args{argc, argv};
   if (cmd == "run") return cmd_run(args);
   if (cmd == "replay") return cmd_replay(args);
+  if (cmd == "verify") return cmd_verify(args);
   if (cmd == "fluid") return cmd_fluid(args);
   if (cmd == "sweep") return cmd_sweep(args);
   if (cmd == "topo") return cmd_topo(args);

@@ -14,6 +14,7 @@
 #   scripts/check.sh ckpt       # default build + checkpoint kill/resume smoke
 #   scripts/check.sh fct        # default build + FCT study kill/resume smoke
 #   scripts/check.sh hybrid     # default build + hybrid fluid/packet smoke
+#   scripts/check.sh gray       # default build + gray-failure verify diff
 #
 # The tsan mode also runs the "shard" ctest label (the sharded engine's
 # worker pool) under ThreadSanitizer; the default mode finishes with the
@@ -99,6 +100,17 @@ run_hybrid_smoke() {
   scripts/hybrid_smoke.sh build
 }
 
+# Gray-failure differential validation: `xmpsim verify` (serial vs
+# --shards=2 vs checkpointed vs SIGKILL+--restore, byte-compared) over a
+# plan crossing every gray fault kind, plus the fault-layer CLI rejects
+# (scripts/gray_diff.sh), on top of the `gray` ctest label.
+run_gray_diff() {
+  echo "== gray diff =="
+  cmake --preset default
+  cmake --build --preset default -j "$jobs" --target xmpsim
+  scripts/gray_diff.sh build
+}
+
 # The sharded engine's worker pool under ThreadSanitizer: exactly the tests
 # labeled "shard" (tests/core/sharded_engine_test.cpp), on top of the tsan
 # preset's name-filtered suite.
@@ -108,7 +120,7 @@ run_shard_tsan() {
 }
 
 case "${1:-default}" in
-  default) run_preset default; run_chaos build 210; run_shard_smoke; run_ckpt_smoke; run_fct_smoke; run_hybrid_smoke ;;
+  default) run_preset default; run_chaos build 210; run_shard_smoke; run_ckpt_smoke; run_fct_smoke; run_hybrid_smoke; run_gray_diff ;;
   asan)    run_preset asan-ubsan; run_chaos build-asan 42 ;;
   tsan)    run_preset tsan; run_shard_tsan; run_chaos build-tsan 14 ;;
   routing) run_routing ;;
@@ -117,6 +129,7 @@ case "${1:-default}" in
   ckpt)    run_ckpt_smoke ;;
   fct)     run_fct_smoke ;;
   hybrid)  run_hybrid_smoke ;;
+  gray)    run_gray_diff ;;
   all)
     run_preset default; run_chaos build 210
     run_preset asan-ubsan; run_chaos build-asan 42
@@ -127,7 +140,8 @@ case "${1:-default}" in
     run_ckpt_smoke
     run_fct_smoke
     run_hybrid_smoke
+    run_gray_diff
     ;;
-  *) echo "usage: $0 [default|asan|tsan|all|routing|sweep|shard|ckpt|fct|hybrid]" >&2; exit 2 ;;
+  *) echo "usage: $0 [default|asan|tsan|all|routing|sweep|shard|ckpt|fct|hybrid|gray]" >&2; exit 2 ;;
 esac
 echo "OK"

@@ -234,6 +234,11 @@ std::uint64_t config_fingerprint(const ExperimentConfig& cfg) {
     f.mix_d(e.loss.p_bad_good);
     f.mix_d(e.loss.loss_good);
     f.mix_d(e.loss.loss_bad);
+    f.mix_d(e.gray.factor);
+    f.mix_i(e.gray.delay.ns());
+    f.mix_i(e.gray.jitter.ns());
+    f.mix_d(e.gray.p);
+    f.mix_i(e.gray.hold.ns());
   }
   f.mix(cfg.fault_seed);
   // Empirical workloads: the fingerprint covers the *parsed content* of the

@@ -778,6 +778,9 @@ ExperimentResults run_experiment(const ExperimentConfig& cfg) {
     row.offered = l->offered();
     row.delivered = l->delivered();
     row.drops = l->drops();
+    row.duplicated = l->duplicated();
+    row.delayed = l->delayed();
+    row.overmarked = l->overmarked();
     res.link_drops.push_back(row);
   }
   res.aborted_flows = flows_a.aborted_large_flows();

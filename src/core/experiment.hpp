@@ -197,6 +197,10 @@ struct ExperimentResults {
     std::uint64_t offered = 0;
     std::uint64_t delivered = 0;
     net::LinkDropCounters drops;
+    // Gray-failure impairments (survivor effects, not drops).
+    std::uint64_t duplicated = 0;
+    std::uint64_t delayed = 0;
+    std::uint64_t overmarked = 0;
   };
   std::vector<LinkDropRow> link_drops;
 

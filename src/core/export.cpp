@@ -61,7 +61,7 @@ void export_fct_csv(const ExperimentResults& results, const std::string& path) {
 void export_link_drops_csv(const ExperimentResults& results, const std::string& path) {
   trace::CsvWriter csv{path};
   csv.header({"link", "offered", "delivered", "drops_queue", "drops_admin_down", "drops_fault",
-              "drops_corrupt", "drops_unroutable"});
+              "drops_corrupt", "drops_unroutable", "duplicated", "delayed", "overmarked"});
   for (const auto& row : results.link_drops) {
     csv.field(static_cast<std::uint64_t>(row.link))
         .field(row.offered)
@@ -70,7 +70,10 @@ void export_link_drops_csv(const ExperimentResults& results, const std::string& 
         .field(row.drops.admin_down)
         .field(row.drops.fault)
         .field(row.drops.corrupt)
-        .field(std::uint64_t{0});
+        .field(std::uint64_t{0})
+        .field(row.duplicated)
+        .field(row.delayed)
+        .field(row.overmarked);
     csv.end_row();
   }
   // Unroutable packets die inside a switch, before any link sees them, so
@@ -83,7 +86,10 @@ void export_link_drops_csv(const ExperimentResults& results, const std::string& 
         .field(std::uint64_t{0})
         .field(std::uint64_t{0})
         .field(std::uint64_t{0})
-        .field(row.unroutable);
+        .field(row.unroutable)
+        .field(std::uint64_t{0})
+        .field(std::uint64_t{0})
+        .field(std::uint64_t{0});
     csv.end_row();
   }
 }
@@ -139,6 +145,15 @@ void export_summary_json(const ExperimentConfig& cfg, const ExperimentResults& r
   json.kv("fault", results.drops.fault);
   json.kv("corrupt", results.drops.corrupt);
   json.kv("unroutable", results.switch_unroutable);
+  json.end_object();
+
+  // Gray-failure impairments: packets the fault layer touched but did not
+  // drop. Zero in healthy runs; byte-stable either way.
+  json.key("impairments");
+  json.begin_object();
+  json.kv("duplicated", results.drops.duplicated);
+  json.kv("delayed", results.drops.delayed);
+  json.kv("overmarked", results.drops.overmarked);
   json.end_object();
 
   json.key("routing");

@@ -48,6 +48,26 @@ const char* FaultEvent::kind_name(Kind k) {
       return "blackhole-start";
     case Kind::EcnBlackholeStop:
       return "blackhole-stop";
+    case Kind::DegradeStart:
+      return "degrade-start";
+    case Kind::DegradeStop:
+      return "degrade-stop";
+    case Kind::DelayStart:
+      return "delay-start";
+    case Kind::DelayStop:
+      return "delay-stop";
+    case Kind::ReorderStart:
+      return "reorder-start";
+    case Kind::ReorderStop:
+      return "reorder-stop";
+    case Kind::DuplicateStart:
+      return "duplicate-start";
+    case Kind::DuplicateStop:
+      return "duplicate-stop";
+    case Kind::EcnOvermarkStart:
+      return "overmark-start";
+    case Kind::EcnOvermarkStop:
+      return "overmark-stop";
   }
   return "?";
 }
@@ -118,6 +138,65 @@ FaultPlan& FaultPlan::blackhole(int sw, sim::Time at, sim::Time until) {
   if (until < sim::Time::infinity()) {
     events.push_back(make(FaultEvent::Kind::EcnBlackholeStop, until, sw));
   }
+  return *this;
+}
+
+namespace {
+
+/// Shared start/stop expansion for the five gray-failure effects.
+void push_gray(std::vector<FaultEvent>& events, FaultEvent::Kind start, FaultEvent::Kind stop,
+               net::LinkId link, const GrayModel& m, sim::Time at, sim::Time until) {
+  FaultEvent e = make(start, at, static_cast<int>(link));
+  e.gray = m;
+  events.push_back(e);
+  if (until < sim::Time::infinity()) {
+    events.push_back(make(stop, until, static_cast<int>(link)));
+  }
+}
+
+}  // namespace
+
+FaultPlan& FaultPlan::degrade(net::LinkId link, double factor, sim::Time at, sim::Time until) {
+  GrayModel m;
+  m.factor = factor;
+  push_gray(events, FaultEvent::Kind::DegradeStart, FaultEvent::Kind::DegradeStop, link, m, at,
+            until);
+  return *this;
+}
+
+FaultPlan& FaultPlan::delay(net::LinkId link, sim::Time dt, sim::Time jitter, sim::Time at,
+                            sim::Time until) {
+  GrayModel m;
+  m.delay = dt;
+  m.jitter = jitter;
+  push_gray(events, FaultEvent::Kind::DelayStart, FaultEvent::Kind::DelayStop, link, m, at,
+            until);
+  return *this;
+}
+
+FaultPlan& FaultPlan::reorder(net::LinkId link, double p, sim::Time hold, sim::Time at,
+                              sim::Time until) {
+  GrayModel m;
+  m.p = p;
+  m.hold = hold;
+  push_gray(events, FaultEvent::Kind::ReorderStart, FaultEvent::Kind::ReorderStop, link, m, at,
+            until);
+  return *this;
+}
+
+FaultPlan& FaultPlan::duplicate(net::LinkId link, double p, sim::Time at, sim::Time until) {
+  GrayModel m;
+  m.p = p;
+  push_gray(events, FaultEvent::Kind::DuplicateStart, FaultEvent::Kind::DuplicateStop, link, m,
+            at, until);
+  return *this;
+}
+
+FaultPlan& FaultPlan::overmark(net::LinkId link, double p, sim::Time at, sim::Time until) {
+  GrayModel m;
+  m.p = p;
+  push_gray(events, FaultEvent::Kind::EcnOvermarkStart, FaultEvent::Kind::EcnOvermarkStop, link,
+            m, at, until);
   return *this;
 }
 
@@ -288,6 +367,52 @@ bool FaultPlan::parse(const std::string& text, FaultPlan& out, std::string* erro
         return false;
       }
       plan.blackhole(sw, at, until);
+    } else if (st.verb == "degrade") {
+      int link = 0;
+      double factor = 0.0;
+      if (!get_int(st, "link", link) || !get_double(st, "factor", factor) || factor <= 0.0 ||
+          factor >= 1.0) {
+        if (error != nullptr) *error = "degrade needs link= and factor= in (0, 1)";
+        return false;
+      }
+      plan.degrade(static_cast<net::LinkId>(link), factor, at, until);
+    } else if (st.verb == "delay") {
+      int link = 0;
+      double dt_s = 0.0;
+      double jitter_s = 0.0;
+      if (!get_int(st, "link", link) || !get_double(st, "dt", dt_s) || dt_s <= 0.0) {
+        if (error != nullptr) *error = "delay needs link= and dt=<seconds > 0>";
+        return false;
+      }
+      get_double(st, "jitter", jitter_s);
+      if (jitter_s < 0.0) {
+        if (error != nullptr) *error = "delay: jitter= must be >= 0";
+        return false;
+      }
+      plan.delay(static_cast<net::LinkId>(link), sim::Time::seconds(dt_s),
+                 sim::Time::seconds(jitter_s), at, until);
+    } else if (st.verb == "reorder") {
+      int link = 0;
+      double p = 0.0;
+      double dt_s = 0.0;
+      if (!get_int(st, "link", link) || !get_double(st, "p", p) || p <= 0.0 || p > 1.0 ||
+          !get_double(st, "dt", dt_s) || dt_s <= 0.0) {
+        if (error != nullptr) *error = "reorder needs link=, p= in (0, 1] and dt=<seconds > 0>";
+        return false;
+      }
+      plan.reorder(static_cast<net::LinkId>(link), p, sim::Time::seconds(dt_s), at, until);
+    } else if (st.verb == "duplicate" || st.verb == "overmark") {
+      int link = 0;
+      double p = 0.0;
+      if (!get_int(st, "link", link) || !get_double(st, "p", p) || p <= 0.0 || p > 1.0) {
+        if (error != nullptr) *error = st.verb + " needs link= and p= in (0, 1]";
+        return false;
+      }
+      if (st.verb == "duplicate") {
+        plan.duplicate(static_cast<net::LinkId>(link), p, at, until);
+      } else {
+        plan.overmark(static_cast<net::LinkId>(link), p, at, until);
+      }
     } else {
       if (error != nullptr) *error = "unknown fault verb '" + st.verb + "'";
       return false;
@@ -313,6 +438,26 @@ std::string FaultPlan::to_string() const {
                         e.target, e.at.sec(), e.loss.p_good_bad, e.loss.p_bad_good,
                         e.loss.loss_bad, e.loss.loss_good, e.loss.p_corrupt);
         }
+        break;
+      case FaultEvent::Kind::DegradeStart:
+        std::snprintf(buf, sizeof buf, "degrade,link=%d,at=%g,factor=%g", e.target, e.at.sec(),
+                      e.gray.factor);
+        break;
+      case FaultEvent::Kind::DelayStart:
+        std::snprintf(buf, sizeof buf, "delay,link=%d,at=%g,dt=%g,jitter=%g", e.target,
+                      e.at.sec(), e.gray.delay.sec(), e.gray.jitter.sec());
+        break;
+      case FaultEvent::Kind::ReorderStart:
+        std::snprintf(buf, sizeof buf, "reorder,link=%d,at=%g,p=%g,dt=%g", e.target, e.at.sec(),
+                      e.gray.p, e.gray.hold.sec());
+        break;
+      case FaultEvent::Kind::DuplicateStart:
+        std::snprintf(buf, sizeof buf, "duplicate,link=%d,at=%g,p=%g", e.target, e.at.sec(),
+                      e.gray.p);
+        break;
+      case FaultEvent::Kind::EcnOvermarkStart:
+        std::snprintf(buf, sizeof buf, "overmark,link=%d,at=%g,p=%g", e.target, e.at.sec(),
+                      e.gray.p);
         break;
       default:
         std::snprintf(buf, sizeof buf, "%s,target=%d,at=%g", FaultEvent::kind_name(e.kind),

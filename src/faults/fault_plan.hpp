@@ -33,6 +33,25 @@ struct LossModel {
                                          double loss_good = 0.0, double corrupt = 0.0);
 };
 
+/// Parameters of one gray-failure (degraded-but-not-dead) effect. Which
+/// fields matter depends on the FaultEvent kind; unused fields keep their
+/// defaults so plans hash and compare deterministically.
+struct GrayModel {
+  /// DegradeStart: residual capacity fraction in (0, 1) — a slow-drain port
+  /// serializing at factor x nominal rate.
+  double factor = 1.0;
+  /// DelayStart: base latency added to every packet at link entry.
+  sim::Time delay = sim::Time::zero();
+  /// DelayStart: per-packet uniform jitter bound on top of `delay`, drawn
+  /// from the link's fault RNG stream (0 = constant inflation).
+  sim::Time jitter = sim::Time::zero();
+  /// Reorder/Duplicate/EcnOvermark: per-packet probability of the effect.
+  double p = 0.0;
+  /// ReorderStart: how long a selected packet is held back while later
+  /// packets overtake it.
+  sim::Time hold = sim::Time::zero();
+};
+
 /// One primitive fault event. Composite directives (flap, `until=`) are
 /// expanded into primitives by the FaultPlan builder / parser.
 struct FaultEvent {
@@ -47,14 +66,26 @@ struct FaultEvent {
     LossStop,
     EcnBlackholeStart,  ///< switch keeps forwarding but stops CE-marking
     EcnBlackholeStop,
+    // --- gray failures: the link degrades without going down ---
+    DegradeStart,  ///< slow drain: capacity scaled by gray.factor
+    DegradeStop,
+    DelayStart,  ///< every packet held gray.delay (+ jitter) at link entry
+    DelayStop,
+    ReorderStart,  ///< a gray.p fraction held gray.hold, so later packets pass
+    ReorderStop,
+    DuplicateStart,  ///< a gray.p fraction cloned (both copies transmitted)
+    DuplicateStop,
+    EcnOvermarkStart,  ///< forced CE on a gray.p fraction of ECT survivors
+    EcnOvermarkStop,
   };
 
   Kind kind = Kind::LinkDown;
   sim::Time at = sim::Time::zero();
-  /// Link id for Link*/Loss* events; index into Network::switches() for
-  /// Switch*/EcnBlackhole* events; index into Network::hosts() for Host*.
+  /// Link id for Link*/Loss*/gray events; index into Network::switches()
+  /// for Switch*/EcnBlackhole* events; index into Network::hosts() for Host*.
   int target = 0;
   LossModel loss;  ///< LossStart only
+  GrayModel gray;  ///< Degrade/Delay/Reorder/Duplicate/EcnOvermark Start only
 
   [[nodiscard]] static const char* kind_name(Kind k);
 };
@@ -75,6 +106,11 @@ struct FaultEvent {
 ///   loss,link=2,at=0,p=0.01[,corrupt=0.002][,until=..]      Bernoulli
 ///   gilbert,link=2,at=0,pgb=0.001,pbg=0.1,pbad=0.3[,pgood=0][,corrupt=..]
 ///   blackhole,switch=5,at=0.2[,until=..]    ECN marking disabled
+///   degrade,link=2,at=0.1,factor=0.3[,until=..]     slow drain (30% rate)
+///   delay,link=2,at=0.1,dt=1e-4[,jitter=5e-5][,until=..]    latency + jitter
+///   reorder,link=2,at=0.1,p=0.05,dt=2e-4[,until=..] hold-and-release
+///   duplicate,link=2,at=0.1,p=0.01[,until=..]       clone a p fraction
+///   overmark,link=2,at=0.1,p=0.2[,until=..]         forced CE on survivors
 struct FaultPlan {
   std::vector<FaultEvent> events;
 
@@ -93,6 +129,17 @@ struct FaultPlan {
   FaultPlan& loss(net::LinkId link, const LossModel& m, sim::Time at,
                   sim::Time until = sim::Time::infinity());
   FaultPlan& blackhole(int sw, sim::Time at, sim::Time until = sim::Time::infinity());
+  // --- gray failures ---
+  FaultPlan& degrade(net::LinkId link, double factor, sim::Time at,
+                     sim::Time until = sim::Time::infinity());
+  FaultPlan& delay(net::LinkId link, sim::Time dt, sim::Time jitter, sim::Time at,
+                   sim::Time until = sim::Time::infinity());
+  FaultPlan& reorder(net::LinkId link, double p, sim::Time hold, sim::Time at,
+                     sim::Time until = sim::Time::infinity());
+  FaultPlan& duplicate(net::LinkId link, double p, sim::Time at,
+                       sim::Time until = sim::Time::infinity());
+  FaultPlan& overmark(net::LinkId link, double p, sim::Time at,
+                      sim::Time until = sim::Time::infinity());
 
   /// Parse the text form; on failure returns false and, if `error` is
   /// non-null, stores a one-line diagnostic.

@@ -76,17 +76,21 @@ void InvariantChecker::check_now() {
 
 void InvariantChecker::check_link(const net::Link& l) {
   ++checks_run_;
+  // Duplication manufactures packets inside the link, so clones join the
+  // offered side; the gray hold buffer is one more place a live packet can
+  // legitimately sit.
   const std::uint64_t accounted = l.delivered() + l.drops().total() +
-                                  l.queue().len_packets() + l.live_in_flight();
-  if (l.offered() != accounted) {
-    char buf[192];
+                                  l.queue().len_packets() + l.live_in_flight() + l.held();
+  if (l.offered() + l.duplicated() != accounted) {
+    char buf[256];
     std::snprintf(buf, sizeof buf,
-                  "link %u: conservation broken: offered=%llu != delivered=%llu + drops=%llu "
-                  "+ queued=%zu + in_flight=%zu",
+                  "link %u: conservation broken: offered=%llu + duplicated=%llu != "
+                  "delivered=%llu + drops=%llu + queued=%zu + in_flight=%zu + held=%zu",
                   l.id(), static_cast<unsigned long long>(l.offered()),
+                  static_cast<unsigned long long>(l.duplicated()),
                   static_cast<unsigned long long>(l.delivered()),
                   static_cast<unsigned long long>(l.drops().total()), l.queue().len_packets(),
-                  l.live_in_flight());
+                  l.live_in_flight(), l.held());
     fail(buf);
   }
   ++checks_run_;

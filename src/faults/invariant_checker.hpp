@@ -26,8 +26,10 @@ struct Violation {
 /// event per interval, touching only public accessors (no behavior change).
 ///
 /// Checks per sweep:
-///  - per-link packet conservation:
-///      offered == delivered + drops.total() + queued + live_in_flight
+///  - per-link packet conservation (duplicated = gray-failure clones,
+///    held = gray-failure hold buffer):
+///      offered + duplicated == delivered + drops.total() + queued
+///                              + live_in_flight + held
 ///  - queue sanity: length <= capacity; empty in packets => empty in bytes
 ///  - sender sanity: cwnd finite, within [1 MSS, cwnd_max]; snd_una <= snd_nxt
 ///  - receiver progress is monotone (rcv_nxt never moves backwards — the

@@ -17,6 +17,12 @@ void note_drop(sim::Time t, LinkId link, obs::DropCause cause) {
   if (auto* m = obs::metrics(); m != nullptr) [[unlikely]] m->packets_dropped.inc();
 }
 
+// One call per gray impairment applied (delay/reorder/duplicate/overmark).
+void note_impair(sim::Time t, LinkId link, obs::ImpairKind kind) {
+  if (auto* tr = obs::tracer(); tr != nullptr) [[unlikely]] tr->impair(t, link, kind);
+  if (auto* m = obs::metrics(); m != nullptr) [[unlikely]] m->packets_impaired.inc();
+}
+
 }  // namespace
 
 Link::Link(sim::Scheduler& sched, LinkId id, std::int64_t rate_bps, sim::Time prop_delay,
@@ -40,8 +46,10 @@ void Link::send(Packet p) {
     note_drop(sched_.now(), id_, obs::DropCause::AdminDown);
     return;
   }
+  bool dup = false;
   if (fault_hook_ != nullptr) {
-    switch (fault_hook_->on_send(p)) {
+    const FaultVerdict v = fault_hook_->on_send(p);
+    switch (v.action) {
       case FaultAction::Pass:
         break;
       case FaultAction::Drop:
@@ -52,13 +60,59 @@ void Link::send(Packet p) {
         p.corrupt = true;  // rides the wire, discarded at the sink end
         break;
     }
+    if (v.overmark && p.ecn == Ecn::Ect) {
+      p.ecn = Ecn::Ce;  // the dual of a blackhole: CE without congestion
+      ++overmarked_;
+      note_impair(sched_.now(), id_, obs::ImpairKind::Overmark);
+    }
+    dup = v.duplicate;
+    if (dup) note_impair(sched_.now(), id_, obs::ImpairKind::Duplicate);
+    if (v.delay > sim::Time::zero()) {
+      // Park the packet (and a pending clone) at entry; release re-enters
+      // the enqueue path below, so everything downstream — egress queue,
+      // in-flight FIFO, boundary handoff — sees a perfectly ordinary send.
+      ++delayed_;
+      note_impair(sched_.now(), id_, v.reorder ? obs::ImpairKind::Reorder : obs::ImpairKind::Delay);
+      const std::uint64_t id = next_held_id_++;
+      const sim::EventId ev =
+          sched_.schedule_in(v.delay, [this, id] { release_held(id); });
+      held_.push_back(Held{id, dup, std::move(p), ev});
+      return;
+    }
   }
+  enqueue_for_tx(std::move(p), dup);
+}
+
+void Link::enqueue_for_tx(Packet&& p, bool dup) {
+  Packet clone;
+  if (dup) clone = p;  // copy before the move below
   if (!queue_->enqueue(std::move(p), sched_.now())) {  // tail drop
     ++drops_.queue;
     note_drop(sched_.now(), id_, obs::DropCause::Queue);
-    return;
+  }
+  if (dup) {
+    // The clone is an extra packet the link manufactured: it enters the
+    // conservation law on the offered side (duplicated_), then lives and
+    // dies exactly like any other packet.
+    ++duplicated_;
+    if (!queue_->enqueue(std::move(clone), sched_.now())) {
+      ++drops_.queue;
+      note_drop(sched_.now(), id_, obs::DropCause::Queue);
+    }
   }
   if (!transmitting_) start_transmission();
+}
+
+void Link::release_held(std::uint64_t id) {
+  for (auto it = held_.begin(); it != held_.end(); ++it) {
+    if (it->id == id) {
+      Held h = std::move(*it);
+      held_.erase(it);
+      enqueue_for_tx(std::move(h.pkt), h.duplicate);
+      return;
+    }
+  }
+  assert(!"release for a hold entry that no longer exists");
 }
 
 void Link::start_transmission() {
@@ -81,7 +135,7 @@ void Link::start_transmission() {
                sched_.now().ns()) {
       remote_in_flight_.pop_front();  // certainly delivered (see header)
     }
-    remote_in_flight_.push_back(RemoteInFlight{deliver_t_ns, epoch_});
+    remote_in_flight_.push_back(RemoteInFlight{deliver_t_ns, epoch_, p.corrupt});
     remote_->push(RemotePacket{this, std::move(p), deliver_t_ns, epoch_});
     tx_events_.push_back(
         TxDone{sched_.schedule_in(tx, [this, e = epoch_] { complete_tx(e); }), epoch_});
@@ -160,9 +214,11 @@ void Link::set_down(bool down) {
   if (down_) {
     // Everything currently propagating with the live epoch is lost; count
     // it now so conservation holds at any probe instant (the stale pops in
-    // deliver_head must not count again).
+    // deliver_head must not count again). Attribution is deterministic: a
+    // packet already corrupted by a fault dies as `corrupt` wherever it is
+    // when the link closes; only clean packets become admin_down.
     for (const InFlight& f : in_flight_) {
-      if (f.epoch == epoch_) ++drops_.admin_down;
+      if (f.epoch == epoch_) ++(f.pkt.corrupt ? drops_.corrupt : drops_.admin_down);
     }
     // Boundary mode: faults apply at barriers, where every event with
     // t < now has run, so mirror entries with deliver_t < now were
@@ -172,12 +228,21 @@ void Link::set_down(bool down) {
       remote_in_flight_.pop_front();
     }
     for (const RemoteInFlight& f : remote_in_flight_) {
-      if (f.epoch == epoch_) ++drops_.admin_down;
+      if (f.epoch == epoch_) ++(f.corrupt ? drops_.corrupt : drops_.admin_down);
     }
     ++epoch_;  // cancels in-flight deliveries and the pending tx-complete
     transmitting_ = false;
     Packet discard;
-    while (queue_->dequeue(discard, sched_.now())) ++drops_.admin_down;  // flushed on closure
+    while (queue_->dequeue(discard, sched_.now())) {
+      ++(discard.corrupt ? drops_.corrupt : drops_.admin_down);  // flushed on closure
+    }
+    // The hold buffer drains the same way; pending clones were never
+    // materialized, so they owe the conservation law nothing.
+    for (const Held& h : held_) {
+      sched_.cancel(h.ev);
+      ++(h.pkt.corrupt ? drops_.corrupt : drops_.admin_down);
+    }
+    held_.clear();
   }
   for (StateListener* l : state_listeners_) l->on_link_state(*this, down_);
 }
@@ -194,7 +259,23 @@ void Link::save_state(core::ckpt::Saver& s, sim::Scheduler* remote_sched) const 
   s.u64(drops_.admin_down);
   s.u64(drops_.fault);
   s.u64(drops_.corrupt);
+  s.u64(duplicated_);
+  s.u64(delayed_);
+  s.u64(overmarked_);
+  s.f64(degrade_);
   queue_->save_state(s);
+
+  // Hold buffer: each parked packet re-arms its release event on restore.
+  s.u64(held_.size());
+  for (const Held& h : held_) {
+    sim::Scheduler::PendingKey k;
+    [[maybe_unused]] const bool live = sched_.key_of(h.ev, k);
+    assert(live && "hold release event lost");
+    s.i64(k.t_ns);
+    s.u64(k.seq);
+    s.b(h.duplicate);
+    save_packet(s, h.pkt);
+  }
 
   assert(in_flight_.size() == delivery_events_.size());
   s.u64(in_flight_.size());
@@ -222,6 +303,7 @@ void Link::save_state(core::ckpt::Saver& s, sim::Scheduler* remote_sched) const 
   for (const RemoteInFlight& f : remote_in_flight_) {
     s.i64(f.deliver_t_ns);
     s.u64(f.epoch);
+    s.b(f.corrupt);
   }
 
   assert(remote_arrivals_.size() == remote_delivery_events_.size());
@@ -250,7 +332,23 @@ void Link::restore_state(core::ckpt::Loader& l, sim::Scheduler* remote_sched) {
   drops_.admin_down = l.u64();
   drops_.fault = l.u64();
   drops_.corrupt = l.u64();
+  duplicated_ = l.u64();
+  delayed_ = l.u64();
+  overmarked_ = l.u64();
+  degrade_ = l.f64();
+  recompute_effective_rate();
   queue_->restore_state(l);
+
+  const std::uint64_t n_held = l.u64();
+  for (std::uint64_t i = 0; i < n_held && l.ok(); ++i) {
+    const std::int64_t t_ns = l.i64();
+    const std::uint64_t seq = l.u64();
+    const bool dup = l.b();
+    const std::uint64_t id = next_held_id_++;
+    const sim::EventId ev =
+        sched_.restore_at(sim::Time::nanoseconds(t_ns), seq, [this, id] { release_held(id); });
+    held_.push_back(Held{id, dup, load_packet(l), ev});
+  }
 
   const std::uint64_t n_flight = l.u64();
   for (std::uint64_t i = 0; i < n_flight && l.ok(); ++i) {
@@ -276,7 +374,8 @@ void Link::restore_state(core::ckpt::Loader& l, sim::Scheduler* remote_sched) {
   for (std::uint64_t i = 0; i < n_remote && l.ok(); ++i) {
     const std::int64_t t_ns = l.i64();
     const std::uint64_t epoch = l.u64();
-    remote_in_flight_.push_back(RemoteInFlight{t_ns, epoch});
+    const bool corrupt = l.b();
+    remote_in_flight_.push_back(RemoteInFlight{t_ns, epoch, corrupt});
   }
 
   const std::uint64_t n_arrivals = l.u64();

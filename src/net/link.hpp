@@ -42,19 +42,37 @@ struct LinkDropCounters {
 /// statistics (busy time, bytes) used for the paper's Figure 11.
 class Link final {
  public:
-  /// Verdict of a fault hook on one packet offered to the link.
-  enum class FaultAction : std::uint8_t {
-    Pass,     ///< forward normally
-    Drop,     ///< lose the packet at link entry (counted as drops().fault)
-    Corrupt,  ///< transmit, but discard at the sink end (drops().corrupt)
-  };
+  /// Verdict of a fault hook on one packet offered to the link. The action
+  /// is exclusive; the gray-failure effects compose with it (and with each
+  /// other) on any packet that is not dropped outright.
+  struct FaultVerdict {
+    enum class Action : std::uint8_t {
+      Pass,     ///< forward normally
+      Drop,     ///< lose the packet at link entry (counted as drops().fault)
+      Corrupt,  ///< transmit, but discard at the sink end (drops().corrupt)
+    };
 
-  /// Injected per-link loss/corruption process (see faults::FaultController).
-  /// A null hook — the default — costs one predictable branch per send.
+    Action action = Action::Pass;
+    bool duplicate = false;  ///< enqueue a clone right behind the original
+    bool overmark = false;   ///< force CE if the packet is ECN-capable
+    bool reorder = false;    ///< the delay came from a reorder hold, not inflation
+    sim::Time delay = sim::Time::zero();  ///< hold at entry before enqueueing
+
+    constexpr FaultVerdict() = default;
+    // NOLINTNEXTLINE(google-explicit-constructor): a bare action is a verdict
+    constexpr FaultVerdict(Action a) : action{a} {}
+    friend bool operator==(const FaultVerdict&, const FaultVerdict&) = default;
+  };
+  /// Historical name for the exclusive part of the verdict.
+  using FaultAction = FaultVerdict::Action;
+
+  /// Injected per-link loss/corruption/gray-failure process (see
+  /// faults::FaultController). A null hook — the default — costs one
+  /// predictable branch per send.
   class FaultHook {
    public:
     virtual ~FaultHook() = default;
-    [[nodiscard]] virtual FaultAction on_send(const Packet& p) = 0;
+    [[nodiscard]] virtual FaultVerdict on_send(const Packet& p) = 0;
   };
 
   /// Notified on every administrative state transition (after the link has
@@ -100,10 +118,19 @@ class Link final {
   /// restore, exactly as it re-derives it every fluid tick.
   void set_fluid_share(double share) {
     fluid_share_ = share;
-    const double residual = static_cast<double>(rate_bps_) * (1.0 - share);
-    effective_rate_bps_ = residual >= 1.0 ? static_cast<std::int64_t>(residual) : 1;
+    recompute_effective_rate();
   }
   [[nodiscard]] double fluid_share() const { return fluid_share_; }
+
+  /// Gray failure: slow drain. Serialization runs at `factor` x the nominal
+  /// rate (factor in (0, 1]; 1.0 restores full capacity). Composes with the
+  /// hybrid fluid share; packets already serializing keep their old timing.
+  /// Checkpointed — unlike the fluid share, nothing re-derives it on restore.
+  void set_degrade(double factor) {
+    degrade_ = factor;
+    recompute_effective_rate();
+  }
+  [[nodiscard]] double degrade() const { return degrade_; }
   [[nodiscard]] sim::Time prop_delay() const { return prop_delay_; }
   [[nodiscard]] const Queue& queue() const { return *queue_; }
   [[nodiscard]] Queue& queue() { return *queue_; }
@@ -122,8 +149,19 @@ class Link final {
   [[nodiscard]] std::uint64_t delivered() const { return delivered_; }
   [[nodiscard]] const LinkDropCounters& drops() const { return drops_; }
   /// In-flight packets that will still reach the sink (stale-epoch entries
-  /// were already counted as admin_down when the link went down).
+  /// were already counted as a drop when the link went down).
   [[nodiscard]] std::size_t live_in_flight() const;
+  /// Packets parked in the gray-failure hold buffer, awaiting release.
+  [[nodiscard]] std::size_t held() const { return held_.size(); }
+
+  // --- gray-failure impairment accounting ---
+  /// Clones materialized by a Duplicate verdict. The conservation law is
+  /// offered + duplicated == delivered + drops + queued + in_flight + held.
+  [[nodiscard]] std::uint64_t duplicated() const { return duplicated_; }
+  /// Packets held at entry by a Delay or Reorder verdict.
+  [[nodiscard]] std::uint64_t delayed() const { return delayed_; }
+  /// ECT packets force-marked CE by an EcnOvermark verdict.
+  [[nodiscard]] std::uint64_t overmarked() const { return overmarked_; }
 
   // --- sharded (conservative-sync) boundary mode ---
   /// Make this a shard-boundary link: transmitted packets go to `ch`
@@ -162,14 +200,25 @@ class Link final {
   void on_transmit_complete();
   void complete_tx(std::uint64_t epoch);
   void deliver_head();
+  /// Enqueue for transmission after the verdict's entry effects; `dup`
+  /// materializes the clone right behind the original.
+  void enqueue_for_tx(Packet&& p, bool dup);
+  void release_held(std::uint64_t id);
+  void recompute_effective_rate() {
+    const double residual =
+        static_cast<double>(rate_bps_) * (1.0 - fluid_share_) * degrade_;
+    effective_rate_bps_ = residual >= 1.0 ? static_cast<std::int64_t>(residual) : 1;
+  }
 
   sim::Scheduler& sched_;
   LinkId id_;
   std::int64_t rate_bps_;
-  /// rate_bps_ scaled down by the fluid share; equals rate_bps_ outside
-  /// hybrid runs so serialization times are bit-identical to the seed.
+  /// rate_bps_ scaled down by the fluid share and the degrade factor;
+  /// equals rate_bps_ outside hybrid/faulted runs so serialization times
+  /// are bit-identical to the seed.
   std::int64_t effective_rate_bps_;
   double fluid_share_ = 0.0;
+  double degrade_ = 1.0;  ///< slow-drain capacity multiplier (1 = healthy)
   sim::Time prop_delay_;
   std::unique_ptr<Queue> queue_;
   PacketSink& sink_;
@@ -188,6 +237,21 @@ class Link final {
   };
   std::deque<InFlight> in_flight_;
 
+  /// Gray-failure hold buffer: packets parked at link *entry* (before the
+  /// egress queue) by a Delay/Reorder verdict. Entries are id-keyed so the
+  /// release event captures 16 bytes; release re-enters the normal enqueue
+  /// path, which is why held packets never perturb the in-flight FIFO or
+  /// the boundary-mode mirrors. set_down() cancels the release events and
+  /// accounts the contents, so the deque only ever holds live packets.
+  struct Held {
+    std::uint64_t id;
+    bool duplicate;  ///< clone on release (deferred with the original)
+    Packet pkt;
+    sim::EventId ev;
+  };
+  std::deque<Held> held_;
+  std::uint64_t next_held_id_ = 0;
+
   // --- boundary-mode state. Thread ownership is partitioned: the source
   // shard writes offered_/queue_/busy_/bytes_sent_/drops_.{queue,fault}
   // and the two deques below marked "src"; the destination shard writes
@@ -205,6 +269,7 @@ class Link final {
   struct RemoteInFlight {
     std::int64_t deliver_t_ns;
     std::uint64_t epoch;
+    bool corrupt;  ///< attribution on set_down: corrupt, not admin_down
   };
   std::deque<RemoteInFlight> remote_in_flight_;
 
@@ -238,6 +303,9 @@ class Link final {
   std::uint64_t offered_ = 0;
   std::uint64_t delivered_ = 0;
   LinkDropCounters drops_;
+  std::uint64_t duplicated_ = 0;  ///< clones materialized (extra sends)
+  std::uint64_t delayed_ = 0;     ///< packets parked in the hold buffer
+  std::uint64_t overmarked_ = 0;  ///< forced CE marks applied at entry
 };
 
 }  // namespace xmp::net

@@ -201,6 +201,7 @@ SimMetrics::SimMetrics(MetricsRegistry& reg)
     : registry{reg},
       packets_delivered{reg.counter("packets_delivered")},
       packets_dropped{reg.counter("packets_dropped")},
+      packets_impaired{reg.counter("packets_impaired")},
       ecn_marks{reg.counter("ecn_marks")},
       retransmissions{reg.counter("retransmissions")},
       timeouts{reg.counter("timeouts")},

@@ -136,6 +136,7 @@ struct SimMetrics {
 
   Counter& packets_delivered;  ///< link-level sink handoffs
   Counter& packets_dropped;    ///< all causes (queue/admin/fault/corrupt)
+  Counter& packets_impaired;   ///< gray-failure effects applied (delay/reorder/dup/overmark)
   Counter& ecn_marks;          ///< CE marks applied by queues
   Counter& retransmissions;
   Counter& timeouts;           ///< sender RTO firings

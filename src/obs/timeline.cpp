@@ -67,6 +67,8 @@ const char* TimelineTracer::kind_name(EventKind k) {
       return "ckpt_write";
     case EventKind::CkptRestore:
       return "ckpt_restore";
+    case EventKind::Impair:
+      return "impair";
   }
   return "?";
 }
@@ -86,6 +88,7 @@ std::uint32_t TimelineTracer::category_of(EventKind k) {
     case EventKind::LinkState:
     case EventKind::Fault:
     case EventKind::SubflowDead:
+    case EventKind::Impair:
       return cat::kFault;
     case EventKind::Reinjection:
     case EventKind::FlowStart:
@@ -215,6 +218,7 @@ void TimelineTracer::export_chrome_json(const std::string& path) const {
       case EventKind::LinkState:
       case EventKind::Drop:
       case EventKind::Reroute:
+      case EventKind::Impair:
         links.insert(e.id);
         break;
       case EventKind::Fault:
@@ -346,6 +350,18 @@ void TimelineTracer::export_chrome_json(const std::string& path) const {
         json.kv("cause", static_cast<std::int64_t>(e.aux));
         json.end_object();
         break;
+      case EventKind::Impair: {
+        const char* name = "impair";
+        switch (static_cast<ImpairKind>(e.aux)) {
+          case ImpairKind::Delay: name = "impair (delay)"; break;
+          case ImpairKind::Reorder: name = "impair (reorder)"; break;
+          case ImpairKind::Duplicate: name = "impair (duplicate)"; break;
+          case ImpairKind::Overmark: name = "impair (overmark)"; break;
+        }
+        event_common(json, name, "i", link_pid(e.id), e.t_ns);
+        json.kv("s", "p");
+        break;
+      }
       case EventKind::Fault:
         event_common(json, "fault", "i", kSchedPid, e.t_ns);
         json.kv("s", "g");

@@ -45,7 +45,11 @@ enum class EventKind : std::uint8_t {
   CkptWrite,    ///< checkpoint published (id = checkpoint seq, a = bytes)
   CkptRestore,  ///< run resumed from a checkpoint (id = checkpoint seq,
                 ///< a = bytes, b = checkpoint sim-time µs)
+  Impair,       ///< gray-failure impairment applied (id = link, aux = ImpairKind)
 };
+
+/// Which gray-failure effect an EventKind::Impair records (aux field).
+enum class ImpairKind : std::uint16_t { Delay = 0, Reorder = 1, Duplicate = 2, Overmark = 3 };
 
 /// How one orchestrated job attempt ended (TimelineEvent::aux for
 /// EventKind::JobOutcome).
@@ -168,6 +172,10 @@ class TimelineTracer {
   }
   void drop(sim::Time t, std::uint32_t link, DropCause cause) {
     record(EventKind::Drop, cat::kDrop, t, link, 0, static_cast<std::uint16_t>(cause), 0.0,
+           0.0);
+  }
+  void impair(sim::Time t, std::uint32_t link, ImpairKind kind) {
+    record(EventKind::Impair, cat::kFault, t, link, 0, static_cast<std::uint16_t>(kind), 0.0,
            0.0);
   }
   void sched_sample(sim::Time t, std::size_t pending, std::uint64_t dispatched) {

@@ -11,6 +11,9 @@ void DropBreakdown::add(const net::Link& l) {
   admin_down += l.drops().admin_down;
   fault += l.drops().fault;
   corrupt += l.drops().corrupt;
+  duplicated += l.duplicated();
+  delayed += l.delayed();
+  overmarked += l.overmarked();
 }
 
 DropBreakdown collect_drops(const std::vector<net::Link*>& links) {

@@ -23,6 +23,11 @@ struct DropBreakdown {
   std::uint64_t fault = 0;       ///< injected loss process
   std::uint64_t corrupt = 0;     ///< corrupted in flight, discarded at sink
 
+  // Gray-failure impairments (not drops: the packets lived on).
+  std::uint64_t duplicated = 0;  ///< clones manufactured by Duplicate
+  std::uint64_t delayed = 0;     ///< packets parked by Delay/Reorder holds
+  std::uint64_t overmarked = 0;  ///< forced CE marks (EcnOvermark)
+
   [[nodiscard]] std::uint64_t total_drops() const {
     return queue + admin_down + fault + corrupt;
   }

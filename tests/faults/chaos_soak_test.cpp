@@ -16,6 +16,7 @@
 #include "faults/fault_controller.hpp"
 #include "faults/invariant_checker.hpp"
 #include "mptcp/connection.hpp"
+#include "route/policy.hpp"
 #include "sim/random.hpp"
 #include "topo/pinned.hpp"
 #include "util/fixtures.hpp"
@@ -135,7 +136,7 @@ FaultPlan random_fleet_plan(sim::Rng& rng, sim::Time horizon) {
     const sim::Time at = sim::Time::seconds(rng.uniform_real(0.0, horizon.sec() * 0.5));
     const sim::Time until =
         at + sim::Time::seconds(rng.uniform_real(0.1, 0.9) * horizon.sec());
-    switch (rng.uniform_int(0, 5)) {
+    switch (rng.uniform_int(0, 10)) {
       case 0:
         plan.link_down(static_cast<net::LinkId>(rng.uniform_int(0, 23)), at);
         break;
@@ -161,6 +162,31 @@ FaultPlan random_fleet_plan(sim::Rng& rng, sim::Time horizon) {
       }
       case 5:
         plan.blackhole(static_cast<int>(rng.uniform_int(0, 7)), at);
+        break;
+      // --- gray failures: the link degrades without going down ---
+      case 6:
+        plan.degrade(static_cast<net::LinkId>(rng.uniform_int(0, 23)),
+                     rng.uniform_real(0.1, 0.9), at, until);
+        break;
+      case 7:
+        plan.delay(static_cast<net::LinkId>(rng.uniform_int(0, 23)),
+                   sim::Time::microseconds(rng.uniform_int(20, 300)),
+                   rng.uniform01() < 0.5 ? sim::Time::microseconds(rng.uniform_int(10, 100))
+                                         : sim::Time::zero(),
+                   at, until);
+        break;
+      case 8:
+        plan.reorder(static_cast<net::LinkId>(rng.uniform_int(0, 23)),
+                     rng.uniform_real(0.01, 0.2),
+                     sim::Time::microseconds(rng.uniform_int(50, 400)), at, until);
+        break;
+      case 9:
+        plan.duplicate(static_cast<net::LinkId>(rng.uniform_int(0, 23)),
+                       rng.uniform_real(0.01, 0.1), at, until);
+        break;
+      case 10:
+        plan.overmark(static_cast<net::LinkId>(rng.uniform_int(0, 23)),
+                      rng.uniform_real(0.05, 0.5), at, until);
         break;
     }
   }
@@ -192,6 +218,49 @@ TEST(ChaosSoak, FleetWideFaultPlans) {
         << res.invariant_violations.front() << " (+" << res.invariant_violations.size() - 1
         << " more)";
     ASSERT_GT(res.events_dispatched, 0u);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Gray failures crossed with every routing policy: invariants must hold
+// whether paths are pinned, hashed (ECMP) or weighted (WCMP) while links
+// are slow-draining, jittering, reordering, cloning and over-marking.
+// ---------------------------------------------------------------------------
+
+TEST(ChaosSoak, GrayFaultsAcrossRoutingPolicies) {
+  const route::PolicyKind policies[] = {route::PolicyKind::Pinned, route::PolicyKind::Ecmp,
+                                        route::PolicyKind::Wcmp};
+  for (const auto policy : policies) {
+    SCOPED_TRACE("policy " + std::to_string(static_cast<int>(policy)));
+    core::ExperimentConfig cfg;
+    cfg.scheme.kind = workload::SchemeSpec::Kind::Xmp;
+    cfg.scheme.subflows = 2;
+    cfg.scheme.dead_after_rtos = 3;
+    cfg.pattern = core::Pattern::Permutation;
+    cfg.fat_tree_k = 4;
+    cfg.duration = sim::Time::milliseconds(20);
+    cfg.permutation_rounds = 1;
+    cfg.seed = 17;
+    cfg.fault_seed = 2024;
+    cfg.routing.kind = policy;
+    FaultPlan plan;
+    plan.degrade(2, 0.3, sim::Time::milliseconds(2), sim::Time::milliseconds(15));
+    plan.delay(5, sim::Time::microseconds(100), sim::Time::microseconds(50),
+               sim::Time::milliseconds(1));
+    plan.reorder(7, 0.1, sim::Time::microseconds(200), sim::Time::milliseconds(2));
+    plan.duplicate(9, 0.05, sim::Time::zero());
+    plan.overmark(11, 0.3, sim::Time::milliseconds(5));
+    cfg.fault_plan = plan;
+    cfg.check_invariants = true;
+
+    const auto res = core::run_experiment(cfg);
+    ASSERT_GT(res.invariant_checks, 0u);
+    ASSERT_TRUE(res.invariant_violations.empty())
+        << res.invariant_violations.front() << " (+" << res.invariant_violations.size() - 1
+        << " more)";
+    // The gray plan actually bit under every policy.
+    EXPECT_GT(res.drops.delayed, 0u);
+    EXPECT_GT(res.drops.duplicated, 0u);
   }
 }
 

@@ -135,8 +135,8 @@ TEST(FaultPlan, LossRoundTripsThroughToString) {
 // LossProcess: deterministic verdict streams
 // ---------------------------------------------------------------------------
 
-std::vector<net::Link::FaultAction> draw(LossProcess& lp, int n) {
-  std::vector<net::Link::FaultAction> out;
+std::vector<net::Link::FaultVerdict> draw(LossProcess& lp, int n) {
+  std::vector<net::Link::FaultVerdict> out;
   net::Packet p;
   for (int i = 0; i < n; ++i) out.push_back(lp.on_send(p));
   return out;
